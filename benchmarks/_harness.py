@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (scaled to
+the synthetic ``-small`` datasets), records the rendered artefact under
+``benchmarks/results/`` and prints it, so a single
+``pytest benchmarks/ --benchmark-only`` run leaves a readable copy of every
+reproduced table/figure on disk alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments.config import (
+    EffectivenessConfig,
+    EfficiencyConfig,
+    SweepValues,
+)
+
+#: Directory where rendered tables/figures are written.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Benchmark-sized efficiency configuration: the paper's sweeps over the three
+#: laptop-scale datasets, with a reduced number of queries per sweep point so
+#: the whole harness finishes in minutes.
+BENCH_EFFICIENCY = EfficiencyConfig(
+    num_queries=5,
+    sweeps=SweepValues(),
+)
+
+#: Benchmark-sized effectiveness configuration (Tables 5 and 6).
+BENCH_EFFECTIVENESS = EffectivenessConfig(
+    num_user_study_queries=10,
+    num_quantitative_queries=12,
+)
+
+#: A single-dataset configuration for the micro-benchmarks.
+MICRO_EFFICIENCY = EfficiencyConfig(datasets=("twitter-small",), num_queries=5)
+
+
+def record(name: str, text: str) -> str:
+    """Print a rendered artefact and persist it under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]", file=sys.stderr)
+    return text

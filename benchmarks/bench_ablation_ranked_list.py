@@ -1,0 +1,20 @@
+"""Ablation — bisect-backed ranked-list maintenance vs naive re-sorting."""
+
+from __future__ import annotations
+
+from _harness import record
+
+from repro.experiments.ablations import ranked_list_ablation
+
+
+def test_ablation_ranked_list_maintenance(benchmark):
+    """Quantify what the order-maintaining ranked-list structure buys."""
+    result = benchmark.pedantic(
+        ranked_list_ablation,
+        kwargs=dict(dataset_name="twitter-small", max_operations=15000),
+        rounds=1,
+        iterations=1,
+    )
+    record("ablation_ranked_list", result.render())
+    # The sorted list must not be slower than re-sorting everything.
+    assert result.variant_value <= result.baseline_value

@@ -1,0 +1,28 @@
+"""Figure 11 — result quality of all five methods as the result size k varies."""
+
+from __future__ import annotations
+
+import numpy as np
+from _harness import BENCH_EFFICIENCY, record
+
+from repro.experiments.figures import figure11_score_vs_k
+
+
+def test_figure11_score_vs_k(benchmark):
+    """Regenerate Figure 11 (representativeness score vs k)."""
+    figure = benchmark.pedantic(
+        figure11_score_vs_k, kwargs=dict(config=BENCH_EFFICIENCY), rounds=1, iterations=1
+    )
+    record("figure11_score_vs_k", figure.render(precision=4))
+
+    # Shape checks from the paper: MTTD is nearly indistinguishable from CELF
+    # (> 99 %), MTTS stays above 95 %, SieveStreaming is below CELF, and the
+    # Top-k Representative baseline is the weakest.
+    for dataset, panel in figure.panels.items():
+        celf = np.asarray(panel["celf"])
+        mttd = np.asarray(panel["mttd"])
+        mtts = np.asarray(panel["mtts"])
+        topk = np.asarray(panel["topk"])
+        assert np.all(mttd >= 0.97 * celf), f"MTTD quality too low on {dataset}"
+        assert np.all(mtts >= 0.90 * celf), f"MTTS quality too low on {dataset}"
+        assert np.mean(topk) <= np.mean(celf), f"Top-k should not beat CELF on {dataset}"

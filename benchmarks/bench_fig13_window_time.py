@@ -1,0 +1,24 @@
+"""Figure 13 — query time as the sliding-window length T varies."""
+
+from __future__ import annotations
+
+import numpy as np
+from _harness import BENCH_EFFICIENCY, record
+
+from repro.experiments.figures import figure13_time_vs_window
+
+
+def test_figure13_time_vs_window(benchmark):
+    """Regenerate Figure 13 (query time in ms vs window length in hours)."""
+    config = BENCH_EFFICIENCY.with_overrides(num_queries=4)
+    figure = benchmark.pedantic(
+        figure13_time_vs_window, kwargs=dict(config=config), rounds=1, iterations=1
+    )
+    record("figure13_time_vs_window", figure.render(precision=3))
+
+    # Shape checks: query time grows with T for every method (more active
+    # elements), and the index-assisted methods keep beating the baselines.
+    for dataset, panel in figure.panels.items():
+        for method, series in panel.items():
+            assert series[-1] >= series[0] * 0.5, f"{method} trend broken on {dataset}"
+        assert np.mean(panel["mttd"]) < np.mean(panel["sieve"]), dataset

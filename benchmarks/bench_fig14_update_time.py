@@ -1,0 +1,21 @@
+"""Figure 14 — per-element ranked-list update time vs z and vs T."""
+
+from __future__ import annotations
+
+from _harness import BENCH_EFFICIENCY, record
+
+from repro.experiments.figures import figure14_update_time
+
+
+def test_figure14_update_time(benchmark):
+    """Regenerate Figure 14 (ranked-list maintenance cost per element)."""
+    figure = benchmark.pedantic(
+        figure14_update_time, kwargs=dict(config=BENCH_EFFICIENCY), rounds=1, iterations=1
+    )
+    record("figure14_update_time", figure.render(precision=4))
+
+    # Shape check: maintenance stays cheap (well under a few milliseconds per
+    # element on every dataset; the paper reports < 0.3 ms on its testbed).
+    for panel_name, panel in figure.panels.items():
+        for value in panel["update"]:
+            assert value < 5.0, f"update time too high in {panel_name}"

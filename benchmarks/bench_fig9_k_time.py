@@ -1,0 +1,27 @@
+"""Figure 9 — query time of all five methods as the result size k varies."""
+
+from __future__ import annotations
+
+import numpy as np
+from _harness import BENCH_EFFICIENCY, record
+
+from repro.experiments.figures import figure9_time_vs_k
+
+
+def test_figure9_time_vs_k(benchmark):
+    """Regenerate Figure 9 (query time in ms vs k) for CELF, MTTS, MTTD, Top-k, Sieve."""
+    figure = benchmark.pedantic(
+        figure9_time_vs_k, kwargs=dict(config=BENCH_EFFICIENCY), rounds=1, iterations=1
+    )
+    record("figure9_time_vs_k", figure.render(precision=3))
+
+    # Shape checks: the index-assisted methods beat the submodular baselines
+    # on average, and Top-k Representative is the fastest method overall.
+    for dataset, panel in figure.panels.items():
+        mttd = float(np.mean(panel["mttd"]))
+        celf = float(np.mean(panel["celf"]))
+        sieve = float(np.mean(panel["sieve"]))
+        topk = float(np.mean(panel["topk"]))
+        assert mttd < celf, f"MTTD slower than CELF on {dataset}"
+        assert mttd < sieve, f"MTTD slower than SieveStreaming on {dataset}"
+        assert topk <= mttd * 1.5, f"Top-k unexpectedly slow on {dataset}"

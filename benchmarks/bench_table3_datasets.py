@@ -1,0 +1,20 @@
+"""Table 3 — dataset statistics of the three synthetic stand-in streams."""
+
+from __future__ import annotations
+
+from _harness import BENCH_EFFECTIVENESS, record
+
+from repro.experiments.tables import dataset_statistics_table
+
+
+def test_table3_dataset_statistics(benchmark):
+    """Regenerate Table 3 and record the per-dataset statistics."""
+    table = benchmark.pedantic(
+        dataset_statistics_table,
+        kwargs=dict(datasets=BENCH_EFFECTIVENESS.datasets, seed=BENCH_EFFECTIVENESS.seed),
+        rounds=1,
+        iterations=1,
+    )
+    text = record("table3_dataset_statistics", table.render())
+    assert "aminer-small" in text
+    assert len(table.rows) == len(BENCH_EFFECTIVENESS.datasets)

@@ -1,0 +1,86 @@
+"""repro — Semantic and Influence aware k-Representative queries over social streams.
+
+A full reproduction of Wang, Li and Tan, *"Semantic and Influence aware
+k-Representative Queries over Social Streams"* (EDBT 2019): the k-SIR query
+model, the MTTS and MTTD index-assisted approximation algorithms, every
+baseline used in the paper's evaluation, the topic-model substrate, a
+synthetic social-stream generator standing in for the paper's proprietary
+crawls, and an experiment harness regenerating each table and figure.
+
+Quickstart
+----------
+
+>>> from repro import (
+...     KSIRProcessor, ProcessorConfig, ScoringConfig, SyntheticStreamGenerator,
+... )
+>>> generator = SyntheticStreamGenerator.from_profile("twitter-small", seed=7)
+>>> dataset = generator.generate()
+>>> processor = KSIRProcessor(dataset.topic_model, ProcessorConfig(
+...     window_length=6 * 3600, bucket_length=900))
+>>> processor.process_stream(dataset.stream)
+>>> result = processor.query(dataset.make_query(k=5, keywords=["music"]))
+>>> len(result) <= 5
+True
+"""
+
+from repro.core.algorithms import (
+    CELF,
+    GreedySelection,
+    MTTD,
+    MTTS,
+    SieveStreaming,
+    TopKRepresentative,
+    make_algorithm,
+)
+from repro.core.element import SocialElement
+from repro.core.processor import KSIRProcessor, ProcessorConfig
+from repro.core.query import KSIRQuery, QueryResult
+from repro.core.ranked_list import RankedListIndex
+from repro.core.scoring import KSIRObjective, ScoringConfig, ScoringContext
+from repro.core.stream import SocialStream
+from repro.core.window import ActiveWindow
+from repro.datasets.profiles import DATASET_PROFILES, DatasetProfile
+from repro.datasets.synthetic import SyntheticDataset, SyntheticStreamGenerator
+from repro.topics.btm import BitermTopicModel
+from repro.topics.inference import TopicInferencer, infer_query_vector
+from repro.topics.lda import LatentDirichletAllocation
+from repro.topics.model import MatrixTopicModel, TopicModel
+from repro.topics.preprocess import Preprocessor, tokenize
+from repro.topics.vocabulary import Vocabulary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveWindow",
+    "BitermTopicModel",
+    "CELF",
+    "DATASET_PROFILES",
+    "DatasetProfile",
+    "GreedySelection",
+    "KSIRObjective",
+    "KSIRProcessor",
+    "KSIRQuery",
+    "LatentDirichletAllocation",
+    "MatrixTopicModel",
+    "MTTD",
+    "MTTS",
+    "Preprocessor",
+    "ProcessorConfig",
+    "QueryResult",
+    "RankedListIndex",
+    "ScoringConfig",
+    "ScoringContext",
+    "SieveStreaming",
+    "SocialElement",
+    "SocialStream",
+    "SyntheticDataset",
+    "SyntheticStreamGenerator",
+    "TopKRepresentative",
+    "TopicInferencer",
+    "TopicModel",
+    "Vocabulary",
+    "infer_query_vector",
+    "make_algorithm",
+    "tokenize",
+    "__version__",
+]

@@ -1,0 +1,250 @@
+"""Command-line interface for the k-SIR reproduction.
+
+The CLI exposes the workflows a user of the released system would want
+without writing Python:
+
+* ``repro-ksir generate`` — generate a synthetic stream from a named profile
+  and save it (JSONL) together with its topic-model oracle (``.npz``);
+* ``repro-ksir stats`` — print Table-3-style statistics of a profile or of a
+  previously saved stream;
+* ``repro-ksir query`` — replay a stream and answer a keyword query with any
+  of the registered algorithms;
+* ``repro-ksir experiment`` — regenerate one of the paper's tables or figures
+  with reduced, CLI-friendly settings.
+
+Every subcommand is a thin wrapper over the public library API, so the CLI
+doubles as executable documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.processor import KSIRProcessor, ProcessorConfig
+from repro.core.query import KSIRQuery
+from repro.core.scoring import ScoringConfig
+from repro.datasets.loaders import load_stream_jsonl, save_stream_jsonl
+from repro.datasets.profiles import profile_names
+from repro.datasets.synthetic import SyntheticStreamGenerator
+from repro.experiments import figures as figure_experiments
+from repro.experiments import tables as table_experiments
+from repro.experiments.config import EffectivenessConfig, EfficiencyConfig
+from repro.topics.inference import TopicInferencer, infer_query_vector
+from repro.topics.model import MatrixTopicModel
+
+#: Experiments runnable from the CLI, mapped to zero-argument-ish callables.
+EXPERIMENT_CHOICES = (
+    "table3",
+    "table5",
+    "table6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser of the ``repro-ksir`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ksir",
+        description="Semantic and Influence aware k-Representative queries over social streams",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a synthetic stream and save it to disk"
+    )
+    generate.add_argument("profile", choices=sorted(profile_names()))
+    generate.add_argument("--seed", type=int, default=2019)
+    generate.add_argument("--output-dir", type=Path, default=Path("data"))
+
+    stats = subparsers.add_parser(
+        "stats", help="print dataset statistics for a profile or a saved stream"
+    )
+    stats.add_argument("--profile", choices=sorted(profile_names()))
+    stats.add_argument("--stream", type=Path, help="path to a JSONL stream")
+    stats.add_argument("--seed", type=int, default=2019)
+
+    query = subparsers.add_parser(
+        "query", help="replay a stream and answer a keyword k-SIR query"
+    )
+    query.add_argument("keywords", nargs="+", help="query keywords")
+    query.add_argument("--profile", default="twitter-small", choices=sorted(profile_names()))
+    query.add_argument("--stream", type=Path, help="JSONL stream (defaults to generating the profile)")
+    query.add_argument("--model", type=Path, help="topic model .npz (required with --stream)")
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument("--algorithm", default="mttd",
+                       choices=["mttd", "mtts", "celf", "sieve", "topk", "greedy"])
+    query.add_argument("--epsilon", type=float, default=0.1)
+    query.add_argument("--window-hours", type=int, default=24)
+    query.add_argument("--bucket-minutes", type=int, default=15)
+    query.add_argument("--lambda-weight", type=float, default=0.5)
+    query.add_argument("--eta", type=float, default=1.5)
+    query.add_argument("--seed", type=int, default=2019)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables or figures"
+    )
+    experiment.add_argument("name", choices=EXPERIMENT_CHOICES)
+    experiment.add_argument("--datasets", nargs="+", default=None,
+                            help="dataset profiles (default: the three -small profiles)")
+    experiment.add_argument("--queries", type=int, default=5,
+                            help="queries per sweep point")
+    experiment.add_argument("--seed", type=int, default=2019)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def _print(text: str) -> None:
+    print(text)
+
+
+def run_generate(args: argparse.Namespace) -> int:
+    dataset = SyntheticStreamGenerator.from_profile(args.profile, seed=args.seed).generate()
+    output_dir = args.output_dir / args.profile
+    stream_path = output_dir / "stream.jsonl"
+    model_path = output_dir / "topic_model.npz"
+    count = save_stream_jsonl(dataset.stream, stream_path)
+    dataset.topic_model.save(model_path)
+    _print(f"wrote {count} elements to {stream_path}")
+    _print(f"wrote topic model ({dataset.topic_model.num_topics} topics) to {model_path}")
+    stats = dataset.statistics()
+    _print(
+        f"avg length {stats['average_length']:.2f}, "
+        f"avg references {stats['average_references']:.2f}"
+    )
+    return 0
+
+
+def run_stats(args: argparse.Namespace) -> int:
+    if (args.profile is None) == (args.stream is None):
+        _print("error: provide exactly one of --profile or --stream")
+        return 2
+    if args.profile is not None:
+        table = table_experiments.dataset_statistics_table(
+            datasets=(args.profile,), seed=args.seed
+        )
+        _print(table.render())
+        return 0
+    stream = load_stream_jsonl(args.stream)
+    elements = stream.elements
+    total_length = sum(len(e.tokens) for e in elements)
+    total_references = sum(len(e.references) for e in elements)
+    distinct = {token for element in elements for token in element.tokens}
+    _print(f"elements:        {len(elements)}")
+    _print(f"vocabulary:      {len(distinct)}")
+    _print(f"avg length:      {total_length / max(1, len(elements)):.2f}")
+    _print(f"avg references:  {total_references / max(1, len(elements)):.2f}")
+    if elements:
+        _print(f"time span:       {stream.start_time} .. {stream.end_time}")
+    return 0
+
+
+def run_query(args: argparse.Namespace) -> int:
+    if args.stream is not None:
+        if args.model is None:
+            _print("error: --model is required when --stream is given")
+            return 2
+        stream = load_stream_jsonl(args.stream)
+        model = MatrixTopicModel.load(args.model)
+        inferencer = TopicInferencer(model, alpha=0.05, sparsity_threshold=0.05)
+    else:
+        dataset = SyntheticStreamGenerator.from_profile(args.profile, seed=args.seed).generate()
+        stream = dataset.stream
+        model = dataset.topic_model
+        inferencer = dataset.inferencer
+
+    config = ProcessorConfig(
+        window_length=args.window_hours * 3600,
+        bucket_length=args.bucket_minutes * 60,
+        scoring=ScoringConfig(lambda_weight=args.lambda_weight, eta=args.eta),
+    )
+    processor = KSIRProcessor(model, config, inferencer=inferencer)
+    processor.process_stream(stream)
+    _print(
+        f"replayed {processor.elements_processed} elements; "
+        f"{processor.active_count} active at time {processor.current_time}"
+    )
+
+    vector = infer_query_vector(model, args.keywords, inferencer=inferencer)
+    query = KSIRQuery(k=args.k, vector=vector, keywords=tuple(args.keywords))
+    result = processor.query(query, algorithm=args.algorithm, epsilon=args.epsilon)
+    _print(result.summary())
+    for element in processor.result_elements(result):
+        followers = processor.window.follower_count(element.element_id)
+        _print(f"  e{element.element_id} ({followers} refs): " + " ".join(element.tokens[:10]))
+    return 0
+
+
+def _experiment_runner(name: str, efficiency: EfficiencyConfig,
+                       effectiveness: EffectivenessConfig, queries: int) -> str:
+    if name == "table3":
+        return table_experiments.dataset_statistics_table(
+            datasets=effectiveness.datasets, seed=effectiveness.seed
+        ).render()
+    if name == "table5":
+        return table_experiments.user_study_table(effectiveness, num_queries=queries).render(2)
+    if name == "table6":
+        return table_experiments.quantitative_table(effectiveness, num_queries=queries).render()
+    figure_functions: Dict[str, Callable] = {
+        "figure7": figure_experiments.figure7_time_vs_epsilon,
+        "figure8": figure_experiments.figure8_score_vs_epsilon,
+        "figure9": figure_experiments.figure9_time_vs_k,
+        "figure10": figure_experiments.figure10_evaluation_ratio,
+        "figure11": figure_experiments.figure11_score_vs_k,
+        "figure12": figure_experiments.figure12_time_vs_topics,
+        "figure13": figure_experiments.figure13_time_vs_window,
+    }
+    if name in figure_functions:
+        return figure_functions[name](efficiency, num_queries=queries).render(3)
+    if name == "figure14":
+        return figure_experiments.figure14_update_time(efficiency).render(4)
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def run_experiment(args: argparse.Namespace) -> int:
+    datasets = tuple(args.datasets) if args.datasets else None
+    efficiency = EfficiencyConfig(seed=args.seed, num_queries=args.queries)
+    effectiveness = EffectivenessConfig(seed=args.seed)
+    if datasets:
+        efficiency = efficiency.with_overrides(datasets=datasets)
+        effectiveness = effectiveness.with_overrides(datasets=datasets)
+    _print(_experiment_runner(args.name, efficiency, effectiveness, args.queries))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "generate": run_generate,
+    "stats": run_stats,
+    "query": run_query,
+    "experiment": run_experiment,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

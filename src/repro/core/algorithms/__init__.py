@@ -1,0 +1,65 @@
+"""k-SIR processing algorithms.
+
+* :class:`repro.core.algorithms.mtts.MTTS` and
+  :class:`repro.core.algorithms.mttd.MTTD` — the paper's contributions
+  (Algorithms 2 and 3), both driven by the per-topic ranked lists.
+* :class:`repro.core.algorithms.celf.CELF`,
+  :class:`repro.core.algorithms.sieve.SieveStreaming`,
+  :class:`repro.core.algorithms.greedy.GreedySelection` and
+  :class:`repro.core.algorithms.topk_representative.TopKRepresentative` —
+  the baselines of the efficiency study (Section 5.3).
+
+All algorithms implement the :class:`repro.core.algorithms.base.KSIRAlgorithm`
+interface: given a bound objective (a scoring snapshot + query vector), a
+result size ``k`` and, for index-based algorithms, the ranked-list index,
+they return a :class:`repro.core.algorithms.base.SelectionOutcome`.
+"""
+
+from repro.core.algorithms.base import KSIRAlgorithm, SelectionOutcome
+from repro.core.algorithms.celf import CELF
+from repro.core.algorithms.greedy import GreedySelection
+from repro.core.algorithms.mttd import MTTD
+from repro.core.algorithms.mtts import MTTS
+from repro.core.algorithms.sieve import SieveStreaming
+from repro.core.algorithms.topk_representative import TopKRepresentative
+
+ALGORITHM_REGISTRY = {
+    "greedy": GreedySelection,
+    "celf": CELF,
+    "sieve": SieveStreaming,
+    "sievestreaming": SieveStreaming,
+    "topk": TopKRepresentative,
+    "top-k": TopKRepresentative,
+    "mtts": MTTS,
+    "mttd": MTTD,
+}
+"""Maps user-facing algorithm names to their classes."""
+
+
+def make_algorithm(name: str, **kwargs) -> KSIRAlgorithm:
+    """Instantiate an algorithm by (case-insensitive) name.
+
+    ``kwargs`` are forwarded to the constructor; unknown names raise a
+    ``ValueError`` listing the available choices.
+    """
+    key = name.strip().lower()
+    try:
+        cls = ALGORITHM_REGISTRY[key]
+    except KeyError as error:
+        available = ", ".join(sorted(set(ALGORITHM_REGISTRY)))
+        raise ValueError(f"unknown algorithm {name!r}; available: {available}") from error
+    return cls(**kwargs)
+
+
+__all__ = [
+    "ALGORITHM_REGISTRY",
+    "CELF",
+    "GreedySelection",
+    "KSIRAlgorithm",
+    "MTTD",
+    "MTTS",
+    "SelectionOutcome",
+    "SieveStreaming",
+    "TopKRepresentative",
+    "make_algorithm",
+]

@@ -1,0 +1,73 @@
+"""The common interface of every k-SIR processing algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.ranked_list import RankedListIndex
+from repro.core.scoring import KSIRObjective
+from repro.utils.validation import require_positive
+
+
+@dataclass
+class SelectionOutcome:
+    """What an algorithm returns: the selected set plus execution counters.
+
+    Attributes
+    ----------
+    element_ids:
+        Selected element ids in selection order.
+    value:
+        ``f(S, x)`` of the selection as tracked by the algorithm.
+    evaluated_elements:
+        Distinct active elements whose score/marginal gain was evaluated.
+    extras:
+        Algorithm-specific counters (rounds, candidates, retrievals, ...).
+    """
+
+    element_ids: Tuple[int, ...]
+    value: float
+    evaluated_elements: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.element_ids = tuple(self.element_ids)
+
+
+class KSIRAlgorithm:
+    """Base class: selects at most ``k`` elements maximising ``f(·, x)``.
+
+    ``objective`` is already bound to the query's scoring snapshot and query
+    vector.  Index-based algorithms (MTTS, MTTD, Top-k Representative)
+    additionally require the ranked-list ``index``; batch algorithms ignore
+    it.
+    """
+
+    #: Human-readable name used in reports and result objects.
+    name: str = "base"
+    #: Whether the algorithm requires the ranked-list index to run.
+    requires_index: bool = False
+
+    def select(
+        self,
+        objective: KSIRObjective,
+        k: int,
+        index: Optional[RankedListIndex] = None,
+    ) -> SelectionOutcome:
+        """Run the algorithm and return its selection outcome."""
+        require_positive(k, "k")
+        if self.requires_index and index is None:
+            raise ValueError(f"{self.name} requires the ranked-list index")
+        return self._select(objective, int(k), index)
+
+    def _select(
+        self,
+        objective: KSIRObjective,
+        k: int,
+        index: Optional[RankedListIndex],
+    ) -> SelectionOutcome:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

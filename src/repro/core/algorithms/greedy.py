@@ -1,0 +1,54 @@
+"""The basic greedy algorithm for monotone submodular maximisation.
+
+Nemhauser et al.'s classic ``(1 − 1/e)``-approximate greedy: ``k`` passes over
+all active elements, each pass adding the element with the maximum marginal
+gain.  It evaluates ``O(k · n_t)`` marginal gains, so it is only used as the
+correctness reference in tests and as the slowest baseline in ablations;
+CELF (its lazy variant) is the batch baseline used by the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.algorithms.base import KSIRAlgorithm, SelectionOutcome
+from repro.core.ranked_list import RankedListIndex
+from repro.core.scoring import KSIRObjective
+
+
+class GreedySelection(KSIRAlgorithm):
+    """Exact (non-lazy) greedy selection."""
+
+    name = "greedy"
+    requires_index = False
+
+    def _select(
+        self,
+        objective: KSIRObjective,
+        k: int,
+        index: Optional[RankedListIndex],
+    ) -> SelectionOutcome:
+        state = objective.new_state()
+        candidates = set(objective.context.active_ids)
+        passes = 0
+        while len(state.selected) < k and candidates:
+            passes += 1
+            best_id = None
+            best_gain = 0.0
+            for element_id in candidates:
+                gain = objective.marginal_gain(element_id, state)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_id = element_id
+            if best_id is None:
+                # Every remaining element has zero marginal gain; adding more
+                # cannot improve a monotone objective, so stop early.
+                break
+            objective.add(best_id, state)
+            candidates.discard(best_id)
+        return SelectionOutcome(
+            element_ids=tuple(state.selected),
+            value=state.value,
+            evaluated_elements=objective.evaluated_elements,
+            extras={"passes": float(passes)},
+        )

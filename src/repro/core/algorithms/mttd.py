@@ -1,0 +1,142 @@
+"""MTTD — Multi-Topic ThresholdDescend (Algorithm 3 of the paper).
+
+MTTD improves on MTTS in two ways: it maintains a *single* candidate ``S``
+(so fewer marginal-gain evaluations per element), and it keeps the elements
+retrieved from the ranked lists in a buffer so they can be re-considered in
+later rounds, which is what lifts the guarantee to ``(1 − 1/e − ε)``.
+
+The algorithm runs rounds with geometrically decreasing thresholds
+``τ, (1−ε)τ, (1−ε)²τ, ...`` starting from the upper bound of any active
+element's score.  In the round with threshold ``τ`` it first *retrieves*
+every element whose score could reach ``τ`` from the ranked lists (the same
+merged descending traversal as MTTS) into the buffer, then repeatedly takes
+the buffered element with the largest cached gain, recomputes its true
+marginal gain and admits it when the gain is at least ``τ``.  The run stops
+when ``S`` reaches ``k`` elements or ``τ`` drops below the termination
+threshold ``τ' = ε · f(S, x) / k``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.algorithms.base import KSIRAlgorithm, SelectionOutcome
+from repro.core.ranked_list import RankedListIndex, RankedListTraversal
+from repro.core.scoring import KSIRObjective
+from repro.utils.lazy_heap import LazyMaxHeap
+from repro.utils.validation import require_in_range
+
+
+class MTTD(KSIRAlgorithm):
+    """Multi-Topic ThresholdDescend.
+
+    Parameters
+    ----------
+    epsilon:
+        The threshold decay rate ``ε ∈ (0, 1)``; smaller values tighten the
+        ``(1 − 1/e − ε)`` guarantee but add more descend rounds.
+    """
+
+    name = "mttd"
+    requires_index = True
+
+    def __init__(self, epsilon: float = 0.1) -> None:
+        require_in_range(epsilon, "epsilon", 0.0, 1.0, low_inclusive=False, high_inclusive=False)
+        self.epsilon = float(epsilon)
+
+    def __repr__(self) -> str:
+        return f"MTTD(epsilon={self.epsilon})"
+
+    # -- helpers --------------------------------------------------------------------
+
+    @staticmethod
+    def _retrieve(
+        traversal: RankedListTraversal,
+        objective: KSIRObjective,
+        buffer: LazyMaxHeap,
+        tau: float,
+    ) -> int:
+        """Pull every element whose score may reach ``tau`` into the buffer.
+
+        Returns the number of elements retrieved.  Buffer priorities are the
+        cached gain upper bounds ``Δ_e`` (initially the singleton score).
+        """
+        count = 0
+        while traversal.upper_bound() >= tau:
+            item = traversal.pop()
+            if item is None:
+                break
+            element_id, _stored_score = item
+            score = objective.singleton_score(element_id)
+            count += 1
+            if score > 0.0:
+                # Zero-score elements can never clear a positive threshold;
+                # keeping them out of the buffer guarantees termination.
+                buffer.push(element_id, score)
+        return count
+
+    # -- main loop ---------------------------------------------------------------------
+
+    def _select(
+        self,
+        objective: KSIRObjective,
+        k: int,
+        index: Optional[RankedListIndex],
+    ) -> SelectionOutcome:
+        assert index is not None  # guaranteed by KSIRAlgorithm.select
+        traversal = index.traversal(objective.query_vector)
+        buffer = LazyMaxHeap()
+        state = objective.new_state()
+
+        tau = traversal.upper_bound()
+        termination = 0.0
+        rounds = 0
+        retrieved = 0
+
+        while tau >= termination and tau > 0.0:
+            rounds += 1
+            retrieved += self._retrieve(traversal, objective, buffer, tau)
+
+            # Evaluation phase: keep admitting buffered elements while some
+            # cached gain still reaches the round threshold.
+            while len(buffer) > 0:
+                element_id, cached_gain = buffer.peek()
+                if cached_gain < tau:
+                    break
+                buffer.pop()
+                gain = objective.marginal_gain(element_id, state)
+                if gain >= tau:
+                    objective.add(element_id, state)
+                    if len(state.selected) >= k:
+                        return self._outcome(objective, state, rounds, retrieved, buffer)
+                elif gain > 0.0:
+                    # Keep it around with the refreshed (smaller) bound; it may
+                    # clear a later, lower threshold.  Zero gains are dropped —
+                    # they can never clear a positive threshold.
+                    buffer.push(element_id, gain)
+
+            termination = state.value * self.epsilon / k
+            tau *= 1.0 - self.epsilon
+            if traversal.exhausted() and len(buffer) == 0:
+                break
+
+        return self._outcome(objective, state, rounds, retrieved, buffer)
+
+    def _outcome(
+        self,
+        objective: KSIRObjective,
+        state,
+        rounds: int,
+        retrieved: int,
+        buffer: LazyMaxHeap,
+    ) -> SelectionOutcome:
+        return SelectionOutcome(
+            element_ids=tuple(state.selected),
+            value=state.value,
+            evaluated_elements=objective.evaluated_elements,
+            extras={
+                "rounds": float(rounds),
+                "retrieved": float(retrieved),
+                "buffered": float(len(buffer)),
+            },
+        )

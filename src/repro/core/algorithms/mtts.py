@@ -1,0 +1,129 @@
+"""MTTS — Multi-Topic ThresholdStream (Algorithm 2 of the paper).
+
+MTTS combines two ideas:
+
+1. the *thresholding* approach to streaming submodular maximisation: a
+   geometric grid of guesses ``ϕ = (1+ε)^j`` for ``OPT`` is maintained, each
+   with an independent candidate ``S_ϕ`` that admits an element whenever its
+   marginal gain reaches ``ϕ / 2k``;
+2. *ranked-list pruning*: elements are fed to the candidates in decreasing
+   order of ``x_i · δ_i(e)`` by merging the per-topic ranked lists, and the
+   procedure stops as soon as the upper bound ``UB(x)`` on any unevaluated
+   element's score drops below the smallest admission threshold ``TH`` of an
+   unfilled candidate.
+
+The returned candidate with the maximum score is a ``(1/2 − ε)``-approximate
+answer, and every active element is evaluated at most once.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.core.algorithms.base import KSIRAlgorithm, SelectionOutcome
+from repro.core.ranked_list import RankedListIndex
+from repro.core.scoring import KSIRObjective, ObjectiveState
+from repro.utils.validation import require_in_range
+
+
+class MTTS(KSIRAlgorithm):
+    """Multi-Topic ThresholdStream.
+
+    Parameters
+    ----------
+    epsilon:
+        The grid resolution ``ε ∈ (0, 1)``; smaller values give a better
+        approximation (``1/2 − ε``) at the cost of more candidates
+        (``O(log k / ε)`` of them).
+    """
+
+    name = "mtts"
+    requires_index = True
+
+    def __init__(self, epsilon: float = 0.1) -> None:
+        require_in_range(epsilon, "epsilon", 0.0, 1.0, low_inclusive=False, high_inclusive=False)
+        self.epsilon = float(epsilon)
+
+    def __repr__(self) -> str:
+        return f"MTTS(epsilon={self.epsilon})"
+
+    # -- threshold grid ----------------------------------------------------------
+
+    def _grid_range(self, delta_max: float, k: int) -> range:
+        """Exponents ``j`` with ``δ_max ≤ (1+ε)^j ≤ 2·k·δ_max``."""
+        if delta_max <= 0.0:
+            return range(0)
+        base = 1.0 + self.epsilon
+        low = math.ceil(math.log(delta_max, base) - 1e-12)
+        high = math.floor(math.log(2.0 * k * delta_max, base) + 1e-12)
+        return range(low, high + 1)
+
+    # -- main loop -----------------------------------------------------------------
+
+    def _select(
+        self,
+        objective: KSIRObjective,
+        k: int,
+        index: Optional[RankedListIndex],
+    ) -> SelectionOutcome:
+        assert index is not None  # guaranteed by KSIRAlgorithm.select
+        traversal = index.traversal(objective.query_vector)
+        base = 1.0 + self.epsilon
+
+        candidates: Dict[int, ObjectiveState] = {}
+        delta_max = 0.0
+        threshold = 0.0  # TH: minimum admission threshold of an unfilled candidate
+        retrieved = 0
+
+        while traversal.upper_bound() >= threshold:
+            item = traversal.pop()
+            if item is None:
+                break
+            element_id, _stored_score = item
+            retrieved += 1
+            score = objective.singleton_score(element_id)
+
+            if score > delta_max:
+                delta_max = score
+                valid = set(self._grid_range(delta_max, k))
+                candidates = {j: s for j, s in candidates.items() if j in valid}
+                for j in valid:
+                    candidates.setdefault(j, objective.new_state())
+
+            if candidates:
+                for j, state in candidates.items():
+                    phi = base**j
+                    admission = phi / (2.0 * k)
+                    if score < admission or len(state.selected) >= k:
+                        continue
+                    if objective.marginal_gain(element_id, state) >= admission:
+                        objective.add(element_id, state)
+
+            # TH is the smallest admission threshold among unfilled candidates;
+            # when every candidate is full no further element can be admitted.
+            unfilled = [
+                base**j / (2.0 * k)
+                for j, state in candidates.items()
+                if len(state.selected) < k
+            ]
+            if candidates and not unfilled:
+                break
+            threshold = min(unfilled) if unfilled else 0.0
+
+        best_state: Optional[ObjectiveState] = None
+        for state in candidates.values():
+            if best_state is None or state.value > best_state.value:
+                best_state = state
+        if best_state is None:
+            best_state = objective.new_state()
+
+        return SelectionOutcome(
+            element_ids=tuple(best_state.selected),
+            value=best_state.value,
+            evaluated_elements=objective.evaluated_elements,
+            extras={
+                "candidates": float(len(candidates)),
+                "retrieved": float(retrieved),
+            },
+        )

@@ -1,0 +1,312 @@
+"""The full k-SIR query-processing architecture (Figure 4 of the paper).
+
+The :class:`KSIRProcessor` ties everything together:
+
+* it consumes a social stream in buckets of length ``L``, inferring topic
+  vectors for new elements when they do not carry one;
+* it maintains the **active window** (``W_t``, ``A_t`` and the in-window
+  follower sets), the per-element **profiles** used by the scoring functions,
+  and the per-topic **ranked lists** (Algorithm 1);
+* it answers ad-hoc k-SIR queries with any registered algorithm, producing
+  :class:`repro.core.query.QueryResult` objects with timing and evaluation
+  statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.algorithms import KSIRAlgorithm, make_algorithm
+from repro.core.element import SocialElement
+from repro.core.query import KSIRQuery, QueryResult
+from repro.core.ranked_list import RankedListIndex
+from repro.core.scoring import (
+    ElementProfile,
+    KSIRObjective,
+    ProfileBuilder,
+    ScoringConfig,
+    ScoringContext,
+)
+from repro.core.stream import SocialStream
+from repro.core.window import ActiveWindow
+from repro.topics.inference import TopicInferencer
+from repro.topics.model import TopicModel
+from repro.utils.timing import StopWatch, TimingStats
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Configuration of the stream processor.
+
+    Parameters
+    ----------
+    window_length:
+        The sliding-window length ``T`` in stream time units (the paper's
+        default is 24 hours).
+    bucket_length:
+        The batch-update period ``L`` (the paper fixes 15 minutes).
+    scoring:
+        The representativeness scoring parameters (``λ``, ``η``, topic
+        threshold).
+    default_algorithm:
+        Algorithm used by :meth:`KSIRProcessor.query` when none is named.
+    default_epsilon:
+        ``ε`` used when instantiating ε-parameterised algorithms by name.
+    """
+
+    window_length: int = 24 * 3600
+    bucket_length: int = 15 * 60
+    scoring: ScoringConfig = ScoringConfig()
+    default_algorithm: str = "mttd"
+    default_epsilon: float = 0.1
+
+    def __post_init__(self) -> None:
+        require_positive(self.window_length, "window_length")
+        require_positive(self.bucket_length, "bucket_length")
+        if self.bucket_length > self.window_length:
+            raise ValueError("bucket_length must not exceed window_length")
+
+
+class KSIRProcessor:
+    """Maintains the active window and ranked lists; answers k-SIR queries."""
+
+    def __init__(
+        self,
+        topic_model: TopicModel,
+        config: Optional[ProcessorConfig] = None,
+        inferencer: Optional[TopicInferencer] = None,
+    ) -> None:
+        self._model = topic_model
+        self._config = config or ProcessorConfig()
+        self._inferencer = inferencer or TopicInferencer(topic_model)
+        self._builder = ProfileBuilder(topic_model, self._config.scoring)
+        self._window = ActiveWindow(self._config.window_length)
+        self._index = RankedListIndex(topic_model.num_topics, self._config.scoring)
+        self._profiles: Dict[int, ElementProfile] = {}
+        self._elements_processed = 0
+        self._buckets_processed = 0
+        self._ingest_timer = TimingStats(name="bucket-ingest")
+
+    # -- metadata -----------------------------------------------------------------
+
+    @property
+    def config(self) -> ProcessorConfig:
+        """The processor configuration."""
+        return self._config
+
+    @property
+    def topic_model(self) -> TopicModel:
+        """The topic-model oracle in use."""
+        return self._model
+
+    @property
+    def window(self) -> ActiveWindow:
+        """The live active window (read-mostly; mutate via the processor)."""
+        return self._window
+
+    @property
+    def ranked_lists(self) -> RankedListIndex:
+        """The per-topic ranked-list index."""
+        return self._index
+
+    @property
+    def current_time(self) -> Optional[int]:
+        """The time of the last processed bucket."""
+        return self._window.current_time
+
+    @property
+    def active_count(self) -> int:
+        """``n_t``: number of currently active elements."""
+        return self._window.active_count
+
+    @property
+    def elements_processed(self) -> int:
+        """Total number of stream elements ingested so far."""
+        return self._elements_processed
+
+    @property
+    def buckets_processed(self) -> int:
+        """Number of buckets ingested so far."""
+        return self._buckets_processed
+
+    @property
+    def ingest_timer(self) -> TimingStats:
+        """Per-bucket ingestion times."""
+        return self._ingest_timer
+
+    @property
+    def update_timer(self) -> TimingStats:
+        """Per-element ranked-list maintenance times (Figure 14)."""
+        return self._index.update_timer
+
+    # -- stream ingestion ----------------------------------------------------------------
+
+    def process_bucket(self, elements: Sequence[SocialElement], end_time: int) -> None:
+        """Ingest one bucket ``B_t`` ending at ``end_time`` (Algorithm 1).
+
+        Elements without a topic distribution are run through topic
+        inference first; then the active window, per-element profiles and
+        ranked lists are updated and expired elements are evicted.
+        """
+        with self._ingest_timer.measure():
+            for element in elements:
+                prepared = element
+                if prepared.topic_distribution is None:
+                    prepared = prepared.with_topic_distribution(
+                        self._inferencer.infer(prepared.tokens)
+                    )
+                profile = self._builder.build(prepared)
+                self._profiles[prepared.element_id] = profile
+
+                touched_parents = self._window.insert(prepared)
+                self._index.insert(profile, activity_time=prepared.timestamp)
+                for parent_id in touched_parents:
+                    parent_profile = self._profiles.get(parent_id)
+                    if parent_profile is None:
+                        # The parent expired earlier and was re-activated by
+                        # this reference: rebuild its profile from the window
+                        # archive and re-insert its ranked-list tuples.
+                        parent_element = self._window.get(parent_id)
+                        if parent_element.topic_distribution is None:
+                            parent_element = parent_element.with_topic_distribution(
+                                self._inferencer.infer(parent_element.tokens)
+                            )
+                        parent_profile = self._builder.build(parent_element)
+                        self._profiles[parent_id] = parent_profile
+                        self._index.insert(
+                            parent_profile, activity_time=prepared.timestamp
+                        )
+                    followers = self._follower_profiles(parent_id)
+                    self._index.refresh(
+                        parent_profile, followers, activity_time=prepared.timestamp
+                    )
+                self._elements_processed += 1
+
+            removed = self._window.advance_to(end_time)
+            for element_id in removed:
+                self._profiles.pop(element_id, None)
+                self._index.remove(element_id)
+            # Elements that lost followers to expiry keep ranked-list tuples,
+            # but their influence components are stale: re-score them so the
+            # stored δ_i(e) always equals f_i({e}) at query time.
+            for element_id in self._window.take_touched_by_expiry():
+                profile = self._profiles.get(element_id)
+                if profile is None:
+                    continue
+                self._index.refresh(
+                    profile,
+                    self._follower_profiles(element_id),
+                    activity_time=self._window.last_activity(element_id),
+                )
+            self._buckets_processed += 1
+
+    def process_stream(
+        self,
+        stream: Union[SocialStream, Iterable[SocialElement]],
+        until: Optional[int] = None,
+    ) -> None:
+        """Replay a whole stream (or until time ``until``) through the processor."""
+        if not isinstance(stream, SocialStream):
+            stream = SocialStream(stream)
+        if len(stream) == 0:
+            return
+        for bucket in stream.buckets(self._config.bucket_length):
+            if until is not None and bucket.end_time > until:
+                break
+            self.process_bucket(bucket.elements, bucket.end_time)
+
+    def _follower_profiles(self, element_id: int) -> Dict[int, ElementProfile]:
+        """Profiles of the in-window followers of an active element."""
+        followers: Dict[int, ElementProfile] = {}
+        for follower_id in self._window.followers_of(element_id):
+            profile = self._profiles.get(follower_id)
+            if profile is not None:
+                followers[follower_id] = profile
+        return followers
+
+    # -- query processing ----------------------------------------------------------------------
+
+    def snapshot(self) -> ScoringContext:
+        """A frozen scoring snapshot of the current active window."""
+        followers = {
+            element_id: self._window.followers_of(element_id)
+            for element_id in self._window.active_ids()
+        }
+        profiles = {
+            element_id: self._profiles[element_id]
+            for element_id in self._window.active_ids()
+            if element_id in self._profiles
+        }
+        return ScoringContext(
+            profiles=profiles,
+            followers=followers,
+            config=self._config.scoring,
+            time=self._window.current_time,
+        )
+
+    def objective(self, query_vector: np.ndarray) -> KSIRObjective:
+        """A k-SIR objective bound to the current window and ``query_vector``."""
+        return KSIRObjective(self.snapshot(), query_vector)
+
+    def _resolve_algorithm(
+        self, algorithm: Union[str, KSIRAlgorithm, None], epsilon: Optional[float]
+    ) -> KSIRAlgorithm:
+        if isinstance(algorithm, KSIRAlgorithm):
+            return algorithm
+        name = algorithm or self._config.default_algorithm
+        eps = self._config.default_epsilon if epsilon is None else epsilon
+        try:
+            return make_algorithm(name, epsilon=eps)
+        except TypeError:
+            # Algorithms without an epsilon parameter (greedy, CELF, top-k).
+            return make_algorithm(name)
+
+    def query(
+        self,
+        query: Union[KSIRQuery, np.ndarray, Sequence[float]],
+        k: Optional[int] = None,
+        algorithm: Union[str, KSIRAlgorithm, None] = None,
+        epsilon: Optional[float] = None,
+    ) -> QueryResult:
+        """Answer a k-SIR query against the current window.
+
+        ``query`` may be a :class:`KSIRQuery` or a raw query vector (in which
+        case ``k`` must be given).  ``algorithm`` is an algorithm instance or
+        a registry name ("mttd", "mtts", "celf", "sieve", "topk", "greedy").
+        """
+        if isinstance(query, KSIRQuery):
+            ksir_query = query
+        else:
+            if k is None:
+                raise ValueError("k must be provided when passing a raw query vector")
+            ksir_query = KSIRQuery(k=k, vector=np.asarray(query, dtype=float))
+
+        solver = self._resolve_algorithm(algorithm, epsilon)
+        objective = self.objective(ksir_query.vector)
+
+        watch = StopWatch()
+        watch.start()
+        outcome = solver.select(
+            objective,
+            ksir_query.k,
+            index=self._index if solver.requires_index else None,
+        )
+        elapsed = watch.stop()
+
+        return QueryResult(
+            element_ids=outcome.element_ids,
+            score=outcome.value,
+            algorithm=solver.name,
+            elapsed_ms=elapsed * 1000.0,
+            evaluated_elements=outcome.evaluated_elements,
+            active_elements=objective.context.active_count,
+            extras=dict(outcome.extras),
+        )
+
+    def result_elements(self, result: QueryResult) -> Sequence[SocialElement]:
+        """Materialise the :class:`SocialElement` objects of a query result."""
+        return tuple(self._window.get(element_id) for element_id in result.element_ids)

@@ -1,0 +1,122 @@
+"""Query and result types for k-SIR processing.
+
+A :class:`KSIRQuery` bundles the result-size bound ``k`` and the query vector
+``x`` (optionally remembering the raw keywords it was inferred from and the
+time it should be evaluated at).  A :class:`QueryResult` carries the selected
+elements, their representativeness score and the execution statistics the
+experiment harness aggregates (query time, evaluated elements, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class KSIRQuery:
+    """A k-SIR query ``q_t(k, x)``.
+
+    Parameters
+    ----------
+    k:
+        Maximum result size (``|S| ≤ k``).
+    vector:
+        The query vector ``x`` over topics; it is validated to be
+        non-negative and normalised to sum to one (the paper's convention)
+        unless it sums to zero, which is rejected.
+    time:
+        Optional query timestamp; ``None`` means "the processor's current
+        time" (ad-hoc queries issued against the live window).
+    keywords:
+        Optional raw keywords the vector was inferred from (kept for
+        reporting and for the keyword-based baselines).
+    """
+
+    k: int
+    vector: np.ndarray
+    time: Optional[int] = None
+    keywords: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        require_positive(self.k, "k")
+        vector = np.asarray(self.vector, dtype=float)
+        if vector.ndim != 1:
+            raise ValueError("query vector must be one-dimensional")
+        if np.any(vector < 0):
+            raise ValueError("query vector entries must be non-negative")
+        total = float(vector.sum())
+        if total <= 0.0:
+            raise ValueError("query vector must have positive mass")
+        object.__setattr__(self, "vector", vector / total)
+        object.__setattr__(self, "keywords", tuple(self.keywords))
+
+    @property
+    def num_topics(self) -> int:
+        """Dimensionality ``z`` of the query vector."""
+        return int(self.vector.shape[0])
+
+    @property
+    def nonzero_topics(self) -> Tuple[int, ...]:
+        """Indices of topics with positive interest (``d`` of them)."""
+        return tuple(int(i) for i in np.nonzero(self.vector > 0.0)[0])
+
+
+@dataclass
+class QueryResult:
+    """The outcome of processing one k-SIR query with one algorithm.
+
+    Attributes
+    ----------
+    element_ids:
+        The selected elements in selection order (``|S| ≤ k``).
+    score:
+        ``f(S, x)`` of the returned set.
+    algorithm:
+        Name of the algorithm that produced the result.
+    elapsed_ms:
+        Wall-clock processing time in milliseconds.
+    evaluated_elements:
+        Number of distinct active elements whose score was evaluated.
+    active_elements:
+        ``n_t`` at query time, so ``evaluated_elements / active_elements`` is
+        the ratio plotted in Figure 10.
+    extras:
+        Algorithm-specific counters (candidates kept, rounds, buffer size...).
+    """
+
+    element_ids: Tuple[int, ...]
+    score: float
+    algorithm: str
+    elapsed_ms: float = 0.0
+    evaluated_elements: int = 0
+    active_elements: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.element_ids = tuple(self.element_ids)
+
+    def __len__(self) -> int:
+        return len(self.element_ids)
+
+    def __iter__(self):
+        return iter(self.element_ids)
+
+    @property
+    def evaluation_ratio(self) -> float:
+        """Fraction of active elements evaluated (0.0 when the window is empty)."""
+        if self.active_elements <= 0:
+            return 0.0
+        return self.evaluated_elements / self.active_elements
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.algorithm}: |S|={len(self.element_ids)} score={self.score:.4f} "
+            f"time={self.elapsed_ms:.2f}ms evaluated={self.evaluated_elements}"
+            f"/{self.active_elements}"
+        )

@@ -1,0 +1,286 @@
+"""Per-topic ranked lists and their maintenance over the stream (Algorithm 1).
+
+For every topic ``θ_i`` the index keeps a list of tuples ``⟨δ_i(e), t_e⟩`` for
+the active elements with ``p_i(e) > 0``, sorted in descending order of the
+topic-wise representativeness score ``δ_i(e) = f_i({e})``.  The stream
+processor drives three kinds of updates:
+
+* **insert** — a new element arrives; its tuples are inserted into the lists
+  of its topics with ``δ_i(e) = λ·R_i(e)`` (no followers observed yet).
+* **refresh** — an active element gains a follower; its influence component
+  changed, so its tuples are re-scored and repositioned.
+* **expire** — an element left the active set; its tuples are removed.
+
+Query algorithms traverse the lists in descending score order through
+:class:`RankedListTraversal`, which merges the per-topic cursors (weighted by
+the query vector) and implements the paper's rule that once an element has
+been retrieved from one list its tuples in the other lists are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.scoring import ElementProfile, ScoringConfig
+from repro.utils.sorted_list import DescendingSortedList
+from repro.utils.timing import TimingStats
+
+
+class RankedListIndex:
+    """The collection of per-topic ranked lists ``RL_1, ..., RL_z``."""
+
+    def __init__(self, num_topics: int, config: ScoringConfig) -> None:
+        if num_topics <= 0:
+            raise ValueError("num_topics must be positive")
+        self._num_topics = int(num_topics)
+        self._config = config
+        self._lists: List[DescendingSortedList] = [
+            DescendingSortedList() for _ in range(self._num_topics)
+        ]
+        # element id -> last-activity timestamp t_e (shared across its lists).
+        self._last_activity: Dict[int, int] = {}
+        self._update_timer = TimingStats(name="ranked-list-update")
+
+    # -- metadata ----------------------------------------------------------------
+
+    @property
+    def num_topics(self) -> int:
+        """Number of ranked lists (= number of topics ``z``)."""
+        return self._num_topics
+
+    @property
+    def config(self) -> ScoringConfig:
+        """The scoring configuration used to compute ``δ_i(e)``."""
+        return self._config
+
+    @property
+    def update_timer(self) -> TimingStats:
+        """Accumulated per-element maintenance times (Figure 14)."""
+        return self._update_timer
+
+    def list_size(self, topic: int) -> int:
+        """Number of tuples currently on topic ``topic``'s list."""
+        return len(self._lists[topic])
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across every list."""
+        return sum(len(lst) for lst in self._lists)
+
+    def __contains__(self, element_id: int) -> bool:
+        return element_id in self._last_activity
+
+    def score(self, topic: int, element_id: int) -> float:
+        """``δ_i(e)`` as currently stored (KeyError when absent)."""
+        return self._lists[topic].score(element_id)
+
+    def scores_of(self, element_id: int) -> Dict[int, float]:
+        """All stored topic-wise scores of an element."""
+        scores: Dict[int, float] = {}
+        for topic, ranked in enumerate(self._lists):
+            value = ranked.get(element_id)
+            if value is not None:
+                scores[topic] = value
+        return scores
+
+    def last_activity(self, element_id: int) -> int:
+        """``t_e``: the element's last post/reference time (KeyError when absent)."""
+        return self._last_activity[element_id]
+
+    def items(self, topic: int) -> List[Tuple[int, float]]:
+        """The ``(element_id, δ_i(e))`` tuples of one list, best first."""
+        return self._lists[topic].items()
+
+    # -- scoring helper -------------------------------------------------------------
+
+    def _singleton_topic_score(
+        self,
+        profile: ElementProfile,
+        topic: int,
+        follower_probabilities: Sequence[float],
+    ) -> float:
+        probability = profile.topic_probability(topic)
+        semantic = profile.semantic_score(topic)
+        influence = probability * float(sum(follower_probabilities))
+        return (
+            self._config.lambda_weight * semantic
+            + self._config.influence_weight * influence
+        )
+
+    def _rescore(
+        self,
+        profile: ElementProfile,
+        followers: Mapping[int, ElementProfile],
+    ) -> Dict[int, float]:
+        """Compute ``δ_i(e)`` for every topic of the element."""
+        scores: Dict[int, float] = {}
+        for topic in profile.topics:
+            follower_probabilities = [
+                follower.topic_probability(topic) for follower in followers.values()
+            ]
+            scores[topic] = self._singleton_topic_score(
+                profile, topic, follower_probabilities
+            )
+        return scores
+
+    # -- maintenance ---------------------------------------------------------------------
+
+    def insert(self, profile: ElementProfile, activity_time: Optional[int] = None) -> None:
+        """Insert a new element's tuples (no followers observed yet)."""
+        with self._update_timer.measure():
+            time = profile.timestamp if activity_time is None else activity_time
+            self._last_activity[profile.element_id] = time
+            for topic in profile.topics:
+                score = self._config.lambda_weight * profile.semantic_score(topic)
+                self._lists[topic].insert(profile.element_id, score)
+
+    def refresh(
+        self,
+        profile: ElementProfile,
+        followers: Mapping[int, ElementProfile],
+        activity_time: int,
+    ) -> None:
+        """Re-score an element after its in-window follower set changed."""
+        with self._update_timer.measure():
+            self._last_activity[profile.element_id] = max(
+                self._last_activity.get(profile.element_id, profile.timestamp),
+                activity_time,
+            )
+            for topic, score in self._rescore(profile, followers).items():
+                self._lists[topic].update(profile.element_id, score)
+
+    def remove(self, element_id: int) -> None:
+        """Remove every tuple of an expired element."""
+        with self._update_timer.measure():
+            self._last_activity.pop(element_id, None)
+            for ranked in self._lists:
+                ranked.discard(element_id)
+
+    def clear(self) -> None:
+        """Drop every tuple (used when rebuilding the index)."""
+        for ranked in self._lists:
+            ranked.clear()
+        self._last_activity.clear()
+
+    # -- traversal ----------------------------------------------------------------------------
+
+    def traversal(self, query_vector: np.ndarray) -> "RankedListTraversal":
+        """A fresh descending traversal for the given query vector."""
+        return RankedListTraversal(self, query_vector)
+
+    def validate(self) -> bool:
+        """Check the sorted-list invariants of every list (used by tests)."""
+        return all(ranked.validate() for ranked in self._lists)
+
+
+class RankedListTraversal:
+    """Merged descending traversal of the ranked lists for one query.
+
+    Exposes the two operations of Section 4.1 — ``first``/``next`` per list —
+    through a combined interface:
+
+    * :meth:`upper_bound` — ``UB(x) = Σ_i x_i · δ_i(e^(i))`` where ``e^(i)``
+      is the current unvisited front of list ``i`` (0 contribution for
+      exhausted lists);
+    * :meth:`pop` — retrieve the element maximising ``x_i · δ_i(e^(i))``,
+      mark it visited in every list, advance that list's cursor and return
+      ``(element_id, δ(e, x))`` where ``δ(e, x)`` is assembled from the
+      stored topic-wise scores.
+    """
+
+    def __init__(self, index: RankedListIndex, query_vector: np.ndarray) -> None:
+        vector = np.asarray(query_vector, dtype=float)
+        if vector.shape != (index.num_topics,):
+            raise ValueError(
+                f"query vector has shape {vector.shape}, expected ({index.num_topics},)"
+            )
+        self._index = index
+        self._vector = vector
+        self._topics: List[int] = [
+            topic for topic, weight in enumerate(vector) if weight > 0.0
+        ]
+        self._cursors: Dict[int, int] = {topic: 0 for topic in self._topics}
+        self._visited: Set[int] = set()
+        self._retrieved = 0
+
+    @property
+    def retrieved_count(self) -> int:
+        """Number of elements retrieved (popped) so far."""
+        return self._retrieved
+
+    @property
+    def visited(self) -> Set[int]:
+        """The ids retrieved so far (shared-visited rule of Section 4.1)."""
+        return set(self._visited)
+
+    # -- cursor helpers ---------------------------------------------------------------
+
+    def _front(self, topic: int) -> Optional[Tuple[int, float]]:
+        """The current unvisited ``(element_id, δ_i)`` of one list."""
+        ranked = self._index._lists[topic]
+        cursor = self._cursors[topic]
+        size = len(ranked)
+        while cursor < size:
+            element_id, score = ranked.at(cursor)
+            if element_id not in self._visited:
+                self._cursors[topic] = cursor
+                return element_id, score
+            cursor += 1
+        self._cursors[topic] = cursor
+        return None
+
+    def upper_bound(self) -> float:
+        """``UB(x)``: an upper bound on ``δ(e, x)`` of any unretrieved element."""
+        total = 0.0
+        for topic in self._topics:
+            front = self._front(topic)
+            if front is not None:
+                total += float(self._vector[topic]) * front[1]
+        return total
+
+    def exhausted(self) -> bool:
+        """Whether every list has been fully traversed."""
+        return all(self._front(topic) is None for topic in self._topics)
+
+    def pop(self) -> Optional[Tuple[int, float]]:
+        """Retrieve the next element in descending ``x_i · δ_i`` order.
+
+        Returns ``(element_id, δ(e, x))`` or ``None`` when every list is
+        exhausted.
+        """
+        best_topic: Optional[int] = None
+        best_value = -1.0
+        best_element: Optional[int] = None
+        for topic in self._topics:
+            front = self._front(topic)
+            if front is None:
+                continue
+            value = float(self._vector[topic]) * front[1]
+            if value > best_value:
+                best_value = value
+                best_topic = topic
+                best_element = front[0]
+        if best_topic is None or best_element is None:
+            return None
+
+        self._visited.add(best_element)
+        self._cursors[best_topic] += 1
+        self._retrieved += 1
+        return best_element, self.stored_score(best_element)
+
+    def stored_score(self, element_id: int) -> float:
+        """``δ(e, x)`` assembled from the stored topic-wise scores."""
+        total = 0.0
+        for topic in self._topics:
+            score = self._index._lists[topic].get(element_id)
+            if score is not None:
+                total += float(self._vector[topic]) * score
+        return total
+
+    def __iter__(self) -> Iterator[Tuple[int, float]]:
+        while True:
+            item = self.pop()
+            if item is None:
+                return
+            yield item

@@ -1,0 +1,532 @@
+"""Representativeness scoring: semantic, influence and combined objectives.
+
+This module implements Section 3.2 of the paper:
+
+* the per-word weights ``σ_i(w, e) = −γ(w, e) · p_i(w, e) · log p_i(w, e)``
+  with ``p_i(w, e) = p_i(w) · p_i(e)``,
+* the topic-specific semantic score ``R_i(S)`` (weighted word coverage,
+  Eq. 3),
+* the topic-specific time-critical influence score ``I_{i,t}(S)``
+  (probabilistic coverage over in-window followers, Eq. 4),
+* the combined scores ``f_i(S) = λ·R_i(S) + (1 − λ)/η·I_{i,t}(S)`` and
+  ``f(S, x) = Σ_i x_i · f_i(S)`` (Eq. 1–2).
+
+Because every query algorithm is built on marginal gains, the objective
+exposes an :class:`ObjectiveState` carrying the word-coverage and
+influence-coverage bookkeeping needed to compute
+``Δ(e | S) = f(S ∪ {e}, x) − f(S, x)`` in time proportional to the element's
+own words and followers (``O(l·d)`` in the paper's analysis) instead of
+re-evaluating the whole set.  Naive from-scratch evaluators are kept
+alongside for tests and for the effectiveness metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.element import SocialElement
+from repro.topics.model import TopicModel
+from repro.utils.validation import require_in_range, require_positive, require_probability
+
+
+@dataclass(frozen=True)
+class ScoringConfig:
+    """Parameters of the representativeness objective.
+
+    Parameters
+    ----------
+    lambda_weight:
+        The trade-off ``λ ∈ [0, 1]`` between semantic and influence scores.
+        ``λ = 1`` is pure weighted word coverage; ``λ = 0`` is pure
+        probabilistic influence coverage.
+    eta:
+        The scale factor ``η > 0`` bringing the influence score to the same
+        range as the semantic score (the paper uses 20 for AMiner/Reddit and
+        200 for Twitter).
+    topic_threshold:
+        Topic probabilities ``p_i(e)`` at or below this value are treated as
+        zero, i.e. the element does not appear on that topic's ranked list.
+    """
+
+    lambda_weight: float = 0.5
+    eta: float = 20.0
+    topic_threshold: float = 1e-4
+
+    def __post_init__(self) -> None:
+        require_probability(self.lambda_weight, "lambda_weight")
+        require_positive(self.eta, "eta")
+        require_in_range(self.topic_threshold, "topic_threshold", 0.0, 1.0, high_inclusive=False)
+
+    @property
+    def influence_weight(self) -> float:
+        """The coefficient ``(1 − λ) / η`` applied to influence scores."""
+        return (1.0 - self.lambda_weight) / self.eta
+
+
+def word_weight(frequency: int, joint_probability: float) -> float:
+    """``σ_i(w, e)`` given ``γ(w, e)`` and ``p_i(w, e)``.
+
+    By convention the weight is zero when the joint probability is zero
+    (the ``p·log p`` limit).
+    """
+    if joint_probability <= 0.0:
+        return 0.0
+    return -float(frequency) * joint_probability * math.log(joint_probability)
+
+
+@dataclass(frozen=True)
+class ElementProfile:
+    """Precomputed per-element scoring data.
+
+    Built once when the element enters the active window; every query reuses
+    it.  All maps are keyed by topic index and (for word weights) vocabulary
+    word id.
+
+    Attributes
+    ----------
+    element_id:
+        The profiled element's id.
+    timestamp:
+        The element's posting time.
+    topic_probabilities:
+        Sparse map ``topic → p_i(e)`` for topics above the threshold.
+    word_weights:
+        ``topic → {word_id → σ_i(w, e)}`` for the same topics.
+    semantic_scores:
+        ``topic → R_i(e)`` (the sum of the word weights).
+    references:
+        The ids the element refers to (copied from the element for locality).
+    """
+
+    element_id: int
+    timestamp: int
+    topic_probabilities: Dict[int, float]
+    word_weights: Dict[int, Dict[int, float]]
+    semantic_scores: Dict[int, float]
+    references: Tuple[int, ...]
+
+    @property
+    def topics(self) -> Tuple[int, ...]:
+        """Topics on which the element has non-zero probability."""
+        return tuple(self.topic_probabilities.keys())
+
+    def topic_probability(self, topic: int) -> float:
+        """``p_i(e)`` (0.0 for topics below the threshold)."""
+        return self.topic_probabilities.get(topic, 0.0)
+
+    def semantic_score(self, topic: int) -> float:
+        """``R_i(e)`` (0.0 for topics below the threshold)."""
+        return self.semantic_scores.get(topic, 0.0)
+
+
+class ProfileBuilder:
+    """Builds :class:`ElementProfile` objects against a topic model."""
+
+    def __init__(self, topic_model: TopicModel, config: ScoringConfig) -> None:
+        self._model = topic_model
+        self._config = config
+
+    @property
+    def config(self) -> ScoringConfig:
+        """The scoring configuration used for profiling."""
+        return self._config
+
+    @property
+    def topic_model(self) -> TopicModel:
+        """The topic model oracle."""
+        return self._model
+
+    def build(self, element: SocialElement) -> ElementProfile:
+        """Profile one element; its topic distribution must be present."""
+        distribution = element.topic_distribution
+        if distribution is None:
+            raise ValueError(
+                f"element {element.element_id!r} has no topic distribution; "
+                "run topic inference before profiling"
+            )
+        distribution = np.asarray(distribution, dtype=float)
+        if distribution.shape != (self._model.num_topics,):
+            raise ValueError(
+                f"element {element.element_id!r} topic distribution has shape "
+                f"{distribution.shape}, expected ({self._model.num_topics},)"
+            )
+
+        vocabulary = self._model.vocabulary
+        matrix = self._model.topic_word_matrix
+        frequencies = element.word_frequencies
+        word_ids = {
+            word: vocabulary.get_id(word)
+            for word in frequencies
+            if vocabulary.get_id(word) is not None
+        }
+
+        topic_probabilities: Dict[int, float] = {}
+        word_weights: Dict[int, Dict[int, float]] = {}
+        semantic_scores: Dict[int, float] = {}
+        threshold = self._config.topic_threshold
+        for topic in range(self._model.num_topics):
+            probability = float(distribution[topic])
+            if probability <= threshold:
+                continue
+            topic_probabilities[topic] = probability
+            weights: Dict[int, float] = {}
+            total = 0.0
+            for word, word_id in word_ids.items():
+                joint = float(matrix[topic, word_id]) * probability
+                weight = word_weight(frequencies[word], joint)
+                if weight > 0.0:
+                    weights[word_id] = weight
+                    total += weight
+            word_weights[topic] = weights
+            semantic_scores[topic] = total
+
+        return ElementProfile(
+            element_id=element.element_id,
+            timestamp=element.timestamp,
+            topic_probabilities=topic_probabilities,
+            word_weights=word_weights,
+            semantic_scores=semantic_scores,
+            references=element.references,
+        )
+
+
+class ScoringContext:
+    """A frozen snapshot of the active window used to answer one query.
+
+    Holds the element profiles and the in-window follower view at query time
+    ``t``; the objective (and the naive evaluators used in tests) read
+    everything from here so queries never mutate the live window.
+    """
+
+    def __init__(
+        self,
+        profiles: Mapping[int, ElementProfile],
+        followers: Mapping[int, Sequence[int]],
+        config: ScoringConfig,
+        time: Optional[int] = None,
+    ) -> None:
+        self._profiles = dict(profiles)
+        self._followers = {key: tuple(value) for key, value in followers.items()}
+        self._config = config
+        self._time = time
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def config(self) -> ScoringConfig:
+        """The scoring configuration."""
+        return self._config
+
+    @property
+    def time(self) -> Optional[int]:
+        """The query time ``t`` this snapshot corresponds to."""
+        return self._time
+
+    @property
+    def active_ids(self) -> Tuple[int, ...]:
+        """Ids of every active element in the snapshot."""
+        return tuple(self._profiles.keys())
+
+    @property
+    def active_count(self) -> int:
+        """``n_t``, the number of active elements."""
+        return len(self._profiles)
+
+    def __contains__(self, element_id: int) -> bool:
+        return element_id in self._profiles
+
+    def profile(self, element_id: int) -> ElementProfile:
+        """The profile of an active element (KeyError when inactive)."""
+        return self._profiles[element_id]
+
+    def followers_of(self, element_id: int) -> Tuple[int, ...]:
+        """``I_t(e)``: in-window followers of the element."""
+        return self._followers.get(element_id, ())
+
+    def influence_probability(self, topic: int, source_id: int, follower_id: int) -> float:
+        """``p_i(e' ⇝ e) = p_i(e') · p_i(e)`` for an observed reference."""
+        source = self._profiles.get(source_id)
+        follower = self._profiles.get(follower_id)
+        if source is None or follower is None:
+            return 0.0
+        return source.topic_probability(topic) * follower.topic_probability(topic)
+
+    # -- singleton scores -----------------------------------------------------------
+
+    def singleton_topic_score(self, element_id: int, topic: int) -> float:
+        """``δ_i(e) = f_i({e})``: the element's score on one topic."""
+        profile = self._profiles[element_id]
+        semantic = profile.semantic_score(topic)
+        influence = 0.0
+        probability = profile.topic_probability(topic)
+        if probability > 0.0:
+            for follower_id in self.followers_of(element_id):
+                follower = self._profiles.get(follower_id)
+                if follower is None:
+                    continue
+                influence += probability * follower.topic_probability(topic)
+        return (
+            self._config.lambda_weight * semantic
+            + self._config.influence_weight * influence
+        )
+
+    def singleton_score(self, element_id: int, query_vector: np.ndarray) -> float:
+        """``δ(e, x) = f({e}, x)``."""
+        profile = self._profiles[element_id]
+        total = 0.0
+        for topic in profile.topics:
+            weight = float(query_vector[topic])
+            if weight > 0.0:
+                total += weight * self.singleton_topic_score(element_id, topic)
+        return total
+
+    # -- naive set evaluators (reference implementations) ------------------------------
+
+    def semantic_score(self, element_ids: Iterable[int], topic: int) -> float:
+        """``R_i(S)`` computed directly from Eq. 3."""
+        best: Dict[int, float] = {}
+        for element_id in element_ids:
+            profile = self._profiles[element_id]
+            for word_id, weight in profile.word_weights.get(topic, {}).items():
+                if weight > best.get(word_id, 0.0):
+                    best[word_id] = weight
+        return float(sum(best.values()))
+
+    def influence_score(self, element_ids: Iterable[int], topic: int) -> float:
+        """``I_{i,t}(S)`` computed directly from Eq. 4."""
+        members = [eid for eid in element_ids if eid in self._profiles]
+        member_set = set(members)
+        influenced: Dict[int, float] = {}
+        for source_id in members:
+            source = self._profiles[source_id]
+            probability = source.topic_probability(topic)
+            for follower_id in self.followers_of(source_id):
+                follower = self._profiles.get(follower_id)
+                if follower is None:
+                    continue
+                edge = probability * follower.topic_probability(topic)
+                remaining = influenced.get(follower_id, 1.0)
+                influenced[follower_id] = remaining * (1.0 - edge)
+        del member_set
+        return float(sum(1.0 - remaining for remaining in influenced.values()))
+
+    def topic_score(self, element_ids: Iterable[int], topic: int) -> float:
+        """``f_i(S)`` computed from the naive evaluators."""
+        ids = list(element_ids)
+        return (
+            self._config.lambda_weight * self.semantic_score(ids, topic)
+            + self._config.influence_weight * self.influence_score(ids, topic)
+        )
+
+    def score(self, element_ids: Iterable[int], query_vector: np.ndarray) -> float:
+        """``f(S, x)`` computed from the naive evaluators."""
+        ids = list(element_ids)
+        total = 0.0
+        for topic, weight in enumerate(np.asarray(query_vector, dtype=float)):
+            if weight > 0.0:
+                total += float(weight) * self.topic_score(ids, topic)
+        return total
+
+
+@dataclass
+class ObjectiveState:
+    """Mutable bookkeeping for incremental marginal-gain evaluation.
+
+    Attributes
+    ----------
+    selected:
+        The element ids added so far, in insertion order.
+    value:
+        The current objective value ``f(S, x)``.
+    covered_words:
+        Per query-topic map ``word_id → max σ`` over the selected elements.
+    remaining_influence:
+        Per query-topic map ``follower_id → Π (1 − p_i(e' ⇝ follower))`` over
+        selected sources ``e'``; followers never touched are implicitly 1.0.
+    """
+
+    selected: List[int] = field(default_factory=list)
+    value: float = 0.0
+    covered_words: Dict[int, Dict[int, float]] = field(default_factory=dict)
+    remaining_influence: Dict[int, Dict[int, float]] = field(default_factory=dict)
+
+    def copy(self) -> "ObjectiveState":
+        """A deep copy (states are tiny compared to the window)."""
+        return ObjectiveState(
+            selected=list(self.selected),
+            value=self.value,
+            covered_words={topic: dict(words) for topic, words in self.covered_words.items()},
+            remaining_influence={
+                topic: dict(remaining)
+                for topic, remaining in self.remaining_influence.items()
+            },
+        )
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+    def __contains__(self, element_id: int) -> bool:
+        return element_id in self.selected
+
+
+class KSIRObjective:
+    """The monotone submodular k-SIR objective ``f(·, x)`` for one query.
+
+    The objective is bound to a :class:`ScoringContext` snapshot and a query
+    vector; it exposes singleton scores, incremental marginal gains and the
+    exact set value.  Evaluations of distinct elements are counted so the
+    experiment harness can reproduce Figure 10 (ratio of evaluated elements).
+    """
+
+    def __init__(self, context: ScoringContext, query_vector: np.ndarray) -> None:
+        vector = np.asarray(query_vector, dtype=float)
+        if vector.ndim != 1:
+            raise ValueError("query_vector must be one-dimensional")
+        if np.any(vector < 0):
+            raise ValueError("query_vector entries must be non-negative")
+        self._context = context
+        self._vector = vector
+        self._query_topics: Tuple[Tuple[int, float], ...] = tuple(
+            (topic, float(weight)) for topic, weight in enumerate(vector) if weight > 0.0
+        )
+        self._evaluated: set = set()
+        self._evaluation_calls = 0
+
+    # -- metadata --------------------------------------------------------------------
+
+    @property
+    def context(self) -> ScoringContext:
+        """The bound scoring snapshot."""
+        return self._context
+
+    @property
+    def query_vector(self) -> np.ndarray:
+        """The query vector ``x``."""
+        return self._vector
+
+    @property
+    def query_topics(self) -> Tuple[Tuple[int, float], ...]:
+        """The non-zero ``(topic, weight)`` entries of the query vector."""
+        return self._query_topics
+
+    @property
+    def evaluated_elements(self) -> int:
+        """Number of *distinct* elements whose score has been evaluated."""
+        return len(self._evaluated)
+
+    @property
+    def evaluation_calls(self) -> int:
+        """Total number of marginal-gain / singleton evaluations."""
+        return self._evaluation_calls
+
+    # -- evaluations --------------------------------------------------------------------
+
+    def singleton_score(self, element_id: int) -> float:
+        """``δ(e, x) = f({e}, x)``."""
+        self._note_evaluation(element_id)
+        profile = self._context.profile(element_id)
+        config = self._context.config
+        total = 0.0
+        for topic, weight in self._query_topics:
+            probability = profile.topic_probability(topic)
+            if probability <= 0.0:
+                continue
+            semantic = profile.semantic_score(topic)
+            influence = 0.0
+            for follower_id in self._context.followers_of(element_id):
+                try:
+                    follower = self._context.profile(follower_id)
+                except KeyError:
+                    continue
+                influence += probability * follower.topic_probability(topic)
+            total += weight * (
+                config.lambda_weight * semantic + config.influence_weight * influence
+            )
+        return total
+
+    def new_state(self) -> ObjectiveState:
+        """An empty selection state."""
+        return ObjectiveState()
+
+    def marginal_gain(self, element_id: int, state: ObjectiveState) -> float:
+        """``Δ(e | S) = f(S ∪ {e}, x) − f(S, x)`` without mutating ``state``."""
+        return self._gain(element_id, state, commit=False)
+
+    def add(self, element_id: int, state: ObjectiveState) -> float:
+        """Add the element to the state and return its marginal gain."""
+        gain = self._gain(element_id, state, commit=True)
+        state.selected.append(element_id)
+        state.value += gain
+        return gain
+
+    def value(self, element_ids: Iterable[int]) -> float:
+        """``f(S, x)`` evaluated from scratch (used for final scores)."""
+        state = self.new_state()
+        for element_id in element_ids:
+            if element_id in state.selected:
+                continue
+            self.add(element_id, state)
+        return state.value
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _gain(self, element_id: int, state: ObjectiveState, commit: bool) -> float:
+        self._note_evaluation(element_id)
+        profile = self._context.profile(element_id)
+        config = self._context.config
+        followers = self._context.followers_of(element_id)
+        total = 0.0
+        for topic, weight in self._query_topics:
+            probability = profile.topic_probability(topic)
+            if probability <= 0.0:
+                continue
+
+            covered = state.covered_words.get(topic)
+            semantic_gain = 0.0
+            topic_weights = profile.word_weights.get(topic, {})
+            if covered is None:
+                semantic_gain = profile.semantic_score(topic)
+                if commit and topic_weights:
+                    state.covered_words[topic] = dict(topic_weights)
+            else:
+                for word_id, sigma in topic_weights.items():
+                    previous = covered.get(word_id, 0.0)
+                    if sigma > previous:
+                        semantic_gain += sigma - previous
+                        if commit:
+                            covered[word_id] = sigma
+
+            influence_gain = 0.0
+            if followers:
+                remaining_map = state.remaining_influence.get(topic)
+                for follower_id in followers:
+                    try:
+                        follower = self._context.profile(follower_id)
+                    except KeyError:
+                        continue
+                    edge = probability * follower.topic_probability(topic)
+                    if edge <= 0.0:
+                        continue
+                    remaining = 1.0
+                    if remaining_map is not None:
+                        remaining = remaining_map.get(follower_id, 1.0)
+                    influence_gain += edge * remaining
+                    if commit:
+                        if remaining_map is None:
+                            remaining_map = {}
+                            state.remaining_influence[topic] = remaining_map
+                        remaining_map[follower_id] = remaining * (1.0 - edge)
+
+            total += weight * (
+                config.lambda_weight * semantic_gain
+                + config.influence_weight * influence_gain
+            )
+        return total
+
+    def _note_evaluation(self, element_id: int) -> None:
+        self._evaluated.add(element_id)
+        self._evaluation_calls += 1

@@ -1,0 +1,260 @@
+"""The time-based sliding window and the active element set ``A_t``.
+
+Section 3.1: given window length ``T``, the window ``W_t`` holds elements with
+``ts ∈ [t − T + 1, t]`` and the *active set* ``A_t`` additionally keeps every
+element referred to by some window element.  The influence score only counts
+references observed inside the window, so the window also maintains, for each
+active element, the set of its *followers in the window*
+(``I_t(e') = {e ∈ W_t : e' ∈ e.ref}``).
+
+Eviction follows Algorithm 1: an element stays active as long as its last
+activity (its own post time, or the latest time it was referenced) is within
+the window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.element import SocialElement
+
+
+class ActiveWindow:
+    """Maintains ``W_t``, ``A_t`` and the in-window follower sets.
+
+    The window is advanced by inserting buckets of elements with
+    :meth:`insert` and then calling :meth:`advance_to` with the new time,
+    which expires stale window members and inactive referenced elements.
+    """
+
+    def __init__(self, window_length: int, archive_windows: int = 8) -> None:
+        if window_length <= 0:
+            raise ValueError("window_length must be positive")
+        if archive_windows < 1:
+            raise ValueError("archive_windows must be at least 1")
+        self._window_length = int(window_length)
+        self._archive_horizon = int(archive_windows) * self._window_length
+        self._current_time: Optional[int] = None
+        # Every active element (window members and referenced precedents).
+        self._elements: Dict[int, SocialElement] = {}
+        # Last time the element was posted or referenced (t_e in Algorithm 1).
+        self._last_activity: Dict[int, int] = {}
+        # Followers *inside the window* for each active element.
+        self._followers: Dict[int, Set[int]] = {}
+        # Window membership, needed to retire follower edges on expiry.
+        self._window_members: Dict[int, SocialElement] = {}
+        # Recently seen elements kept so a reference can re-activate an
+        # already-expired precedent (A_t is defined over W_t's references,
+        # regardless of when the referenced element was posted).  The archive
+        # plays the role of the platform's backing store and is bounded to
+        # the last ``archive_windows`` windows of stream time.
+        self._archive: Dict[int, SocialElement] = {}
+        # Still-active elements whose in-window follower set shrank during the
+        # latest advance; their influence scores are stale until re-scored.
+        self._touched_by_expiry: Set[int] = set()
+
+    # -- configuration ----------------------------------------------------------
+
+    @property
+    def window_length(self) -> int:
+        """The window length ``T``."""
+        return self._window_length
+
+    @property
+    def current_time(self) -> Optional[int]:
+        """The time of the last :meth:`advance_to` call (None before any)."""
+        return self._current_time
+
+    @property
+    def window_start(self) -> Optional[int]:
+        """The earliest in-window timestamp, ``t − T + 1``."""
+        if self._current_time is None:
+            return None
+        return self._current_time - self._window_length + 1
+
+    # -- updates -----------------------------------------------------------------
+
+    def insert(self, element: SocialElement) -> Tuple[int, ...]:
+        """Insert a newly arrived element into the window.
+
+        Returns the ids of the referenced elements that are active after the
+        insertion (their influence scores changed, so their ranked-list
+        tuples need to be refreshed — the caller forwards them to the
+        ranked-list index).  A referenced element that had already expired is
+        re-activated from the archive, because ``A_t`` contains every element
+        referred to by a window member regardless of its own age.
+        """
+        element_id = element.element_id
+        self._elements[element_id] = element
+        self._window_members[element_id] = element
+        self._archive[element_id] = element
+        self._last_activity[element_id] = max(
+            element.timestamp, self._last_activity.get(element_id, element.timestamp)
+        )
+        self._followers.setdefault(element_id, set())
+
+        touched: List[int] = []
+        for parent_id in element.references:
+            parent = self._elements.get(parent_id)
+            if parent is None:
+                parent = self._archive.get(parent_id)
+                if parent is None:
+                    # The parent was never observed (posted before the replay
+                    # started or already dropped from the archive); dangling
+                    # references are ignored, as a deployment would.
+                    continue
+                # Re-activate the expired precedent.
+                self._elements[parent_id] = parent
+                self._followers.setdefault(parent_id, set())
+            self._followers.setdefault(parent_id, set()).add(element_id)
+            self._last_activity[parent_id] = max(
+                self._last_activity.get(parent_id, parent.timestamp), element.timestamp
+            )
+            touched.append(parent_id)
+        return tuple(touched)
+
+    def insert_bucket(self, elements: Iterable[SocialElement]) -> Dict[int, Tuple[int, ...]]:
+        """Insert a bucket; returns ``{element_id: touched_parent_ids}``."""
+        return {element.element_id: self.insert(element) for element in elements}
+
+    def advance_to(self, time: int) -> Tuple[int, ...]:
+        """Advance the window to time ``time`` and expire stale elements.
+
+        Returns the ids of elements removed from the active set (the caller
+        removes their ranked-list tuples).
+        """
+        if self._current_time is not None and time < self._current_time:
+            raise ValueError(
+                f"cannot move the window backwards (from {self._current_time} to {time})"
+            )
+        self._current_time = int(time)
+        window_start = self.window_start
+        assert window_start is not None
+
+        # 1. Window members posted before the window start leave W_t; their
+        #    follower edges disappear with them and the affected parents are
+        #    remembered so the caller can refresh their ranked-list scores.
+        expired_members = [
+            element_id
+            for element_id, element in self._window_members.items()
+            if element.timestamp < window_start
+        ]
+        for element_id in expired_members:
+            element = self._window_members.pop(element_id)
+            for parent_id in element.references:
+                followers = self._followers.get(parent_id)
+                if followers is not None and element_id in followers:
+                    followers.discard(element_id)
+                    self._touched_by_expiry.add(parent_id)
+
+        # 2. Elements whose last activity predates the window start are no
+        #    longer active at all.
+        removed = [
+            element_id
+            for element_id, last_activity in self._last_activity.items()
+            if last_activity < window_start
+        ]
+        for element_id in removed:
+            self._elements.pop(element_id, None)
+            self._last_activity.pop(element_id, None)
+            self._followers.pop(element_id, None)
+            self._window_members.pop(element_id, None)
+            self._touched_by_expiry.discard(element_id)
+
+        # 3. Trim the archive so memory stays bounded by the archive horizon.
+        archive_cutoff = self._current_time - self._archive_horizon
+        if archive_cutoff > 0:
+            stale = [
+                element_id
+                for element_id, element in self._archive.items()
+                if element.timestamp < archive_cutoff and element_id not in self._elements
+            ]
+            for element_id in stale:
+                del self._archive[element_id]
+        return tuple(removed)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, element_id: int) -> bool:
+        return element_id in self._elements
+
+    def __iter__(self) -> Iterator[SocialElement]:
+        return iter(self._elements.values())
+
+    def get(self, element_id: int) -> SocialElement:
+        """Return the active element with the given id (KeyError when absent)."""
+        return self._elements[element_id]
+
+    def active_ids(self) -> Tuple[int, ...]:
+        """Ids of every active element (``A_t``)."""
+        return tuple(self._elements.keys())
+
+    def active_elements(self) -> Tuple[SocialElement, ...]:
+        """Every active element (``A_t``)."""
+        return tuple(self._elements.values())
+
+    def window_ids(self) -> Tuple[int, ...]:
+        """Ids of the elements inside the sliding window (``W_t``)."""
+        return tuple(self._window_members.keys())
+
+    def in_window(self, element_id: int) -> bool:
+        """Whether the element is currently a member of ``W_t``."""
+        return element_id in self._window_members
+
+    def take_touched_by_expiry(self) -> Tuple[int, ...]:
+        """Active elements whose follower set shrank since the last call.
+
+        Their stored topic-wise scores are stale (they still include expired
+        followers); the stream processor re-scores them after every window
+        advance so the ranked lists always equal ``f_i({e})`` at query time
+        (this is what makes Figure 5's tuple values exact).  The set is
+        cleared by the call.
+        """
+        touched = tuple(eid for eid in self._touched_by_expiry if eid in self._elements)
+        self._touched_by_expiry.clear()
+        return touched
+
+    def followers_of(self, element_id: int) -> Tuple[int, ...]:
+        """``I_t(e)``: ids of in-window elements referencing ``element_id``."""
+        return tuple(self._followers.get(element_id, ()))
+
+    def follower_count(self, element_id: int) -> int:
+        """``|I_t(e)|`` without materialising the tuple."""
+        return len(self._followers.get(element_id, ()))
+
+    def last_activity(self, element_id: int) -> int:
+        """Last post/reference time of the element (KeyError when inactive)."""
+        return self._last_activity[element_id]
+
+    @property
+    def active_count(self) -> int:
+        """``n_t = |A_t|``."""
+        return len(self._elements)
+
+    @property
+    def window_count(self) -> int:
+        """``|W_t|``."""
+        return len(self._window_members)
+
+    def validate(self) -> bool:
+        """Check internal invariants (used by property-based tests)."""
+        window_start = self.window_start
+        for element_id, element in self._window_members.items():
+            if element_id not in self._elements:
+                return False
+            if window_start is not None and element.timestamp < window_start:
+                return False
+        for element_id, followers in self._followers.items():
+            if element_id not in self._elements:
+                return False
+            for follower_id in followers:
+                follower = self._window_members.get(follower_id)
+                if follower is None or element_id not in follower.references:
+                    return False
+        for element_id in self._elements:
+            if element_id not in self._last_activity:
+                return False
+        return True

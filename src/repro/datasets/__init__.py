@@ -1,0 +1,24 @@
+"""Datasets: synthetic social-stream generation and (de)serialisation.
+
+The paper evaluates on three proprietary crawls (AMiner, Reddit, Twitter).
+Those corpora are not redistributable, so this package provides a
+generative simulator (:mod:`repro.datasets.synthetic`) whose per-dataset
+profiles (:mod:`repro.datasets.profiles`) match the *shape* statistics the
+paper reports in Table 3 — document length, reference density, topic
+sparsity — which are the properties the k-SIR algorithms actually exploit.
+Streams can be saved and reloaded as JSONL via :mod:`repro.datasets.loaders`.
+"""
+
+from repro.datasets.loaders import load_stream_jsonl, save_stream_jsonl
+from repro.datasets.profiles import DATASET_PROFILES, DatasetProfile, get_profile
+from repro.datasets.synthetic import SyntheticDataset, SyntheticStreamGenerator
+
+__all__ = [
+    "DATASET_PROFILES",
+    "DatasetProfile",
+    "SyntheticDataset",
+    "SyntheticStreamGenerator",
+    "get_profile",
+    "load_stream_jsonl",
+    "save_stream_jsonl",
+]

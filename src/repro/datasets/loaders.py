@@ -1,0 +1,47 @@
+"""Stream (de)serialisation: JSONL round-trips for social streams.
+
+Generated (or externally collected) streams can be persisted so experiments
+reuse exactly the same data across runs.  The format is one JSON object per
+line, matching :meth:`repro.core.element.SocialElement.to_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.core.element import SocialElement
+from repro.core.stream import SocialStream
+
+PathLike = Union[str, Path]
+
+
+def save_stream_jsonl(stream: Union[SocialStream, Iterable[SocialElement]], path: PathLike) -> int:
+    """Write a stream to ``path`` as JSONL; returns the number of elements written."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with destination.open("w", encoding="utf-8") as handle:
+        for element in stream:
+            handle.write(json.dumps(element.to_dict(), separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_stream_jsonl(path: PathLike) -> SocialStream:
+    """Read a JSONL stream written by :func:`save_stream_jsonl`."""
+    source = Path(path)
+    elements = []
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{source}:{line_number}: invalid JSON") from error
+            elements.append(SocialElement.from_dict(payload))
+    return SocialStream(elements)

@@ -1,0 +1,419 @@
+"""Synthetic social-stream generation.
+
+The generator stands in for the paper's proprietary AMiner / Reddit / Twitter
+crawls (see DESIGN.md §4).  It draws a ground-truth topic model, then
+generates a timestamped stream of elements whose documents are sampled from
+sparse per-element topic mixtures and whose references follow a
+recency/popularity/topical-affinity preferential-attachment process.  The
+result reproduces the two properties the paper's pruning relies on:
+
+* **score skew** — a few elements accumulate most references and most
+  high-weight words, so per-topic scores are heavily skewed;
+* **topic sparsity** — each element sits on at most
+  ``profile.max_topics_per_element`` topics.
+
+The ground-truth topic model is returned as the query-time oracle (the paper
+likewise assumes a pre-trained model given as a black box), and each element
+carries its ground-truth topic distribution.  Training LDA/BTM on the
+generated corpus instead is supported through
+:meth:`SyntheticDataset.train_topic_model` for end-to-end runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.element import SocialElement
+from repro.core.query import KSIRQuery
+from repro.core.stream import SocialStream
+from repro.datasets.profiles import DatasetProfile, get_profile
+from repro.topics.inference import TopicInferencer
+from repro.topics.model import MatrixTopicModel, TopicModel
+from repro.topics.vocabulary import Vocabulary
+from repro.utils.rng import SeedLike, make_rng
+
+#: Thematic seed words used to make generated topics human-readable.  Topic
+#: ``i`` is anchored on theme ``i mod len(TOPIC_THEMES)``; examples and the
+#: simulated user study draw their query keywords from these pools.
+TOPIC_THEMES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("soccer", ("soccer", "goal", "league", "champions", "striker", "midfield",
+                "penalty", "transfer", "derby", "keeper", "offside", "fixture")),
+    ("basketball", ("basketball", "playoffs", "dunk", "rebound", "pointguard", "court",
+                    "finals", "assist", "buzzer", "rookie", "franchise", "roster")),
+    ("music", ("music", "album", "concert", "singer", "guitar", "lyrics",
+               "playlist", "band", "tour", "vinyl", "chorus", "remix")),
+    ("movies", ("movie", "film", "director", "trailer", "premiere", "actor",
+                "screenplay", "boxoffice", "sequel", "cinema", "casting", "oscar")),
+    ("politics", ("election", "senate", "policy", "campaign", "ballot", "congress",
+                  "debate", "candidate", "referendum", "coalition", "minister", "parliament")),
+    ("economy", ("market", "inflation", "stocks", "economy", "trade", "interest",
+                 "earnings", "currency", "deficit", "investor", "recession", "tariff")),
+    ("technology", ("software", "startup", "cloud", "hardware", "developer", "silicon",
+                    "gadget", "prototype", "platform", "opensource", "algorithm", "device")),
+    ("ai", ("neural", "learning", "model", "training", "dataset", "inference",
+            "transformer", "robotics", "automation", "benchmark", "embedding", "agent")),
+    ("science", ("research", "experiment", "physics", "particle", "telescope", "laboratory",
+                 "theory", "quantum", "discovery", "journal", "hypothesis", "measurement")),
+    ("health", ("health", "vaccine", "clinic", "nutrition", "therapy", "diagnosis",
+                "hospital", "wellness", "epidemic", "surgery", "immunity", "fitness")),
+    ("climate", ("climate", "carbon", "emissions", "renewable", "wildfire", "drought",
+                 "glacier", "solar", "windfarm", "sustainability", "warming", "ecosystem")),
+    ("travel", ("travel", "flight", "hotel", "beach", "passport", "itinerary",
+                "tourism", "backpacking", "resort", "cruise", "landmark", "airfare")),
+    ("food", ("recipe", "restaurant", "chef", "baking", "cuisine", "flavor",
+              "brunch", "dessert", "ingredient", "barbecue", "vegan", "noodle")),
+    ("gaming", ("gaming", "console", "esports", "multiplayer", "speedrun", "quest",
+                "loot", "arcade", "streamer", "patch", "leaderboard", "expansion")),
+    ("fashion", ("fashion", "runway", "designer", "couture", "streetwear", "fabric",
+                 "collection", "sneakers", "stylist", "vintage", "tailor", "accessory")),
+    ("space", ("rocket", "orbit", "satellite", "astronaut", "launch", "lunar",
+               "mars", "spacecraft", "telemetry", "payload", "booster", "capsule")),
+    ("finance", ("banking", "fintech", "credit", "mortgage", "portfolio", "dividend",
+                 "hedge", "liquidity", "valuation", "audit", "bond", "equity")),
+    ("education", ("education", "university", "tuition", "curriculum", "scholarship", "lecture",
+                   "classroom", "graduate", "semester", "literacy", "tutoring", "campus")),
+    ("cars", ("electric", "sedan", "roadster", "horsepower", "battery", "chassis",
+              "autopilot", "charging", "motorshow", "hybrid", "torque", "dealership")),
+    ("weather", ("storm", "hurricane", "forecast", "blizzard", "rainfall", "heatwave",
+                 "tornado", "humidity", "frost", "monsoon", "barometer", "flooding")),
+    ("crypto", ("bitcoin", "blockchain", "wallet", "mining", "ledger", "token",
+                "exchange", "defi", "halving", "altcoin", "custody", "staking")),
+    ("books", ("novel", "author", "bestseller", "publisher", "paperback", "memoir",
+               "chapter", "bookstore", "anthology", "manuscript", "poetry", "translation")),
+    ("art", ("gallery", "painting", "sculpture", "exhibit", "canvas", "curator",
+             "mural", "portrait", "installation", "sketch", "auction", "ceramics")),
+    ("startups", ("founder", "funding", "venture", "seedround", "pitch", "accelerator",
+                  "unicorn", "burnrate", "scaleup", "cofounder", "runway", "acquisition")),
+)
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated stream bundled with its ground truth.
+
+    Attributes
+    ----------
+    profile:
+        The generating profile.
+    stream:
+        The generated :class:`repro.core.stream.SocialStream`.
+    topic_model:
+        The ground-truth topic model (usable directly as the query oracle).
+    vocabulary:
+        The working vocabulary.
+    topic_names:
+        Human-readable theme name per topic.
+    seed:
+        The master seed the dataset was generated from.
+    """
+
+    profile: DatasetProfile
+    stream: SocialStream
+    topic_model: TopicModel
+    vocabulary: Vocabulary
+    topic_names: Tuple[str, ...]
+    seed: Optional[int] = None
+    _inferencer: Optional[TopicInferencer] = field(default=None, repr=False)
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def inferencer(self) -> TopicInferencer:
+        """A shared topic inferencer bound to the ground-truth model.
+
+        Queries are inferred with a weak prior and a small sparsity
+        threshold, so a handful of topical keywords yields a concentrated
+        query vector (few non-zero entries ``d``), matching the workloads of
+        the paper's efficiency study.
+        """
+        if self._inferencer is None:
+            self._inferencer = TopicInferencer(
+                self.topic_model, alpha=0.05, sparsity_threshold=0.05
+            )
+        return self._inferencer
+
+    def topical_keywords(self, topic: int, count: int = 5) -> List[str]:
+        """The ``count`` most probable words of a topic (query keywords)."""
+        return self.topic_model.top_words(topic, count)
+
+    def make_query(
+        self,
+        k: int,
+        keywords: Optional[Sequence[str]] = None,
+        topic: Optional[int] = None,
+        time: Optional[int] = None,
+    ) -> KSIRQuery:
+        """Build a :class:`KSIRQuery` from keywords or from a topic index.
+
+        Exactly one of ``keywords`` / ``topic`` should be provided; with a
+        topic index the query keywords are the topic's top words (the
+        query-by-keyword transformation of Section 3.2 is applied either
+        way).
+        """
+        if (keywords is None) == (topic is None):
+            raise ValueError("provide exactly one of 'keywords' or 'topic'")
+        if topic is not None:
+            keywords = self.topical_keywords(topic)
+        assert keywords is not None
+        vector = self.inferencer.infer(list(keywords))
+        return KSIRQuery(k=k, vector=vector, time=time, keywords=tuple(keywords))
+
+    # -- statistics (Table 3) ---------------------------------------------------------
+
+    def statistics(self) -> Dict[str, float]:
+        """Dataset statistics in the shape of the paper's Table 3."""
+        elements = self.stream.elements
+        num_elements = len(elements)
+        total_length = sum(len(e.tokens) for e in elements)
+        total_references = sum(len(e.references) for e in elements)
+        distinct_words = set()
+        for element in elements:
+            distinct_words.update(element.tokens)
+        return {
+            "num_elements": float(num_elements),
+            "vocabulary_size": float(len(distinct_words)),
+            "average_length": total_length / num_elements if num_elements else 0.0,
+            "average_references": total_references / num_elements if num_elements else 0.0,
+            "duration": float(self.profile.duration),
+            "num_topics": float(self.profile.num_topics),
+        }
+
+    def reference_counts(self) -> Dict[int, int]:
+        """In-degree (times referenced) of every element over the full stream."""
+        counts: Dict[int, int] = {}
+        for element in self.stream:
+            for parent_id in element.references:
+                counts[parent_id] = counts.get(parent_id, 0) + 1
+        return counts
+
+    # -- optional end-to-end topic training ----------------------------------------------
+
+    def train_topic_model(
+        self,
+        kind: str = "lda",
+        num_topics: Optional[int] = None,
+        iterations: int = 60,
+        seed: Optional[int] = None,
+    ) -> TopicModel:
+        """Train an LDA or BTM model on the generated corpus.
+
+        This exercises the full substrate (the paper trains PLDA / BTM before
+        running queries); the ground-truth model remains available as
+        :attr:`topic_model`.
+        """
+        from repro.topics.btm import BitermTopicModel
+        from repro.topics.lda import LatentDirichletAllocation
+
+        corpus = [list(element.tokens) for element in self.stream]
+        vocabulary = Vocabulary.from_documents(corpus)
+        topics = num_topics or self.profile.num_topics
+        if kind.lower() == "lda":
+            model = LatentDirichletAllocation(
+                vocabulary, topics, iterations=iterations, burn_in=iterations // 3,
+                seed=seed,
+            )
+        elif kind.lower() == "btm":
+            model = BitermTopicModel(
+                vocabulary, topics, iterations=iterations, burn_in=iterations // 3,
+                seed=seed,
+            )
+        else:
+            raise ValueError("kind must be 'lda' or 'btm'")
+        model.fit(corpus)
+        return model
+
+
+class SyntheticStreamGenerator:
+    """Generates :class:`SyntheticDataset` objects from a profile."""
+
+    def __init__(self, profile: DatasetProfile, seed: SeedLike = None) -> None:
+        self.profile = profile
+        self._seed = seed if isinstance(seed, int) else None
+        self._rng = make_rng(seed)
+
+    @classmethod
+    def from_profile(cls, name: str, seed: SeedLike = None) -> "SyntheticStreamGenerator":
+        """Create a generator from a registered profile name."""
+        return cls(get_profile(name), seed=seed)
+
+    # -- vocabulary and ground-truth topics ----------------------------------------------
+
+    def _build_vocabulary(self) -> Tuple[Vocabulary, List[List[int]]]:
+        """The vocabulary plus, per topic, the ids of its thematic seed words."""
+        profile = self.profile
+        words: List[str] = []
+        per_topic_seeds: List[List[int]] = []
+        used = set()
+        for topic in range(profile.num_topics):
+            theme_name, seeds = TOPIC_THEMES[topic % len(TOPIC_THEMES)]
+            round_index = topic // len(TOPIC_THEMES)
+            suffix = "" if round_index == 0 else str(round_index + 1)
+            seed_ids = []
+            for seed_word in seeds:
+                word = seed_word + suffix
+                if word not in used:
+                    used.add(word)
+                    words.append(word)
+                seed_ids.append(words.index(word))
+            per_topic_seeds.append(seed_ids)
+            del theme_name
+        filler_index = 0
+        while len(words) < profile.vocabulary_size:
+            word = f"term{filler_index:05d}"
+            if word not in used:
+                used.add(word)
+                words.append(word)
+            filler_index += 1
+        vocabulary = Vocabulary(words)
+        return vocabulary, per_topic_seeds
+
+    def _build_topic_word_matrix(
+        self, vocabulary: Vocabulary, per_topic_seeds: List[List[int]]
+    ) -> np.ndarray:
+        """Ground-truth ``p_i(w)``: skewed Dirichlet rows anchored on seed words."""
+        profile = self.profile
+        vocab_size = len(vocabulary)
+        matrix = np.zeros((profile.num_topics, vocab_size))
+        for topic in range(profile.num_topics):
+            base = self._rng.dirichlet(np.full(vocab_size, profile.word_concentration))
+            seed_ids = per_topic_seeds[topic]
+            seed_mass = self._rng.dirichlet(np.full(len(seed_ids), 1.0)) if seed_ids else None
+            row = 0.4 * base
+            if seed_mass is not None:
+                for word_id, mass in zip(seed_ids, seed_mass):
+                    row[word_id] += 0.6 * mass
+            matrix[topic] = row / row.sum()
+        return matrix
+
+    # -- element generation -------------------------------------------------------------------
+
+    def _sample_topic_mixture(self) -> np.ndarray:
+        """A sparse per-element topic mixture (≤ max_topics_per_element topics)."""
+        profile = self.profile
+        z = profile.num_topics
+        max_topics = min(profile.max_topics_per_element, z)
+        num_active = 1 if max_topics == 1 else int(self._rng.integers(1, max_topics + 1))
+        topics = self._rng.choice(z, size=num_active, replace=False)
+        weights = self._rng.dirichlet(np.full(num_active, max(profile.topic_concentration, 1e-3) * 10))
+        mixture = np.zeros(z)
+        mixture[topics] = weights
+        return mixture
+
+    def _sample_document(
+        self, mixture: np.ndarray, topic_word: np.ndarray, vocabulary: Vocabulary
+    ) -> List[str]:
+        profile = self.profile
+        length = max(2, int(self._rng.poisson(profile.mean_document_length)))
+        topics = self._rng.choice(len(mixture), size=length, p=mixture)
+        # Draw all words of the same topic in one vectorised call; word order
+        # does not matter for a bag-of-words document.
+        tokens: List[str] = []
+        unique_topics, counts = np.unique(topics, return_counts=True)
+        for topic, count in zip(unique_topics, counts):
+            word_ids = self._rng.choice(
+                topic_word.shape[1], size=int(count), p=topic_word[int(topic)]
+            )
+            tokens.extend(vocabulary.word_of(int(word_id)) for word_id in word_ids)
+        return tokens
+
+    def _sample_references(
+        self,
+        timestamp: int,
+        mixture: np.ndarray,
+        recent: "deque[int]",
+        timestamps: List[int],
+        mixtures: List[np.ndarray],
+        indegrees: Dict[int, int],
+    ) -> List[int]:
+        profile = self.profile
+        count = int(self._rng.poisson(profile.mean_references))
+        if count == 0 or not recent:
+            return []
+        candidates = list(recent)
+        ages = np.array([timestamp - timestamps[i] for i in candidates], dtype=float)
+        recency = np.exp(-profile.reference_recency * ages / profile.reference_horizon)
+        popularity = np.array(
+            [(1.0 + indegrees.get(i, 0)) ** profile.reference_popularity for i in candidates]
+        )
+        similarity = np.array([float(np.dot(mixture, mixtures[i])) for i in candidates])
+        bias = profile.topical_reference_bias
+        weights = recency * popularity * (bias * similarity + (1.0 - bias))
+        total = weights.sum()
+        if total <= 0:
+            return []
+        probabilities = weights / total
+        count = min(count, len(candidates))
+        chosen = self._rng.choice(candidates, size=count, replace=False, p=probabilities)
+        return [int(c) for c in chosen]
+
+    # -- main entry point --------------------------------------------------------------------------
+
+    def generate(self) -> SyntheticDataset:
+        """Generate the full dataset."""
+        profile = self.profile
+        vocabulary, per_topic_seeds = self._build_vocabulary()
+        topic_word = self._build_topic_word_matrix(vocabulary, per_topic_seeds)
+        topic_model = MatrixTopicModel(vocabulary, topic_word, normalize=True)
+        topic_names = tuple(
+            TOPIC_THEMES[topic % len(TOPIC_THEMES)][0]
+            + ("" if topic < len(TOPIC_THEMES) else str(topic // len(TOPIC_THEMES) + 1))
+            for topic in range(profile.num_topics)
+        )
+
+        # Arrival times: sorted uniform over the stream duration.
+        arrival_times = np.sort(
+            self._rng.integers(0, profile.duration, size=profile.num_elements)
+        )
+
+        # Candidate pool for references: the most recent elements within the
+        # horizon, capped so generation stays linear in the stream size.
+        max_pool = 400
+        recent: deque[int] = deque()
+        timestamps: List[int] = []
+        mixtures: List[np.ndarray] = []
+        indegrees: Dict[int, int] = {}
+        elements: List[SocialElement] = []
+
+        for element_id in range(profile.num_elements):
+            timestamp = int(arrival_times[element_id])
+            while recent and (
+                timestamp - timestamps[recent[0]] > profile.reference_horizon
+                or len(recent) > max_pool
+            ):
+                recent.popleft()
+
+            mixture = self._sample_topic_mixture()
+            tokens = self._sample_document(mixture, topic_word, vocabulary)
+            references = self._sample_references(
+                timestamp, mixture, recent, timestamps, mixtures, indegrees
+            )
+            for parent_id in references:
+                indegrees[parent_id] = indegrees.get(parent_id, 0) + 1
+
+            elements.append(
+                SocialElement(
+                    element_id=element_id,
+                    timestamp=timestamp,
+                    tokens=tuple(tokens),
+                    references=tuple(references),
+                    topic_distribution=mixture,
+                    author=int(self._rng.integers(0, max(2, profile.num_elements // 20))),
+                )
+            )
+            timestamps.append(timestamp)
+            mixtures.append(mixture)
+            recent.append(element_id)
+
+        stream = SocialStream(elements)
+        return SyntheticDataset(
+            profile=profile,
+            stream=stream,
+            topic_model=topic_model,
+            vocabulary=vocabulary,
+            topic_names=topic_names,
+            seed=self._seed,
+        )

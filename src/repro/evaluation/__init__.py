@@ -1,0 +1,36 @@
+"""Effectiveness evaluation: metrics, workloads and the simulated user study.
+
+* :mod:`repro.evaluation.metrics` — the quantitative coverage and influence
+  metrics of Table 6 plus quality-ratio helpers.
+* :mod:`repro.evaluation.kappa` — Cohen's linearly weighted kappa, the
+  inter-rater agreement statistic the paper reports for the user study.
+* :mod:`repro.evaluation.workload` — k-SIR query workload generation
+  (random keyword draws, query vectors, random query timestamps).
+* :mod:`repro.evaluation.user_study` — the simulated-evaluator proxy for the
+  paper's 30-volunteer user study (Table 5); see DESIGN.md §4 for the
+  substitution rationale.
+"""
+
+from repro.evaluation.kappa import cohen_weighted_kappa
+from repro.evaluation.metrics import (
+    coverage_score,
+    influence_score,
+    quality_ratios,
+    relevance,
+    topic_similarity,
+)
+from repro.evaluation.user_study import SimulatedUserStudy, UserStudyOutcome
+from repro.evaluation.workload import QueryWorkload, WorkloadGenerator
+
+__all__ = [
+    "QueryWorkload",
+    "SimulatedUserStudy",
+    "UserStudyOutcome",
+    "WorkloadGenerator",
+    "cohen_weighted_kappa",
+    "coverage_score",
+    "influence_score",
+    "quality_ratios",
+    "relevance",
+    "topic_similarity",
+]

@@ -1,0 +1,184 @@
+"""Quantitative effectiveness metrics (the paper's Table 6).
+
+Two metrics compare result sets produced by different query methods:
+
+* **coverage** — "do the result sets achieve high information coverage on
+  the query topics?"  Following Lin & Bilmes (2010) / Badanidiyuru et al.
+  (2014), the coverage of a result set ``S`` w.r.t. a query vector ``x`` is
+  ``Σ_{e ∈ A_t \\ S} max_{e' ∈ S} rel(e, x) · sim(e, e')`` — every other
+  active element is credited by how well its best representative in ``S``
+  covers it, weighted by its own relevance to the query.  ``rel`` is
+  topic-space cosine relevance and ``sim`` is *textual* (bag-of-words
+  cosine) similarity, so "covering" an element means actually containing
+  the information it talks about, not merely sitting on the same topic.
+  We report the normalised variant (divided by ``Σ_e rel(e, x)``) so values
+  are comparable across datasets and window sizes.
+
+* **influence** — "are the result sets referred to by a large number of
+  elements?"  The number of in-window elements referencing at least one
+  result element, linearly scaled by the same count achieved by the ``k``
+  most-referenced elements (the top-k influential set), so 1.0 means "as
+  influential as the most influential possible selection of the same size".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.element import SocialElement
+
+
+def topic_similarity(left: Optional[np.ndarray], right: Optional[np.ndarray]) -> float:
+    """Cosine similarity between two topic vectors (0.0 when either is missing)."""
+    if left is None or right is None:
+        return 0.0
+    left = np.asarray(left, dtype=float)
+    right = np.asarray(right, dtype=float)
+    left_norm = float(np.linalg.norm(left))
+    right_norm = float(np.linalg.norm(right))
+    if left_norm == 0.0 or right_norm == 0.0:
+        return 0.0
+    return float(np.dot(left, right)) / (left_norm * right_norm)
+
+
+def relevance(element: SocialElement, query_vector: np.ndarray) -> float:
+    """``rel(e, x)``: topic-space cosine relevance of an element to a query."""
+    return topic_similarity(element.topic_distribution, query_vector)
+
+
+def _token_counts(element: SocialElement) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for token in element.tokens:
+        counts[token] = counts.get(token, 0) + 1
+    return counts
+
+
+def text_similarity(left: Mapping[str, int], right: Mapping[str, int]) -> float:
+    """Bag-of-words cosine similarity between two token-count vectors."""
+    if not left or not right:
+        return 0.0
+    if len(right) < len(left):
+        left, right = right, left
+    dot = float(sum(count * right.get(token, 0) for token, count in left.items()))
+    if dot == 0.0:
+        return 0.0
+    left_norm = float(np.sqrt(sum(count * count for count in left.values())))
+    right_norm = float(np.sqrt(sum(count * count for count in right.values())))
+    if left_norm == 0.0 or right_norm == 0.0:
+        return 0.0
+    return dot / (left_norm * right_norm)
+
+
+def coverage_score(
+    selected: Sequence[SocialElement],
+    candidates: Sequence[SocialElement],
+    query_vector: np.ndarray,
+    normalize: bool = True,
+) -> float:
+    """Information coverage of ``selected`` over ``candidates`` w.r.t. a query.
+
+    ``candidates`` should be the active set at query time (result elements
+    themselves are excluded from the summation, as in the paper).
+    """
+    if not selected:
+        return 0.0
+    selected_ids = {element.element_id for element in selected}
+    selected_tokens = [_token_counts(member) for member in selected]
+    total = 0.0
+    normaliser = 0.0
+    for element in candidates:
+        element_relevance = relevance(element, query_vector)
+        normaliser += element_relevance
+        if element.element_id in selected_ids or element_relevance == 0.0:
+            continue
+        element_tokens = _token_counts(element)
+        best = max(
+            text_similarity(element_tokens, member_tokens)
+            for member_tokens in selected_tokens
+        )
+        total += element_relevance * best
+    if not normalize:
+        return total
+    return total / normaliser if normaliser > 0.0 else 0.0
+
+
+def _followers_by_parent(window_elements: Sequence[SocialElement]) -> Dict[int, Set[int]]:
+    followers: Dict[int, Set[int]] = {}
+    for element in window_elements:
+        for parent_id in element.references:
+            followers.setdefault(parent_id, set()).add(element.element_id)
+    return followers
+
+
+def influence_score(
+    selected_ids: Iterable[int],
+    window_elements: Sequence[SocialElement],
+    k: Optional[int] = None,
+    normalize: bool = True,
+) -> float:
+    """Referenced-by count of the selection, optionally scaled to [0, 1].
+
+    ``window_elements`` are the elements of the sliding window at query time
+    (only in-window references count, matching the time-critical influence
+    of the paper).  When ``normalize`` is true the count is divided by the
+    best achievable count of any ``k``-subset — the union of the ``k``
+    most-referenced parents (``k`` defaults to the selection size).
+    """
+    selected = list(selected_ids)
+    if not selected:
+        return 0.0
+    followers = _followers_by_parent(window_elements)
+    covered: Set[int] = set()
+    for element_id in selected:
+        covered.update(followers.get(element_id, ()))
+    raw = float(len(covered))
+    if not normalize:
+        return raw
+
+    size = k if k is not None else len(selected)
+    top_parents = sorted(followers, key=lambda pid: (-len(followers[pid]), pid))[:size]
+    best: Set[int] = set()
+    for parent_id in top_parents:
+        best.update(followers[parent_id])
+    if not best:
+        return 0.0
+    return raw / float(len(best))
+
+
+def quality_ratios(scores: Mapping[str, float], reference: str = "celf") -> Dict[str, float]:
+    """Each method's score divided by the reference method's score.
+
+    Used for Figures 8 and 11: the paper reports MTTS/MTTD quality relative
+    to CELF.  Methods are left out of the result when the reference score is
+    not positive.
+    """
+    reference_score = scores.get(reference, 0.0)
+    if reference_score <= 0.0:
+        return {}
+    return {name: score / reference_score for name, score in scores.items()}
+
+
+def average_pairwise_similarity(elements: Sequence[SocialElement]) -> float:
+    """Mean pairwise topic similarity of a result set (diversity diagnostic)."""
+    if len(elements) < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i, left in enumerate(elements):
+        for right in elements[i + 1 :]:
+            total += topic_similarity(left.topic_distribution, right.topic_distribution)
+            pairs += 1
+    return total / pairs if pairs else 0.0
+
+
+def reference_count(
+    selected_ids: Iterable[int], window_elements: Sequence[SocialElement]
+) -> int:
+    """Total number of in-window references pointing at the selection."""
+    selected = set(selected_ids)
+    count = 0
+    for element in window_elements:
+        count += sum(1 for parent_id in element.references if parent_id in selected)
+    return count

@@ -1,0 +1,215 @@
+"""A simulated user study standing in for the paper's 30-volunteer study.
+
+The paper (Section 5.2, Table 5) asks human evaluators to rank the result
+sets of five query methods on two aspects — *representativeness* (relevance
+to the query topic plus information coverage) and *impact* (how much the
+selected elements were cited / commented / retweeted) — on a 1–5 scale, with
+three evaluators per query, and reports per-method averages together with
+Cohen's linearly weighted kappa for inter-rater agreement.
+
+Human raters cannot be bundled with a library, so this module simulates them
+(see DESIGN.md §4): each synthetic evaluator scores a result set by the same
+operational definitions given to the humans —
+
+* representativeness = mean topic relevance of the result to the query,
+  blended with the normalised coverage metric;
+* impact = the normalised in-window referenced-by count —
+
+perturbed with evaluator-specific noise, then converts the per-query scores
+into 1–5 rankings exactly as the study instructions prescribe.  The kappa
+machinery is the real statistic, computed between every pair of simulated
+evaluators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.element import SocialElement
+from repro.evaluation.kappa import cohen_weighted_kappa
+from repro.evaluation.metrics import coverage_score, influence_score, relevance
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass
+class JudgedQuery:
+    """Per-query evaluator ratings: aspect → method → one rating per evaluator."""
+
+    representativeness: Dict[str, List[int]] = field(default_factory=dict)
+    impact: Dict[str, List[int]] = field(default_factory=dict)
+
+
+@dataclass
+class UserStudyOutcome:
+    """Aggregated study results in the shape of the paper's Table 5."""
+
+    representativeness: Dict[str, float]
+    impact: Dict[str, float]
+    representativeness_kappa: Tuple[float, float, float]
+    impact_kappa: Tuple[float, float, float]
+    num_queries: int
+    evaluators_per_query: int
+
+    def as_rows(self) -> List[Tuple[str, float, float]]:
+        """``(method, representativeness, impact)`` rows, best method last."""
+        methods = sorted(self.representativeness)
+        return [
+            (method, self.representativeness[method], self.impact[method])
+            for method in methods
+        ]
+
+
+class SimulatedUserStudy:
+    """Simulates the paper's evaluator panel over method result sets."""
+
+    def __init__(
+        self,
+        evaluators_per_query: int = 3,
+        noise: float = 0.1,
+        rating_scale: int = 5,
+        seed: SeedLike = None,
+    ) -> None:
+        if evaluators_per_query < 2:
+            raise ValueError("need at least 2 evaluators per query to compute kappa")
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        if rating_scale < 2:
+            raise ValueError("rating_scale must be at least 2")
+        self.evaluators_per_query = int(evaluators_per_query)
+        self.noise = float(noise)
+        self.rating_scale = int(rating_scale)
+        self._rng = make_rng(seed)
+
+    # -- ground-truth aspect scores ------------------------------------------------------
+
+    @staticmethod
+    def representativeness_truth(
+        result: Sequence[SocialElement],
+        query_vector: np.ndarray,
+        candidates: Sequence[SocialElement],
+    ) -> float:
+        """Relevance-plus-coverage score in [0, 1] for one result set."""
+        if not result:
+            return 0.0
+        mean_relevance = float(
+            np.mean([relevance(element, query_vector) for element in result])
+        )
+        coverage = coverage_score(result, candidates, query_vector, normalize=True)
+        return 0.5 * mean_relevance + 0.5 * coverage
+
+    @staticmethod
+    def impact_truth(
+        result: Sequence[SocialElement],
+        window_elements: Sequence[SocialElement],
+    ) -> float:
+        """Normalised referenced-by score in [0, 1] for one result set."""
+        if not result:
+            return 0.0
+        return influence_score(
+            [element.element_id for element in result],
+            window_elements,
+            k=len(result),
+            normalize=True,
+        )
+
+    # -- evaluator simulation --------------------------------------------------------------
+
+    def _rank_to_rating(self, rank: int, num_methods: int) -> int:
+        """Map a rank (1 = best) onto the 1..rating_scale ladder."""
+        if num_methods <= 1:
+            return self.rating_scale
+        position = (num_methods - rank) / (num_methods - 1)
+        return int(round(1 + position * (self.rating_scale - 1)))
+
+    def _evaluator_ratings(self, truths: Mapping[str, float]) -> Dict[str, int]:
+        """One simulated evaluator's 1..scale ratings for every method."""
+        methods = sorted(truths)
+        noisy = {
+            method: truths[method] + self._rng.normal(0.0, self.noise)
+            for method in methods
+        }
+        ordered = sorted(methods, key=lambda method: (-noisy[method], method))
+        ratings: Dict[str, int] = {}
+        for rank, method in enumerate(ordered, start=1):
+            ratings[method] = self._rank_to_rating(rank, len(methods))
+        return ratings
+
+    def judge_query(
+        self,
+        results: Mapping[str, Sequence[SocialElement]],
+        query_vector: np.ndarray,
+        candidates: Sequence[SocialElement],
+        window_elements: Sequence[SocialElement],
+    ) -> JudgedQuery:
+        """Simulate the evaluator panel on one query's result sets."""
+        representativeness_truth = {
+            method: self.representativeness_truth(result, query_vector, candidates)
+            for method, result in results.items()
+        }
+        impact_truth = {
+            method: self.impact_truth(result, window_elements)
+            for method, result in results.items()
+        }
+        judged = JudgedQuery()
+        for method in results:
+            judged.representativeness[method] = []
+            judged.impact[method] = []
+        for _ in range(self.evaluators_per_query):
+            repr_ratings = self._evaluator_ratings(representativeness_truth)
+            impact_ratings = self._evaluator_ratings(impact_truth)
+            for method in results:
+                judged.representativeness[method].append(repr_ratings[method])
+                judged.impact[method].append(impact_ratings[method])
+        return judged
+
+    # -- aggregation --------------------------------------------------------------------------
+
+    def _kappa_stats(
+        self, judged_queries: Sequence[JudgedQuery], aspect: str
+    ) -> Tuple[float, float, float]:
+        values: List[float] = []
+        for judged in judged_queries:
+            ratings = getattr(judged, aspect)
+            methods = sorted(ratings)
+            if not methods:
+                continue
+            evaluators = len(ratings[methods[0]])
+            for left in range(evaluators):
+                for right in range(left + 1, evaluators):
+                    ratings_left = [ratings[m][left] for m in methods]
+                    ratings_right = [ratings[m][right] for m in methods]
+                    values.append(
+                        cohen_weighted_kappa(
+                            ratings_left, ratings_right, num_categories=self.rating_scale
+                        )
+                    )
+        if not values:
+            return (0.0, 0.0, 0.0)
+        return (float(min(values)), float(np.mean(values)), float(max(values)))
+
+    def aggregate(self, judged_queries: Sequence[JudgedQuery]) -> UserStudyOutcome:
+        """Average ratings and kappa statistics over all judged queries."""
+        if not judged_queries:
+            raise ValueError("no judged queries to aggregate")
+        methods = sorted(judged_queries[0].representativeness)
+        representativeness: Dict[str, float] = {}
+        impact: Dict[str, float] = {}
+        for method in methods:
+            repr_ratings: List[int] = []
+            impact_ratings: List[int] = []
+            for judged in judged_queries:
+                repr_ratings.extend(judged.representativeness.get(method, []))
+                impact_ratings.extend(judged.impact.get(method, []))
+            representativeness[method] = float(np.mean(repr_ratings)) if repr_ratings else 0.0
+            impact[method] = float(np.mean(impact_ratings)) if impact_ratings else 0.0
+        return UserStudyOutcome(
+            representativeness=representativeness,
+            impact=impact,
+            representativeness_kappa=self._kappa_stats(judged_queries, "representativeness"),
+            impact_kappa=self._kappa_stats(judged_queries, "impact"),
+            num_queries=len(judged_queries),
+            evaluators_per_query=self.evaluators_per_query,
+        )

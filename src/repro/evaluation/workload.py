@@ -1,0 +1,137 @@
+"""k-SIR query workload generation (Section 5.1 of the paper).
+
+The paper generates 10 K queries per dataset: each query draws 1–5 words
+from the vocabulary, infers the query vector by treating the keywords as a
+pseudo-document, and is assigned a random timestamp in the stream's time
+range.  :class:`WorkloadGenerator` reproduces that procedure with two keyword
+sampling modes:
+
+* ``"frequency"`` (default) — keywords are drawn proportionally to their
+  corpus frequency, which is what drawing from a real query log looks like;
+* ``"topical"`` — a random topic is drawn first and keywords come from its
+  top words (used by the user-study queries, which target trending topics);
+* ``"uniform"`` — uniform draws over the vocabulary (the paper's literal
+  procedure).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.query import KSIRQuery
+from repro.datasets.synthetic import SyntheticDataset
+from repro.topics.inference import TopicInferencer
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass
+class QueryWorkload:
+    """A generated query workload, ordered by query timestamp."""
+
+    queries: List[KSIRQuery] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[KSIRQuery]:
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> KSIRQuery:
+        return self.queries[index]
+
+    def sorted_by_time(self) -> "QueryWorkload":
+        """A copy with queries sorted by their timestamps."""
+        ordered = sorted(self.queries, key=lambda query: (query.time or 0))
+        return QueryWorkload(ordered)
+
+    def queries_between(self, start: int, end: int) -> List[KSIRQuery]:
+        """Queries whose timestamp falls in ``[start, end]``."""
+        return [
+            query
+            for query in self.queries
+            if query.time is not None and start <= query.time <= end
+        ]
+
+
+class WorkloadGenerator:
+    """Generates k-SIR query workloads against a synthetic dataset."""
+
+    def __init__(
+        self,
+        dataset: SyntheticDataset,
+        k: int = 10,
+        min_keywords: int = 1,
+        max_keywords: int = 5,
+        mode: str = "frequency",
+        seed: SeedLike = None,
+        inferencer: Optional[TopicInferencer] = None,
+    ) -> None:
+        if mode not in ("frequency", "topical", "uniform"):
+            raise ValueError("mode must be 'frequency', 'topical' or 'uniform'")
+        if min_keywords < 1 or max_keywords < min_keywords:
+            raise ValueError("need 1 <= min_keywords <= max_keywords")
+        self.dataset = dataset
+        self.k = int(k)
+        self.min_keywords = int(min_keywords)
+        self.max_keywords = int(max_keywords)
+        self.mode = mode
+        self._rng = make_rng(seed)
+        self._inferencer = inferencer or dataset.inferencer
+        self._word_pool, self._word_weights = self._build_word_pool()
+
+    def _build_word_pool(self) -> Tuple[List[str], np.ndarray]:
+        counts: Counter = Counter()
+        for element in self.dataset.stream:
+            counts.update(element.tokens)
+        words = sorted(counts)
+        if not words:
+            raise ValueError("the dataset stream has no tokens to draw keywords from")
+        weights = np.array([counts[word] for word in words], dtype=float)
+        weights /= weights.sum()
+        return words, weights
+
+    # -- keyword sampling --------------------------------------------------------------
+
+    def sample_keywords(self) -> Tuple[str, ...]:
+        """Draw one query's keywords according to the configured mode."""
+        count = int(self._rng.integers(self.min_keywords, self.max_keywords + 1))
+        if self.mode == "topical":
+            topic = int(self._rng.integers(0, self.dataset.topic_model.num_topics))
+            top_words = self.dataset.topical_keywords(topic, count=max(count, 5))
+            chosen = self._rng.choice(len(top_words), size=min(count, len(top_words)), replace=False)
+            return tuple(top_words[int(i)] for i in chosen)
+        if self.mode == "uniform":
+            indices = self._rng.choice(len(self._word_pool), size=count, replace=False)
+        else:
+            indices = self._rng.choice(
+                len(self._word_pool), size=count, replace=False, p=self._word_weights
+            )
+        return tuple(self._word_pool[int(i)] for i in indices)
+
+    # -- workload generation -------------------------------------------------------------
+
+    def generate_query(self, time: Optional[int] = None) -> KSIRQuery:
+        """One query: sampled keywords, inferred vector, given/random timestamp."""
+        keywords = self.sample_keywords()
+        vector = self._inferencer.infer(list(keywords))
+        if time is None:
+            start = self.dataset.stream.start_time
+            end = self.dataset.stream.end_time
+            time = int(self._rng.integers(start, end + 1))
+        return KSIRQuery(k=self.k, vector=vector, time=time, keywords=keywords)
+
+    def generate(self, num_queries: int, times: Optional[Sequence[int]] = None) -> QueryWorkload:
+        """A workload of ``num_queries`` queries (optionally at fixed times)."""
+        if num_queries <= 0:
+            raise ValueError("num_queries must be positive")
+        if times is not None and len(times) != num_queries:
+            raise ValueError("times must have exactly num_queries entries")
+        queries = [
+            self.generate_query(time=None if times is None else int(times[i]))
+            for i in range(num_queries)
+        ]
+        return QueryWorkload(queries).sorted_by_time()

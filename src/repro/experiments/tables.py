@@ -1,0 +1,179 @@
+"""Regenerating the paper's tables.
+
+* Table 3 — dataset statistics (here: of the synthetic stand-in streams).
+* Table 5 — the (simulated) user study: representativeness and impact
+  ratings per method, with inter-rater kappa.
+* Table 6 — quantitative coverage and influence per method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import (
+    DEFAULT_EFFECTIVENESS_CONFIG,
+    EffectivenessConfig,
+)
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import EffectivenessExperiment, load_dataset, prepare_processor
+
+
+@dataclass
+class TableResult:
+    """A rendered-able experiment table."""
+
+    name: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    def render(self, precision: int = 4) -> str:
+        """Aligned text rendering of the table (plus any notes)."""
+        text = render_table(self.headers, self.rows, title=self.name, precision=precision)
+        if self.notes:
+            note_lines = [f"  {key}: {value}" for key, value in sorted(self.notes.items())]
+            text = text + "\n" + "\n".join(note_lines)
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — dataset statistics
+# ---------------------------------------------------------------------------
+
+
+def dataset_statistics_table(
+    datasets: Sequence[str] = DEFAULT_EFFECTIVENESS_CONFIG.datasets,
+    seed: int = DEFAULT_EFFECTIVENESS_CONFIG.seed,
+) -> TableResult:
+    """Table 3: per-dataset statistics of the synthetic streams."""
+    headers = [
+        "Dataset",
+        "Elements",
+        "Vocabulary",
+        "Avg length",
+        "Avg references",
+        "Topics",
+        "Duration (h)",
+    ]
+    rows: List[List[object]] = []
+    for name in datasets:
+        dataset = load_dataset(name, seed=seed)
+        stats = dataset.statistics()
+        rows.append(
+            [
+                name,
+                int(stats["num_elements"]),
+                int(stats["vocabulary_size"]),
+                stats["average_length"],
+                stats["average_references"],
+                int(stats["num_topics"]),
+                stats["duration"] / 3600.0,
+            ]
+        )
+    return TableResult(name="Table 3 — dataset statistics", headers=headers, rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Shared effectiveness experiment construction
+# ---------------------------------------------------------------------------
+
+
+def _build_effectiveness_experiment(
+    dataset_name: str, config: EffectivenessConfig
+) -> EffectivenessExperiment:
+    scoring = config.scoring_for(dataset_name)
+    dataset, processor = prepare_processor(
+        dataset_name,
+        seed=config.seed,
+        window_length=config.window_length,
+        bucket_length=config.bucket_length,
+        lambda_weight=scoring.lambda_weight,
+        eta=scoring.eta,
+        replay_fraction=config.replay_fraction,
+    )
+    return EffectivenessExperiment(
+        dataset, processor, epsilon=config.epsilon, seed=config.seed
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 5 — simulated user study
+# ---------------------------------------------------------------------------
+
+
+def user_study_table(
+    config: Optional[EffectivenessConfig] = None,
+    num_queries: Optional[int] = None,
+) -> TableResult:
+    """Table 5: simulated user-study ratings per dataset and method."""
+    config = config or DEFAULT_EFFECTIVENESS_CONFIG
+    queries_per_dataset = num_queries or config.num_user_study_queries
+    headers = ["Dataset", "Aspect"] + list(EffectivenessExperiment.METHOD_ORDER)
+    rows: List[List[object]] = []
+    notes: Dict[str, str] = {}
+    for dataset_name in config.datasets:
+        experiment = _build_effectiveness_experiment(dataset_name, config)
+        queries = experiment.topical_queries(queries_per_dataset, config.user_study_k)
+        outcome = experiment.user_study(
+            queries,
+            evaluators_per_query=config.evaluators_per_query,
+            noise=config.evaluator_noise,
+        )
+        rows.append(
+            [dataset_name, "Represent."]
+            + [outcome.representativeness[m] for m in EffectivenessExperiment.METHOD_ORDER]
+        )
+        rows.append(
+            [dataset_name, "Impact"]
+            + [outcome.impact[m] for m in EffectivenessExperiment.METHOD_ORDER]
+        )
+        notes[f"{dataset_name} kappa (represent.)"] = (
+            f"min={outcome.representativeness_kappa[0]:.2f} "
+            f"mean={outcome.representativeness_kappa[1]:.2f} "
+            f"max={outcome.representativeness_kappa[2]:.2f}"
+        )
+        notes[f"{dataset_name} kappa (impact)"] = (
+            f"min={outcome.impact_kappa[0]:.2f} "
+            f"mean={outcome.impact_kappa[1]:.2f} "
+            f"max={outcome.impact_kappa[2]:.2f}"
+        )
+    return TableResult(
+        name="Table 5 — simulated user study (ratings 1-5)",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 6 — quantitative coverage / influence
+# ---------------------------------------------------------------------------
+
+
+def quantitative_table(
+    config: Optional[EffectivenessConfig] = None,
+    num_queries: Optional[int] = None,
+) -> TableResult:
+    """Table 6: quantitative coverage and influence per dataset and method."""
+    config = config or DEFAULT_EFFECTIVENESS_CONFIG
+    queries_per_dataset = num_queries or config.num_quantitative_queries
+    headers = ["Dataset", "Metric"] + list(EffectivenessExperiment.METHOD_ORDER)
+    rows: List[List[object]] = []
+    for dataset_name in config.datasets:
+        experiment = _build_effectiveness_experiment(dataset_name, config)
+        queries = experiment.mixed_queries(queries_per_dataset, config.quantitative_k)
+        summary = experiment.quantitative(queries)
+        rows.append(
+            [dataset_name, "Coverage"]
+            + [summary[m]["coverage"] for m in EffectivenessExperiment.METHOD_ORDER]
+        )
+        rows.append(
+            [dataset_name, "Influence"]
+            + [summary[m]["influence"] for m in EffectivenessExperiment.METHOD_ORDER]
+        )
+    return TableResult(
+        name="Table 6 — quantitative coverage / influence",
+        headers=headers,
+        rows=rows,
+    )

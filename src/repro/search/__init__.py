@@ -1,0 +1,43 @@
+"""Search baselines used in the paper's effectiveness study (Section 5.2).
+
+* :class:`repro.search.tfidf.TFIDFSearch` — top-k keyword query with
+  log-normalised TF-IDF weights and cosine similarity.
+* :class:`repro.search.diversity.DiversityAwareSearch` — diversity-aware
+  top-k keyword query (DIV): relevance plus average pairwise dissimilarity.
+* :class:`repro.search.sumblr.SumblrSummarizer` — a Sumblr-style stream
+  summariser: keyword filtering, k-means clustering in topic space and
+  LexRank-based representative selection per cluster.
+* :class:`repro.search.relevance.TopicRelevanceSearch` — top-k relevance
+  query (REL): cosine similarity between topic vectors.
+* :mod:`repro.search.lexrank` — the LexRank centrality substrate used by the
+  Sumblr baseline.
+
+All baselines implement the :class:`repro.search.base.SearchMethod`
+interface so the effectiveness harness can run them interchangeably.
+"""
+
+from repro.search.base import SearchMethod, SearchRequest
+from repro.search.diversity import DiversityAwareSearch
+from repro.search.lexrank import lexrank_scores
+from repro.search.relevance import TopicRelevanceSearch
+from repro.search.sumblr import SumblrSummarizer
+from repro.search.tfidf import TFIDFSearch
+
+SEARCH_REGISTRY = {
+    "tfidf": TFIDFSearch,
+    "div": DiversityAwareSearch,
+    "sumblr": SumblrSummarizer,
+    "rel": TopicRelevanceSearch,
+}
+"""Maps the paper's baseline names to their classes."""
+
+__all__ = [
+    "DiversityAwareSearch",
+    "SEARCH_REGISTRY",
+    "SearchMethod",
+    "SearchRequest",
+    "SumblrSummarizer",
+    "TFIDFSearch",
+    "TopicRelevanceSearch",
+    "lexrank_scores",
+]

@@ -1,0 +1,60 @@
+"""Common interface of the effectiveness-study baselines.
+
+Each baseline receives a :class:`SearchRequest` — the candidate elements
+(the active set at query time), the raw keywords, the inferred query vector
+and the result size ``k`` — and returns the ids of the selected elements.
+Keyword methods (TF-IDF, DIV, Sumblr) read the keywords; topic-space methods
+(REL, k-SIR) read the query vector; both views are always provided so the
+comparison is fair, exactly as in Section 5.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.element import SocialElement
+
+
+@dataclass
+class SearchRequest:
+    """One effectiveness-study query against a snapshot of active elements.
+
+    Attributes
+    ----------
+    elements:
+        The candidate elements (the active set ``A_t`` at query time).
+    keywords:
+        The raw query keywords.
+    query_vector:
+        The query vector inferred from the keywords (topic space).
+    k:
+        Result size bound.
+    """
+
+    elements: Sequence[SocialElement]
+    keywords: Tuple[str, ...]
+    query_vector: np.ndarray
+    k: int
+
+    def __post_init__(self) -> None:
+        self.keywords = tuple(self.keywords)
+        self.query_vector = np.asarray(self.query_vector, dtype=float)
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+
+
+class SearchMethod:
+    """Base class for effectiveness baselines."""
+
+    #: Name used in reports (matches the paper's method names).
+    name: str = "base"
+
+    def search(self, request: SearchRequest) -> Tuple[int, ...]:
+        """Return the ids of at most ``request.k`` selected elements."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

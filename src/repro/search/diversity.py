@@ -1,0 +1,106 @@
+"""Diversity-aware top-k keyword query (the paper's "DIV" baseline).
+
+Following Chen & Cong (SIGMOD 2015), the result set maximises
+
+``score(q, S) = λ · Σ_{e ∈ S} rel(q, e) + (1 − λ) · div(S)``
+
+where ``rel`` is TF-IDF cosine relevance and ``div(S)`` is the average
+pairwise dissimilarity between result elements.  The paper uses ``λ = 0.3``.
+The maximisation is done with the standard greedy heuristic: repeatedly add
+the element with the largest increase of the combined score.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.search.base import SearchMethod, SearchRequest
+from repro.search.tfidf import build_document_frequencies, cosine_similarity, tfidf_vector
+
+
+class DiversityAwareSearch(SearchMethod):
+    """Greedy relevance + diversity selection over TF-IDF vectors."""
+
+    name = "div"
+
+    def __init__(self, relevance_weight: float = 0.3) -> None:
+        if not (0.0 <= relevance_weight <= 1.0):
+            raise ValueError("relevance_weight must lie in [0, 1]")
+        self.relevance_weight = float(relevance_weight)
+
+    def __repr__(self) -> str:
+        return f"DiversityAwareSearch(relevance_weight={self.relevance_weight})"
+
+    def _combined_score(
+        self,
+        selected: List[int],
+        relevance: Dict[int, float],
+        similarity: Dict[Tuple[int, int], float],
+    ) -> float:
+        if not selected:
+            return 0.0
+        total_relevance = sum(relevance[element_id] for element_id in selected)
+        if len(selected) < 2:
+            diversity = 0.0
+        else:
+            dissimilarity = 0.0
+            pairs = 0
+            for i, left in enumerate(selected):
+                for right in selected[i + 1 :]:
+                    key = (left, right) if left < right else (right, left)
+                    dissimilarity += 1.0 - similarity.get(key, 0.0)
+                    pairs += 1
+            diversity = dissimilarity / pairs if pairs else 0.0
+        return (
+            self.relevance_weight * total_relevance
+            + (1.0 - self.relevance_weight) * diversity
+        )
+
+    def search(self, request: SearchRequest) -> Tuple[int, ...]:
+        elements = list(request.elements)
+        if not elements:
+            return ()
+        document_frequencies = build_document_frequencies(elements)
+        num_documents = max(1, len(elements))
+        query_vector = tfidf_vector(
+            list(request.keywords), document_frequencies, num_documents
+        )
+        vectors = {
+            element.element_id: tfidf_vector(
+                element.tokens, document_frequencies, num_documents
+            )
+            for element in elements
+        }
+        relevance = {
+            element_id: cosine_similarity(query_vector, vector)
+            for element_id, vector in vectors.items()
+        }
+
+        # Restrict the greedy search to the most relevant candidates so the
+        # pairwise-similarity bookkeeping stays small (the tail is irrelevant
+        # to both terms of the score).
+        pool_size = max(request.k * 10, 50)
+        pool = sorted(relevance, key=lambda eid: (-relevance[eid], eid))[:pool_size]
+        similarity: Dict[Tuple[int, int], float] = {}
+        for i, left in enumerate(pool):
+            for right in pool[i + 1 :]:
+                key = (left, right) if left < right else (right, left)
+                similarity[key] = cosine_similarity(vectors[left], vectors[right])
+
+        selected: List[int] = []
+        current_score = 0.0
+        while len(selected) < request.k and len(selected) < len(pool):
+            best_id = None
+            best_score = current_score
+            for candidate in pool:
+                if candidate in selected:
+                    continue
+                score = self._combined_score(selected + [candidate], relevance, similarity)
+                if best_id is None or score > best_score:
+                    best_score = score
+                    best_id = candidate
+            if best_id is None:
+                break
+            selected.append(best_id)
+            current_score = best_score
+        return tuple(selected)

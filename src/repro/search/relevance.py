@@ -1,0 +1,48 @@
+"""Top-k relevance query in topic space (the paper's "REL" baseline).
+
+Both the query and the elements are topic vectors; relevance is cosine
+similarity; the result is simply the ``k`` most similar elements.  This is
+the topic-based social search approach of Zhang et al. (TOIS 2017) that the
+paper argues is relevant but not *representative*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.search.base import SearchMethod, SearchRequest
+
+
+def topic_cosine(left: np.ndarray, right: np.ndarray) -> float:
+    """Cosine similarity of two dense topic vectors."""
+    left_norm = float(np.linalg.norm(left))
+    right_norm = float(np.linalg.norm(right))
+    if left_norm == 0.0 or right_norm == 0.0:
+        return 0.0
+    return float(np.dot(left, right)) / (left_norm * right_norm)
+
+
+class TopicRelevanceSearch(SearchMethod):
+    """Top-k by cosine similarity between topic vectors."""
+
+    name = "rel"
+
+    def rank(self, request: SearchRequest) -> List[Tuple[int, float]]:
+        """All candidates ranked by topic-space relevance (best first)."""
+        scored = []
+        for element in request.elements:
+            if element.topic_distribution is None:
+                similarity = 0.0
+            else:
+                similarity = topic_cosine(
+                    request.query_vector, np.asarray(element.topic_distribution, dtype=float)
+                )
+            scored.append((element.element_id, similarity))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored
+
+    def search(self, request: SearchRequest) -> Tuple[int, ...]:
+        ranked = self.rank(request)
+        return tuple(element_id for element_id, _score in ranked[: request.k])

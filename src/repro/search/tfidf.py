@@ -1,0 +1,77 @@
+"""Top-k keyword query with TF-IDF weighting (the paper's "TF-IDF" baseline).
+
+Elements and queries are vectorised with log-normalised TF-IDF weights
+computed over the candidate set; relevance is cosine similarity, and the
+``k`` most relevant elements are returned.  This captures the classical
+keyword-based social search methods the paper compares against — purely
+syntactic matching, no semantics, no representativeness.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.element import SocialElement
+from repro.search.base import SearchMethod, SearchRequest
+
+
+def build_document_frequencies(elements: Sequence[SocialElement]) -> Dict[str, int]:
+    """Document frequency of every word over the candidate elements."""
+    frequencies: Counter = Counter()
+    for element in elements:
+        frequencies.update(set(element.tokens))
+    return dict(frequencies)
+
+
+def tfidf_vector(
+    tokens: Sequence[str], document_frequencies: Dict[str, int], num_documents: int
+) -> Dict[str, float]:
+    """Log-normalised TF-IDF weights of one bag of words."""
+    counts = Counter(tokens)
+    vector: Dict[str, float] = {}
+    for word, count in counts.items():
+        df = document_frequencies.get(word, 0)
+        idf = math.log((1 + num_documents) / (1 + df)) + 1.0
+        vector[word] = (1.0 + math.log(count)) * idf
+    return vector
+
+
+def cosine_similarity(left: Dict[str, float], right: Dict[str, float]) -> float:
+    """Cosine similarity of two sparse vectors keyed by word."""
+    if not left or not right:
+        return 0.0
+    if len(right) < len(left):
+        left, right = right, left
+    dot = sum(weight * right.get(word, 0.0) for word, weight in left.items())
+    if dot == 0.0:
+        return 0.0
+    left_norm = math.sqrt(sum(weight * weight for weight in left.values()))
+    right_norm = math.sqrt(sum(weight * weight for weight in right.values()))
+    if left_norm == 0.0 or right_norm == 0.0:
+        return 0.0
+    return dot / (left_norm * right_norm)
+
+
+class TFIDFSearch(SearchMethod):
+    """Top-k by TF-IDF cosine relevance to the query keywords."""
+
+    name = "tfidf"
+
+    def rank(self, request: SearchRequest) -> List[Tuple[int, float]]:
+        """All candidates ranked by relevance (best first)."""
+        elements = list(request.elements)
+        document_frequencies = build_document_frequencies(elements)
+        num_documents = max(1, len(elements))
+        query_vector = tfidf_vector(list(request.keywords), document_frequencies, num_documents)
+        scored = []
+        for element in elements:
+            vector = tfidf_vector(element.tokens, document_frequencies, num_documents)
+            scored.append((element.element_id, cosine_similarity(query_vector, vector)))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored
+
+    def search(self, request: SearchRequest) -> Tuple[int, ...]:
+        ranked = self.rank(request)
+        return tuple(element_id for element_id, _score in ranked[: request.k])

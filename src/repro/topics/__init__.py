@@ -1,0 +1,38 @@
+"""Topic-model substrate for the k-SIR reproduction.
+
+The paper treats the topic model as a *black-box oracle* providing, for each
+topic ``i``, the word probability ``p_i(w)`` and, for each element ``e``, the
+document-topic probability ``p_i(e)``.  This package implements that oracle
+end to end:
+
+* :mod:`repro.topics.vocabulary` — word ↔ id mapping with frequency pruning.
+* :mod:`repro.topics.preprocess` — tokenisation and stop-word removal.
+* :mod:`repro.topics.model` — the :class:`TopicModel` oracle interface and a
+  matrix-backed implementation usable with externally supplied distributions.
+* :mod:`repro.topics.lda` — Latent Dirichlet Allocation trained by collapsed
+  Gibbs sampling (the paper trains PLDA on AMiner and Reddit).
+* :mod:`repro.topics.btm` — the Biterm Topic Model for short texts (the
+  paper's choice for Twitter).
+* :mod:`repro.topics.inference` — fold-in inference of topic vectors for new
+  documents and for query keyword sets (query-by-keyword → pseudo-document).
+"""
+
+from repro.topics.btm import BitermTopicModel
+from repro.topics.inference import TopicInferencer, infer_query_vector
+from repro.topics.lda import LatentDirichletAllocation
+from repro.topics.model import MatrixTopicModel, TopicModel
+from repro.topics.preprocess import STOP_WORDS, Preprocessor, tokenize
+from repro.topics.vocabulary import Vocabulary
+
+__all__ = [
+    "BitermTopicModel",
+    "LatentDirichletAllocation",
+    "MatrixTopicModel",
+    "Preprocessor",
+    "STOP_WORDS",
+    "TopicInferencer",
+    "TopicModel",
+    "Vocabulary",
+    "infer_query_vector",
+    "tokenize",
+]

@@ -1,0 +1,266 @@
+"""Incremental topic-model maintenance over the stream (the paper's future work).
+
+Section 6 of the paper: *"In future work, we plan to extend our approach for
+supporting the incremental updates of topic models over streams."*  This
+module provides that extension in the form the paper's own data model
+suggests: topic distributions drift much more slowly than the stream, so the
+model is kept fixed for long stretches and retrained from a buffer of recent
+documents when drift is detected.
+
+:class:`IncrementalTopicModelManager` wraps the training procedure:
+
+* it keeps a bounded buffer of the most recent documents;
+* it monitors **drift** through the out-of-vocabulary rate and the average
+  per-token likelihood of new documents under the current model;
+* when either signal crosses its threshold (or on an explicit
+  :meth:`refresh` call), it retrains a fresh LDA/BTM model on the buffer —
+  optionally blending the previous topic-word matrix in, which keeps topic
+  identities stable across refreshes so long-lived query vectors remain
+  meaningful.
+
+Downstream, a new model means new element profiles; the intended integration
+(demonstrated in the tests) is to rebuild the :class:`repro.core.processor.
+KSIRProcessor` from the active window after a refresh, which is cheap relative
+to the retraining itself.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence
+
+import numpy as np
+
+from repro.topics.btm import BitermTopicModel
+from repro.topics.lda import LatentDirichletAllocation
+from repro.topics.model import MatrixTopicModel, TopicModel
+from repro.topics.vocabulary import Vocabulary
+from repro.utils.rng import SeedLike, derive_seed
+from repro.utils.validation import require_in_range, require_positive
+
+
+@dataclass
+class DriftReport:
+    """Drift signals of the current model against the recent buffer."""
+
+    out_of_vocabulary_rate: float
+    mean_token_log_likelihood: float
+    buffered_documents: int
+
+    def exceeds(self, oov_threshold: float, likelihood_threshold: float) -> bool:
+        """Whether either drift signal crosses its threshold."""
+        if self.buffered_documents == 0:
+            return False
+        if self.out_of_vocabulary_rate > oov_threshold:
+            return True
+        return self.mean_token_log_likelihood < likelihood_threshold
+
+
+class IncrementalTopicModelManager:
+    """Maintains a topic model over a stream with periodic retraining.
+
+    Parameters
+    ----------
+    num_topics:
+        Number of topics of every (re)trained model.
+    model_kind:
+        ``"lda"`` (default) or ``"btm"``.
+    buffer_size:
+        Maximum number of recent documents kept for retraining.
+    oov_threshold:
+        Refresh when the fraction of buffered tokens missing from the current
+        vocabulary exceeds this value.
+    likelihood_threshold:
+        Refresh when the mean per-token log-likelihood of buffered documents
+        under the current model falls below this value.
+    blend:
+        Weight of the *previous* topic-word matrix when merging with the
+        newly trained one (0 = replace outright, 0.5 = equal blend).  Blending
+        requires the vocabularies to be merged, which this class handles.
+    iterations:
+        Gibbs sweeps per retraining run.
+    seed:
+        Master seed; each retraining derives its own child seed.
+    """
+
+    def __init__(
+        self,
+        num_topics: int,
+        model_kind: str = "lda",
+        buffer_size: int = 2000,
+        oov_threshold: float = 0.2,
+        likelihood_threshold: float = -9.0,
+        blend: float = 0.3,
+        iterations: int = 40,
+        seed: SeedLike = None,
+    ) -> None:
+        require_positive(num_topics, "num_topics")
+        require_positive(buffer_size, "buffer_size")
+        require_in_range(oov_threshold, "oov_threshold", 0.0, 1.0)
+        require_in_range(blend, "blend", 0.0, 1.0)
+        require_positive(iterations, "iterations")
+        if model_kind not in ("lda", "btm"):
+            raise ValueError("model_kind must be 'lda' or 'btm'")
+        self.num_topics = int(num_topics)
+        self.model_kind = model_kind
+        self.buffer_size = int(buffer_size)
+        self.oov_threshold = float(oov_threshold)
+        self.likelihood_threshold = float(likelihood_threshold)
+        self.blend = float(blend)
+        self.iterations = int(iterations)
+        self._seed = seed if isinstance(seed, int) else None
+        self._buffer: Deque[List[str]] = deque(maxlen=self.buffer_size)
+        self._model: Optional[TopicModel] = None
+        self._refreshes = 0
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def model(self) -> TopicModel:
+        """The current topic model (RuntimeError before the first refresh)."""
+        if self._model is None:
+            raise RuntimeError(
+                "no topic model yet; call observe() with documents and refresh(), "
+                "or bootstrap() with an existing model"
+            )
+        return self._model
+
+    @property
+    def has_model(self) -> bool:
+        """Whether a model is available."""
+        return self._model is not None
+
+    @property
+    def refresh_count(self) -> int:
+        """Number of (re)trainings performed so far."""
+        return self._refreshes
+
+    @property
+    def buffered_documents(self) -> int:
+        """Number of documents currently buffered for the next retraining."""
+        return len(self._buffer)
+
+    def bootstrap(self, model: TopicModel) -> None:
+        """Adopt an externally trained model as the starting point."""
+        self._model = model
+
+    # -- stream observation --------------------------------------------------------
+
+    def observe(self, tokens: Sequence[str]) -> None:
+        """Add one document to the retraining buffer."""
+        self._buffer.append(list(tokens))
+
+    def observe_many(self, documents: Sequence[Sequence[str]]) -> None:
+        """Add many documents to the retraining buffer."""
+        for tokens in documents:
+            self.observe(tokens)
+
+    # -- drift detection --------------------------------------------------------------
+
+    def drift_report(self) -> DriftReport:
+        """Compute the drift signals of the current model on the buffer."""
+        if self._model is None or not self._buffer:
+            return DriftReport(0.0, 0.0, len(self._buffer))
+        vocabulary = self._model.vocabulary
+        matrix = self._model.topic_word_matrix
+        # Corpus-average word distribution under the model (uniform topic mix).
+        average_word_probability = matrix.mean(axis=0)
+        total_tokens = 0
+        unknown_tokens = 0
+        log_likelihood = 0.0
+        scored_tokens = 0
+        for tokens in self._buffer:
+            for token in tokens:
+                total_tokens += 1
+                word_id = vocabulary.get_id(token)
+                if word_id is None:
+                    unknown_tokens += 1
+                    continue
+                probability = float(average_word_probability[word_id])
+                if probability > 0.0:
+                    log_likelihood += float(np.log(probability))
+                    scored_tokens += 1
+        oov_rate = unknown_tokens / total_tokens if total_tokens else 0.0
+        mean_log_likelihood = log_likelihood / scored_tokens if scored_tokens else 0.0
+        return DriftReport(oov_rate, mean_log_likelihood, len(self._buffer))
+
+    def needs_refresh(self) -> bool:
+        """Whether the drift signals call for retraining."""
+        if self._model is None:
+            return len(self._buffer) > 0
+        return self.drift_report().exceeds(self.oov_threshold, self.likelihood_threshold)
+
+    # -- retraining ------------------------------------------------------------------------
+
+    def _train(self, corpus: Sequence[Sequence[str]], vocabulary: Vocabulary) -> TopicModel:
+        seed = derive_seed(self._seed, "incremental-topic-model", str(self._refreshes))
+        if self.model_kind == "lda":
+            model = LatentDirichletAllocation(
+                vocabulary,
+                self.num_topics,
+                iterations=self.iterations,
+                burn_in=max(1, self.iterations // 4),
+                seed=seed,
+            )
+        else:
+            model = BitermTopicModel(
+                vocabulary,
+                self.num_topics,
+                iterations=self.iterations,
+                burn_in=max(1, self.iterations // 4),
+                seed=seed,
+            )
+        model.fit(list(corpus))
+        return model
+
+    def _blend_with_previous(self, fresh: TopicModel) -> TopicModel:
+        """Merge the previous topic-word matrix into the freshly trained one."""
+        previous = self._model
+        if previous is None or self.blend <= 0.0:
+            return fresh
+        if previous.num_topics != self.num_topics:
+            # A bootstrapped model with a different topic count cannot be
+            # blended topic-by-topic; the fresh model replaces it outright.
+            return fresh
+        merged_words = list(
+            dict.fromkeys(list(previous.vocabulary.words) + list(fresh.vocabulary.words))
+        )
+        merged_vocabulary = Vocabulary(merged_words)
+        merged = np.zeros((self.num_topics, len(merged_vocabulary)))
+        for word in merged_words:
+            column = merged_vocabulary.id_of(word)
+            previous_column = previous.vocabulary.get_id(word)
+            fresh_column = fresh.vocabulary.get_id(word)
+            if previous_column is not None:
+                merged[:, column] += self.blend * previous.topic_word_matrix[:, previous_column]
+            if fresh_column is not None:
+                merged[:, column] += (1.0 - self.blend) * fresh.topic_word_matrix[:, fresh_column]
+        return MatrixTopicModel(merged_vocabulary, merged, normalize=True)
+
+    def refresh(self, force: bool = True) -> TopicModel:
+        """Retrain the model from the buffer (and blend with the old one).
+
+        With ``force=False`` retraining only happens when
+        :meth:`needs_refresh` says so; the current model is returned either
+        way.
+        """
+        if not force and not self.needs_refresh():
+            return self.model
+        if not self._buffer:
+            raise ValueError("cannot refresh: the document buffer is empty")
+        corpus = list(self._buffer)
+        vocabulary = Vocabulary.from_documents(corpus)
+        if len(vocabulary) == 0:
+            raise ValueError("cannot refresh: the buffered documents are empty")
+        fresh = self._train(corpus, vocabulary)
+        blended = self._blend_with_previous(fresh)
+        self._model = blended
+        self._refreshes += 1
+        return blended
+
+    def maybe_refresh(self) -> Optional[TopicModel]:
+        """Refresh only if drift demands it; returns the new model or ``None``."""
+        if not self.needs_refresh():
+            return None
+        return self.refresh(force=True)

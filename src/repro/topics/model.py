@@ -1,0 +1,185 @@
+"""The topic-model oracle interface used by every downstream component.
+
+Section 3.1 of the paper: "we consider any probabilistic topic model can be
+used as a black-box oracle to provide ``p_i(w)`` for all words and ``p_i(e)``
+for all elements".  :class:`TopicModel` is that oracle; trained models
+(:class:`repro.topics.lda.LatentDirichletAllocation`,
+:class:`repro.topics.btm.BitermTopicModel`) and externally supplied matrices
+(:class:`MatrixTopicModel`, used by the synthetic data generator and by unit
+tests reproducing the paper's worked example) all satisfy it.
+
+Any model can be persisted with :meth:`TopicModel.save` and reloaded with
+:meth:`MatrixTopicModel.load` (a single ``.npz`` file holding the topic-word
+matrix and the vocabulary), so expensive LDA/BTM training runs are reusable
+across experiments and from the command-line interface.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.topics.vocabulary import Vocabulary
+
+
+class TopicModel:
+    """Abstract oracle exposing topic-word probabilities ``p_i(w)``.
+
+    Concrete subclasses must provide :attr:`topic_word_matrix` — a
+    ``(num_topics, vocabulary_size)`` row-stochastic matrix — plus the
+    vocabulary mapping word strings to column indices.  Document-topic
+    inference for unseen documents lives in
+    :mod:`repro.topics.inference`; trained models may additionally retain the
+    topic mixtures of their training documents.
+    """
+
+    def __init__(self, vocabulary: Vocabulary, num_topics: int) -> None:
+        if num_topics <= 0:
+            raise ValueError("num_topics must be positive")
+        self._vocabulary = vocabulary
+        self._num_topics = int(num_topics)
+
+    # -- interface ---------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The vocabulary whose ids index the topic-word matrix columns."""
+        return self._vocabulary
+
+    @property
+    def num_topics(self) -> int:
+        """Number of topics ``z``."""
+        return self._num_topics
+
+    @property
+    def topic_word_matrix(self) -> np.ndarray:
+        """Row-stochastic ``(z, |V|)`` matrix of ``p_i(w)``."""
+        raise NotImplementedError
+
+    # -- convenience accessors ----------------------------------------------
+
+    def word_probability(self, topic: int, word: str) -> float:
+        """``p_i(w)`` for a word string (0.0 for out-of-vocabulary words)."""
+        word_id = self._vocabulary.get_id(word)
+        if word_id is None:
+            return 0.0
+        return float(self.topic_word_matrix[topic, word_id])
+
+    def word_probabilities(self, word: str) -> np.ndarray:
+        """The length-``z`` vector ``[p_1(w), ..., p_z(w)]``."""
+        word_id = self._vocabulary.get_id(word)
+        if word_id is None:
+            return np.zeros(self._num_topics)
+        return np.asarray(self.topic_word_matrix[:, word_id], dtype=float)
+
+    def top_words(self, topic: int, count: int = 10) -> List[str]:
+        """The ``count`` highest-probability words of ``topic``."""
+        row = np.asarray(self.topic_word_matrix[topic], dtype=float)
+        order = np.argsort(-row)[:count]
+        return [self._vocabulary.word_of(int(idx)) for idx in order]
+
+    def validate(self, atol: float = 1e-6) -> bool:
+        """Check that every topic row is a probability distribution."""
+        matrix = np.asarray(self.topic_word_matrix, dtype=float)
+        if matrix.shape != (self._num_topics, len(self._vocabulary)):
+            return False
+        if np.any(matrix < -atol):
+            return False
+        row_sums = matrix.sum(axis=1)
+        return bool(np.allclose(row_sums, 1.0, atol=atol))
+
+    def save(self, path) -> "Path":
+        """Persist the oracle (topic-word matrix + vocabulary) as ``.npz``.
+
+        Works for any subclass; the file reloads as a
+        :class:`MatrixTopicModel` via :meth:`MatrixTopicModel.load`.  Returns
+        the path actually written (a ``.npz`` suffix is added when missing).
+        """
+        destination = Path(path)
+        if destination.suffix != ".npz":
+            destination = destination.with_suffix(".npz")
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            destination,
+            topic_word_matrix=np.asarray(self.topic_word_matrix, dtype=float),
+            vocabulary=np.array(self._vocabulary.words, dtype=object),
+        )
+        return destination
+
+
+class MatrixTopicModel(TopicModel):
+    """A topic model defined directly by a topic-word probability matrix.
+
+    Used in three places: unit tests that reproduce the paper's worked
+    example (Table 1's topic-word distributions), the synthetic stream
+    generator (which *samples* a ground-truth matrix), and any user who has
+    trained a topic model elsewhere and only needs the k-SIR machinery.
+    """
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        topic_word_matrix: np.ndarray,
+        normalize: bool = True,
+    ) -> None:
+        matrix = np.asarray(topic_word_matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("topic_word_matrix must be 2-dimensional")
+        if matrix.shape[1] != len(vocabulary):
+            raise ValueError(
+                "topic_word_matrix has "
+                f"{matrix.shape[1]} columns but the vocabulary has "
+                f"{len(vocabulary)} words"
+            )
+        if np.any(matrix < 0):
+            raise ValueError("topic_word_matrix must be non-negative")
+        super().__init__(vocabulary, matrix.shape[0])
+        if normalize:
+            row_sums = matrix.sum(axis=1, keepdims=True)
+            # Topics with no mass become uniform distributions.
+            zero_rows = (row_sums == 0).flatten()
+            if np.any(zero_rows):
+                matrix[zero_rows] = 1.0 / matrix.shape[1]
+                row_sums = matrix.sum(axis=1, keepdims=True)
+            matrix = matrix / row_sums
+        self._matrix = matrix
+
+    @property
+    def topic_word_matrix(self) -> np.ndarray:
+        return self._matrix
+
+    @classmethod
+    def load(cls, path) -> "MatrixTopicModel":
+        """Reload a model persisted with :meth:`TopicModel.save`."""
+        source = Path(path)
+        if not source.exists() and source.suffix != ".npz":
+            source = source.with_suffix(".npz")
+        with np.load(source, allow_pickle=True) as payload:
+            matrix = np.asarray(payload["topic_word_matrix"], dtype=float)
+            words = [str(word) for word in payload["vocabulary"].tolist()]
+        return cls(Vocabulary(words), matrix, normalize=False)
+
+    @classmethod
+    def from_word_distributions(
+        cls,
+        distributions: Sequence[Dict[str, float]],
+        vocabulary: Optional[Vocabulary] = None,
+        normalize: bool = True,
+    ) -> "MatrixTopicModel":
+        """Build a model from per-topic ``{word: probability}`` dictionaries.
+
+        Handy for reconstructing the paper's Table 1 example in tests.
+        """
+        if vocabulary is None:
+            words = sorted({word for dist in distributions for word in dist})
+            vocabulary = Vocabulary(words)
+        matrix = np.zeros((len(distributions), len(vocabulary)))
+        for topic_index, distribution in enumerate(distributions):
+            for word, probability in distribution.items():
+                word_id = vocabulary.get_id(word)
+                if word_id is None:
+                    raise KeyError(f"word {word!r} missing from the vocabulary")
+                matrix[topic_index, word_id] = probability
+        return cls(vocabulary, matrix, normalize=normalize)

@@ -1,0 +1,147 @@
+"""Vocabulary management: word ↔ integer-id mapping with frequency pruning.
+
+The paper reports vocabulary sizes both before and after preprocessing
+(Table 3); :class:`Vocabulary` supports the same two-stage view — build from
+raw tokens, then prune by document frequency to obtain the working
+vocabulary the topic model and the scoring functions use.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+
+class Vocabulary:
+    """A bidirectional word ↔ id mapping with corpus statistics."""
+
+    def __init__(self, words: Optional[Iterable[str]] = None) -> None:
+        self._word_to_id: Dict[str, int] = {}
+        self._id_to_word: List[str] = []
+        self._document_frequency: Counter = Counter()
+        self._total_frequency: Counter = Counter()
+        self._documents_seen = 0
+        if words is not None:
+            for word in words:
+                self.add(word)
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, word: str) -> int:
+        """Add ``word`` if unseen and return its id."""
+        existing = self._word_to_id.get(word)
+        if existing is not None:
+            return existing
+        word_id = len(self._id_to_word)
+        self._word_to_id[word] = word_id
+        self._id_to_word.append(word)
+        return word_id
+
+    def add_document(self, tokens: Sequence[str]) -> List[int]:
+        """Register one document's tokens, updating frequencies.
+
+        Returns the token ids in order (repeated tokens keep repeating).
+        """
+        self._documents_seen += 1
+        ids = [self.add(token) for token in tokens]
+        self._total_frequency.update(tokens)
+        self._document_frequency.update(set(tokens))
+        return ids
+
+    @classmethod
+    def from_documents(cls, documents: Iterable[Sequence[str]]) -> "Vocabulary":
+        """Build a vocabulary from an iterable of token sequences."""
+        vocabulary = cls()
+        for tokens in documents:
+            vocabulary.add_document(tokens)
+        return vocabulary
+
+    # -- pruning -----------------------------------------------------------
+
+    def pruned(
+        self,
+        min_document_frequency: int = 1,
+        max_document_ratio: float = 1.0,
+        max_size: Optional[int] = None,
+    ) -> "Vocabulary":
+        """Return a new vocabulary keeping only sufficiently frequent words.
+
+        Words must appear in at least ``min_document_frequency`` documents and
+        in at most ``max_document_ratio`` fraction of documents.  When
+        ``max_size`` is given, the most document-frequent words win.
+        """
+        if not (0.0 < max_document_ratio <= 1.0):
+            raise ValueError("max_document_ratio must lie in (0, 1]")
+        limit = max(1, self._documents_seen)
+        candidates = [
+            word
+            for word in self._id_to_word
+            if self._document_frequency[word] >= min_document_frequency
+            and self._document_frequency[word] / limit <= max_document_ratio
+        ]
+        candidates.sort(key=lambda w: (-self._document_frequency[w], w))
+        if max_size is not None:
+            candidates = candidates[:max_size]
+        pruned = Vocabulary(sorted(candidates))
+        pruned._documents_seen = self._documents_seen
+        for word in candidates:
+            pruned._document_frequency[word] = self._document_frequency[word]
+            pruned._total_frequency[word] = self._total_frequency[word]
+        return pruned
+
+    # -- lookups -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_word)
+
+    def id_of(self, word: str) -> int:
+        """Return the id of ``word`` (KeyError when unknown)."""
+        return self._word_to_id[word]
+
+    def word_of(self, word_id: int) -> str:
+        """Return the word with id ``word_id``."""
+        return self._id_to_word[word_id]
+
+    def get_id(self, word: str, default: Optional[int] = None) -> Optional[int]:
+        """Return the id of ``word`` or ``default`` when unknown."""
+        return self._word_to_id.get(word, default)
+
+    def encode(self, tokens: Sequence[str], skip_unknown: bool = True) -> List[int]:
+        """Map tokens to ids, optionally dropping out-of-vocabulary tokens."""
+        ids: List[int] = []
+        for token in tokens:
+            word_id = self._word_to_id.get(token)
+            if word_id is None:
+                if skip_unknown:
+                    continue
+                raise KeyError(f"unknown word {token!r}")
+            ids.append(word_id)
+        return ids
+
+    def decode(self, word_ids: Sequence[int]) -> List[str]:
+        """Map ids back to words."""
+        return [self._id_to_word[word_id] for word_id in word_ids]
+
+    def document_frequency(self, word: str) -> int:
+        """Number of documents the word appeared in during construction."""
+        return self._document_frequency[word]
+
+    def total_frequency(self, word: str) -> int:
+        """Total number of occurrences seen during construction."""
+        return self._total_frequency[word]
+
+    @property
+    def documents_seen(self) -> int:
+        """Number of documents registered via :meth:`add_document`."""
+        return self._documents_seen
+
+    @property
+    def words(self) -> List[str]:
+        """All words, ordered by id."""
+        return list(self._id_to_word)

@@ -1,0 +1,39 @@
+"""Shared utilities used across the k-SIR reproduction.
+
+The helpers in this package are deliberately small and dependency-free:
+
+* :mod:`repro.utils.rng` — seeded random-number helpers so every experiment
+  is reproducible end to end.
+* :mod:`repro.utils.timing` — wall-clock accumulators used by the
+  experiment harness to report per-query and per-update CPU time.
+* :mod:`repro.utils.sorted_list` — the bisect-backed descending sorted list
+  that backs each per-topic ranked list.
+* :mod:`repro.utils.lazy_heap` — a lazy max-heap with stale-entry
+  invalidation (used by CELF and MTTD's candidate buffer).
+* :mod:`repro.utils.validation` — argument validation helpers shared by the
+  public API.
+"""
+
+from repro.utils.lazy_heap import LazyMaxHeap
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.sorted_list import DescendingSortedList
+from repro.utils.timing import StopWatch, TimingStats
+from repro.utils.validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "DescendingSortedList",
+    "LazyMaxHeap",
+    "StopWatch",
+    "TimingStats",
+    "derive_seed",
+    "make_rng",
+    "require_in_range",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+]

@@ -1,0 +1,81 @@
+"""A lazy max-heap with stale-entry invalidation.
+
+CELF-style lazy greedy and MTTD's candidate buffer both need a priority
+queue keyed by an *upper bound* on the marginal gain of each element: the
+stored priority may be stale (too large), and the consumer re-evaluates the
+popped element before trusting it.  Python's :mod:`heapq` is a min-heap of
+immutable entries, so we store negated priorities and version counters and
+skip entries whose version no longer matches.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+
+class LazyMaxHeap:
+    """Max-heap over hashable keys with updatable (lazily removed) priorities."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Hashable]] = []
+        self._priority: Dict[Hashable, float] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._priority)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._priority
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._priority)
+
+    def push(self, key: Hashable, priority: float) -> None:
+        """Insert ``key`` or update its priority to ``priority``."""
+        self._priority[key] = float(priority)
+        heapq.heappush(self._heap, (-float(priority), next(self._counter), key))
+
+    def priority(self, key: Hashable) -> float:
+        """Current priority of ``key`` (KeyError when absent)."""
+        return self._priority[key]
+
+    def remove(self, key: Hashable) -> None:
+        """Remove ``key`` lazily (its heap entries become stale)."""
+        del self._priority[key]
+
+    def discard(self, key: Hashable) -> None:
+        """Remove ``key`` when present, do nothing otherwise."""
+        self._priority.pop(key, None)
+
+    def peek(self) -> Tuple[Hashable, float]:
+        """Return (key, priority) of the current maximum without removing it."""
+        self._drop_stale()
+        if not self._heap:
+            raise IndexError("peek from an empty LazyMaxHeap")
+        neg_priority, _count, key = self._heap[0]
+        return key, -neg_priority
+
+    def pop(self) -> Tuple[Hashable, float]:
+        """Remove and return (key, priority) of the current maximum."""
+        self._drop_stale()
+        if not self._heap:
+            raise IndexError("pop from an empty LazyMaxHeap")
+        neg_priority, _count, key = heapq.heappop(self._heap)
+        del self._priority[key]
+        return key, -neg_priority
+
+    def max_priority(self) -> Optional[float]:
+        """The maximum priority, or ``None`` when empty."""
+        if not self._priority:
+            return None
+        return self.peek()[1]
+
+    def _drop_stale(self) -> None:
+        while self._heap:
+            neg_priority, _count, key = self._heap[0]
+            current = self._priority.get(key)
+            if current is not None and current == -neg_priority:
+                return
+            heapq.heappop(self._heap)

@@ -1,0 +1,150 @@
+"""Wall-clock measurement helpers used by the experiment harness.
+
+The paper reports average CPU time per query (Figures 7, 9, 12, 13) and per
+stream update (Figure 14).  :class:`StopWatch` measures a single interval and
+:class:`TimingStats` accumulates many intervals and exposes the summary
+statistics the reports print.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+class StopWatch:
+    """A minimal context-manager stopwatch with millisecond readouts."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "StopWatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the elapsed time in seconds."""
+        if self._start is None:
+            raise RuntimeError("StopWatch.stop() called before start()")
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    @property
+    def seconds(self) -> float:
+        """Elapsed time of the last completed interval, in seconds."""
+        return self._elapsed
+
+    @property
+    def milliseconds(self) -> float:
+        """Elapsed time of the last completed interval, in milliseconds."""
+        return self._elapsed * 1000.0
+
+
+@dataclass
+class TimingStats:
+    """Accumulates a series of timing samples (stored in milliseconds)."""
+
+    name: str = "timer"
+    samples_ms: List[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        """Record one interval measured in seconds."""
+        self.samples_ms.append(seconds * 1000.0)
+
+    def add_ms(self, milliseconds: float) -> None:
+        """Record one interval measured in milliseconds."""
+        self.samples_ms.append(float(milliseconds))
+
+    def extend(self, other: "TimingStats") -> None:
+        """Merge the samples of ``other`` into this accumulator."""
+        self.samples_ms.extend(other.samples_ms)
+
+    def measure(self) -> "_TimingContext":
+        """Return a context manager that records its duration on exit."""
+        return _TimingContext(self)
+
+    def __len__(self) -> int:
+        return len(self.samples_ms)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.samples_ms)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.samples_ms)
+
+    @property
+    def total_ms(self) -> float:
+        """Sum of all samples in milliseconds."""
+        return float(sum(self.samples_ms))
+
+    @property
+    def mean_ms(self) -> float:
+        """Average sample in milliseconds (0.0 when empty)."""
+        if not self.samples_ms:
+            return 0.0
+        return self.total_ms / len(self.samples_ms)
+
+    @property
+    def median_ms(self) -> float:
+        """Median sample in milliseconds (0.0 when empty)."""
+        if not self.samples_ms:
+            return 0.0
+        ordered = sorted(self.samples_ms)
+        mid = len(ordered) // 2
+        if len(ordered) % 2 == 1:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    @property
+    def stdev_ms(self) -> float:
+        """Population standard deviation in milliseconds (0.0 when < 2)."""
+        if len(self.samples_ms) < 2:
+            return 0.0
+        mean = self.mean_ms
+        variance = sum((s - mean) ** 2 for s in self.samples_ms) / len(self.samples_ms)
+        return math.sqrt(variance)
+
+    @property
+    def max_ms(self) -> float:
+        """Maximum sample in milliseconds (0.0 when empty)."""
+        return max(self.samples_ms) if self.samples_ms else 0.0
+
+    @property
+    def min_ms(self) -> float:
+        """Minimum sample in milliseconds (0.0 when empty)."""
+        return min(self.samples_ms) if self.samples_ms else 0.0
+
+    def summary(self) -> str:
+        """A one-line human-readable summary."""
+        return (
+            f"{self.name}: n={self.count} mean={self.mean_ms:.3f}ms "
+            f"median={self.median_ms:.3f}ms max={self.max_ms:.3f}ms"
+        )
+
+
+class _TimingContext:
+    """Context manager produced by :meth:`TimingStats.measure`."""
+
+    def __init__(self, stats: TimingStats) -> None:
+        self._stats = stats
+        self._watch = StopWatch()
+
+    def __enter__(self) -> "_TimingContext":
+        self._watch.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stats.add(self._watch.stop())

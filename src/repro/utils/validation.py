@@ -1,0 +1,50 @@
+"""Argument-validation helpers shared by the public API.
+
+The k-SIR public entry points validate user-facing parameters eagerly so that
+misconfiguration surfaces as a clear ``ValueError`` at call time rather than
+as a silent quality loss deep in an algorithm.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Optional
+
+
+def require_positive(value: Real, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def require_non_negative(value: Real, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_probability(value: Real, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in the closed unit interval."""
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+
+
+def require_in_range(
+    value: Real,
+    name: str,
+    low: Optional[Real] = None,
+    high: Optional[Real] = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in the requested interval."""
+    if low is not None:
+        if low_inclusive and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value!r}")
+        if not low_inclusive and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value!r}")
+    if high is not None:
+        if high_inclusive and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value!r}")
+        if not high_inclusive and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value!r}")

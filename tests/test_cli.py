@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(["generate", "tiny", "--seed", "7"])
+        assert args.command == "generate"
+        assert args.profile == "tiny"
+        assert args.seed == 7
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "not-a-profile"])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "music", "concert"])
+        assert args.keywords == ["music", "concert"]
+        assert args.algorithm == "mttd"
+        assert args.k == 10
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table3"])
+        assert args.name == "table3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestCommands:
+    def test_generate_writes_stream_and_model(self, tmp_path, capsys):
+        exit_code = main(
+            ["generate", "tiny", "--seed", "3", "--output-dir", str(tmp_path)]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "tiny" / "stream.jsonl").exists()
+        assert (tmp_path / "tiny" / "topic_model.npz").exists()
+        output = capsys.readouterr().out
+        assert "wrote" in output
+
+    def test_stats_from_profile(self, capsys):
+        exit_code = main(["stats", "--profile", "tiny", "--seed", "3"])
+        assert exit_code == 0
+        assert "tiny" in capsys.readouterr().out
+
+    def test_stats_from_stream_file(self, tmp_path, capsys):
+        main(["generate", "tiny", "--seed", "3", "--output-dir", str(tmp_path)])
+        capsys.readouterr()
+        exit_code = main(["stats", "--stream", str(tmp_path / "tiny" / "stream.jsonl")])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "elements:" in output
+
+    def test_stats_requires_exactly_one_source(self, capsys):
+        assert main(["stats"]) == 2
+        assert main(["stats", "--profile", "tiny", "--stream", "x.jsonl"]) == 2
+
+    def test_query_on_generated_profile(self, capsys):
+        exit_code = main(
+            [
+                "query", "soccer", "goal",
+                "--profile", "tiny", "--k", "4",
+                "--algorithm", "mttd", "--window-hours", "3",
+                "--eta", "1.0", "--seed", "3",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "mttd" in output
+        assert "replayed" in output
+
+    def test_query_from_saved_stream_and_model(self, tmp_path, capsys):
+        main(["generate", "tiny", "--seed", "3", "--output-dir", str(tmp_path)])
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "query", "soccer",
+                "--stream", str(tmp_path / "tiny" / "stream.jsonl"),
+                "--model", str(tmp_path / "tiny" / "topic_model.npz"),
+                "--k", "3", "--window-hours", "3", "--eta", "1.0",
+            ]
+        )
+        assert exit_code == 0
+        assert "score" in capsys.readouterr().out
+
+    def test_query_with_stream_requires_model(self, tmp_path, capsys):
+        main(["generate", "tiny", "--seed", "3", "--output-dir", str(tmp_path)])
+        capsys.readouterr()
+        exit_code = main(
+            ["query", "soccer", "--stream", str(tmp_path / "tiny" / "stream.jsonl")]
+        )
+        assert exit_code == 2
+
+    def test_experiment_table3(self, capsys):
+        exit_code = main(["experiment", "table3", "--datasets", "tiny", "--seed", "3"])
+        assert exit_code == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_experiment_figure7_on_tiny(self, capsys):
+        exit_code = main(
+            ["experiment", "figure7", "--datasets", "tiny", "--queries", "2", "--seed", "3"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 7" in output
+        assert "mttd" in output

@@ -1,0 +1,225 @@
+"""Tests for the k-SIR processing algorithms (MTTS, MTTD and baselines).
+
+The paper's worked example gives exact expected answers: for the query
+``q_8(2, (0.5, 0.5))`` both MTTS (Example 4.1) and MTTD (Example 4.3) return
+``{e1, e3}`` with score 0.65.  Beyond the example, the algorithms are cross-
+checked against brute force and against each other on randomised instances,
+and their approximation guarantees are verified empirically.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import (
+    ALGORITHM_REGISTRY,
+    CELF,
+    GreedySelection,
+    MTTD,
+    MTTS,
+    SieveStreaming,
+    TopKRepresentative,
+    make_algorithm,
+)
+from repro.core.scoring import KSIRObjective
+from tests.conftest import build_paper_context
+from tests.test_core_ranked_list import build_paper_index
+
+ALL_ALGORITHMS = [
+    GreedySelection(),
+    CELF(),
+    SieveStreaming(epsilon=0.1),
+    TopKRepresentative(),
+    MTTS(epsilon=0.1),
+    MTTD(epsilon=0.1),
+]
+
+INDEXED = {"mtts", "mttd", "topk-representative"}
+
+
+def run_algorithm(algorithm, vector, k=2):
+    context = build_paper_context(time=8)
+    objective = KSIRObjective(context, np.asarray(vector, dtype=float))
+    index = build_paper_index(until_time=8) if algorithm.requires_index else None
+    outcome = algorithm.select(objective, k, index=index)
+    return objective, outcome
+
+
+def brute_force_optimum(vector, k=2):
+    context = build_paper_context(time=8)
+    objective = KSIRObjective(context, np.asarray(vector, dtype=float))
+    best_value = 0.0
+    for subset in itertools.combinations(context.active_ids, k):
+        best_value = max(best_value, objective.value(subset))
+    return best_value
+
+
+class TestRegistry:
+    def test_make_algorithm_known_names(self):
+        assert isinstance(make_algorithm("mtts", epsilon=0.2), MTTS)
+        assert isinstance(make_algorithm("MTTD", epsilon=0.2), MTTD)
+        assert isinstance(make_algorithm("celf"), CELF)
+        assert isinstance(make_algorithm("sievestreaming", epsilon=0.3), SieveStreaming)
+        assert isinstance(make_algorithm("top-k"), TopKRepresentative)
+
+    def test_make_algorithm_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            make_algorithm("nope")
+
+    def test_registry_covers_paper_methods(self):
+        for name in ("celf", "sieve", "topk", "mtts", "mttd", "greedy"):
+            assert name in ALGORITHM_REGISTRY
+
+    def test_epsilon_validation(self):
+        for cls in (MTTS, MTTD, SieveStreaming):
+            with pytest.raises(ValueError):
+                cls(epsilon=0.0)
+            with pytest.raises(ValueError):
+                cls(epsilon=1.0)
+
+    def test_repr_mentions_epsilon(self):
+        assert "0.25" in repr(MTTS(epsilon=0.25))
+        assert "0.25" in repr(MTTD(epsilon=0.25))
+
+
+class TestPaperExampleQueries:
+    """Examples 4.1 and 4.3: q_8(2, (0.5, 0.5)) → {e1, e3}, score 0.65."""
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS, ids=lambda a: a.name)
+    def test_balanced_query_optimal_set(self, algorithm):
+        if algorithm.name == "topk-representative":
+            pytest.skip("top-k by singleton score is not expected to find the optimum")
+        objective, outcome = run_algorithm(algorithm, [0.5, 0.5], k=2)
+        assert set(outcome.element_ids) == {1, 3}
+        assert outcome.value == pytest.approx(0.65, abs=0.01)
+        assert objective.context.active_count == 7
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [GreedySelection(), CELF(), MTTS(epsilon=0.1), MTTD(epsilon=0.1)],
+        ids=lambda a: a.name,
+    )
+    def test_skewed_query_prefers_topic2(self, algorithm):
+        _objective, outcome = run_algorithm(algorithm, [0.1, 0.9], k=2)
+        assert set(outcome.element_ids) == {1, 2}
+
+    def test_mtts_example_walkthrough_epsilon_03(self):
+        """Example 4.1 uses ε = 0.3 and still returns {e1, e3}."""
+        _objective, outcome = run_algorithm(MTTS(epsilon=0.3), [0.5, 0.5], k=2)
+        assert set(outcome.element_ids) == {1, 3}
+
+    def test_mttd_example_walkthrough_epsilon_03(self):
+        """Example 4.3 uses ε = 0.3 and returns {e1, e3}."""
+        _objective, outcome = run_algorithm(MTTD(epsilon=0.3), [0.5, 0.5], k=2)
+        assert set(outcome.element_ids) == {1, 3}
+
+    def test_topk_representative_picks_highest_singletons(self):
+        objective, outcome = run_algorithm(TopKRepresentative(), [0.5, 0.5], k=2)
+        scores = {
+            eid: objective.context.singleton_score(eid, np.array([0.5, 0.5]))
+            for eid in objective.context.active_ids
+        }
+        expected = set(sorted(scores, key=lambda eid: -scores[eid])[:2])
+        assert set(outcome.element_ids) == expected
+
+
+class TestGuaranteesAndInvariants:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS, ids=lambda a: a.name)
+    @pytest.mark.parametrize("vector", [[1.0, 0.0], [0.0, 1.0], [0.5, 0.5], [0.8, 0.2]])
+    def test_result_size_bounded_by_k(self, algorithm, vector):
+        for k in (1, 2, 4):
+            _objective, outcome = run_algorithm(algorithm, vector, k=k)
+            assert len(outcome.element_ids) <= k
+            assert len(set(outcome.element_ids)) == len(outcome.element_ids)
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS, ids=lambda a: a.name)
+    def test_value_matches_recomputed_score(self, algorithm):
+        objective, outcome = run_algorithm(algorithm, [0.4, 0.6], k=3)
+        recomputed = objective.context.score(outcome.element_ids, np.array([0.4, 0.6]))
+        assert outcome.value == pytest.approx(recomputed, rel=1e-9, abs=1e-9)
+
+    @pytest.mark.parametrize("vector", [[1.0, 0.0], [0.0, 1.0], [0.5, 0.5], [0.3, 0.7]])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_greedy_and_celf_agree(self, vector, k):
+        _objective, greedy_outcome = run_algorithm(GreedySelection(), vector, k=k)
+        _objective, celf_outcome = run_algorithm(CELF(), vector, k=k)
+        assert celf_outcome.value == pytest.approx(greedy_outcome.value, abs=1e-9)
+
+    @pytest.mark.parametrize("vector", [[1.0, 0.0], [0.5, 0.5], [0.2, 0.8]])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_approximation_guarantees_hold(self, vector, k):
+        optimum = brute_force_optimum(vector, k=k)
+        bounds = {
+            "celf": 1.0 - 1.0 / np.e,
+            "greedy": 1.0 - 1.0 / np.e,
+            "sievestreaming": 0.5 - 0.1,
+            "mtts": 0.5 - 0.1,
+            "mttd": 1.0 - 1.0 / np.e - 0.1,
+        }
+        for algorithm in ALL_ALGORITHMS:
+            bound = bounds.get(algorithm.name)
+            if bound is None:
+                continue
+            _objective, outcome = run_algorithm(algorithm, vector, k=k)
+            assert outcome.value >= bound * optimum - 1e-9, algorithm.name
+
+    def test_mtts_evaluates_each_element_at_most_once(self):
+        objective, outcome = run_algorithm(MTTS(epsilon=0.1), [0.5, 0.5], k=2)
+        assert outcome.evaluated_elements <= objective.context.active_count
+
+    def test_mtts_prunes_some_evaluations_on_skewed_query(self):
+        """With a single-topic query MTTS should not touch the other list."""
+        objective, outcome = run_algorithm(MTTS(epsilon=0.3), [1.0, 0.0], k=1)
+        assert outcome.evaluated_elements < objective.context.active_count
+
+    def test_index_required_error(self):
+        context = build_paper_context()
+        objective = KSIRObjective(context, np.array([0.5, 0.5]))
+        with pytest.raises(ValueError, match="requires the ranked-list index"):
+            MTTS().select(objective, 2, index=None)
+
+    def test_invalid_k_rejected(self):
+        context = build_paper_context()
+        objective = KSIRObjective(context, np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            CELF().select(objective, 0)
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS, ids=lambda a: a.name)
+    def test_k_larger_than_active_set(self, algorithm):
+        _objective, outcome = run_algorithm(algorithm, [0.5, 0.5], k=50)
+        assert len(outcome.element_ids) <= 7
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS, ids=lambda a: a.name)
+    def test_extras_are_floats(self, algorithm):
+        _objective, outcome = run_algorithm(algorithm, [0.5, 0.5], k=2)
+        assert all(isinstance(value, float) for value in outcome.extras.values())
+
+
+class TestSyntheticCrossCheck:
+    """Cross-check the algorithms on a generated stream (beyond the example)."""
+
+    @pytest.fixture(scope="class")
+    def prepared(self, tiny_processor):
+        return tiny_processor
+
+    @pytest.mark.parametrize("topic", [0, 1, 2])
+    def test_mttd_close_to_celf(self, prepared, tiny_dataset, topic):
+        query = tiny_dataset.make_query(k=8, topic=topic)
+        celf_result = prepared.query(query, algorithm="celf")
+        mttd_result = prepared.query(query, algorithm="mttd", epsilon=0.1)
+        mtts_result = prepared.query(query, algorithm="mtts", epsilon=0.1)
+        sieve_result = prepared.query(query, algorithm="sieve", epsilon=0.1)
+        topk_result = prepared.query(query, algorithm="topk")
+        assert mttd_result.score >= 0.95 * celf_result.score
+        assert mtts_result.score >= 0.80 * celf_result.score
+        assert sieve_result.score >= 0.70 * celf_result.score
+        assert topk_result.score <= celf_result.score + 1e-9
+
+    def test_indexed_algorithms_evaluate_fewer_elements(self, prepared, tiny_dataset):
+        query = tiny_dataset.make_query(k=5, topic=1)
+        celf_result = prepared.query(query, algorithm="celf")
+        mtts_result = prepared.query(query, algorithm="mtts")
+        assert mtts_result.evaluated_elements <= celf_result.evaluated_elements

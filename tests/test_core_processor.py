@@ -1,0 +1,161 @@
+"""Tests for the stream processor (Figure 4 architecture)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.processor import KSIRProcessor, ProcessorConfig
+from repro.core.query import KSIRQuery
+from repro.core.stream import SocialStream
+from tests.conftest import PAPER_SCORING, PAPER_WINDOW_LENGTH
+
+
+class TestProcessorConfig:
+    def test_defaults(self):
+        config = ProcessorConfig()
+        assert config.window_length == 24 * 3600
+        assert config.bucket_length == 15 * 60
+        assert config.default_algorithm == "mttd"
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(window_length=0)
+        with pytest.raises(ValueError):
+            ProcessorConfig(bucket_length=0)
+        with pytest.raises(ValueError):
+            ProcessorConfig(window_length=10, bucket_length=20)
+
+
+class TestStreamIngestion:
+    def test_paper_stream_active_window(self, paper_processor):
+        assert paper_processor.current_time == 8
+        assert set(paper_processor.window.active_ids()) == {1, 2, 3, 5, 6, 7, 8}
+        assert paper_processor.elements_processed == 8
+        assert paper_processor.buckets_processed == 8
+        assert paper_processor.active_count == 7
+
+    def test_ranked_lists_match_figure5(self, paper_processor):
+        index = paper_processor.ranked_lists
+        assert index.score(0, 3) == pytest.approx(0.65, abs=0.011)
+        assert index.score(1, 1) == pytest.approx(0.56, abs=0.011)
+        assert index.score(1, 2) == pytest.approx(0.48, abs=0.011)
+        assert 4 not in index
+
+    def test_expired_elements_removed_from_index(self, paper_processor):
+        assert 4 not in paper_processor.ranked_lists
+        assert 4 not in paper_processor.window
+
+    def test_reactivated_parent_reenters_index(self, paper_topic_model, paper_elements):
+        """e2 expires at t=6 but is re-activated when e7 references it at t=7."""
+        config = ProcessorConfig(
+            window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
+        )
+        processor = KSIRProcessor(paper_topic_model, config)
+        by_id = {element.element_id: element for element in paper_elements}
+        # Feed elements one bucket at a time and check e2's status around t=6/7.
+        for time in range(1, 9):
+            bucket = [by_id[time]] if time in by_id else []
+            processor.process_bucket(bucket, end_time=time)
+            if time == 6:
+                assert 2 not in processor.window
+                assert 2 not in processor.ranked_lists
+            if time == 7:
+                assert 2 in processor.window
+                assert 2 in processor.ranked_lists
+        assert processor.ranked_lists.score(1, 2) == pytest.approx(0.48, abs=0.011)
+
+    def test_topic_inference_applied_when_missing(self, paper_topic_model, paper_elements):
+        config = ProcessorConfig(
+            window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
+        )
+        processor = KSIRProcessor(paper_topic_model, config)
+        stripped = [
+            type(element)(
+                element_id=element.element_id,
+                timestamp=element.timestamp,
+                tokens=element.tokens,
+                references=element.references,
+                topic_distribution=None,
+            )
+            for element in paper_elements
+        ]
+        processor.process_stream(SocialStream(stripped))
+        assert processor.active_count == 7
+        # Inferred distributions put the soccer tweet e1 mostly on topic 2.
+        snapshot = processor.snapshot()
+        assert snapshot.profile(1).topic_probability(1) > 0.5
+
+    def test_process_stream_until(self, paper_topic_model, paper_elements):
+        config = ProcessorConfig(
+            window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
+        )
+        processor = KSIRProcessor(paper_topic_model, config)
+        processor.process_stream(SocialStream(paper_elements), until=5)
+        assert processor.current_time == 5
+        assert set(processor.window.window_ids()) == {2, 3, 4, 5}
+
+    def test_empty_stream_is_noop(self, paper_topic_model):
+        processor = KSIRProcessor(paper_topic_model)
+        processor.process_stream(SocialStream())
+        assert processor.current_time is None
+        assert processor.active_count == 0
+
+    def test_timers_collect_samples(self, paper_processor):
+        assert paper_processor.ingest_timer.count == 8
+        assert paper_processor.update_timer.count > 0
+
+
+class TestQueryProcessing:
+    def test_query_with_ksir_query_object(self, paper_processor):
+        query = KSIRQuery(k=2, vector=np.array([0.5, 0.5]))
+        result = paper_processor.query(query, algorithm="mttd")
+        assert set(result.element_ids) == {1, 3}
+        assert result.score == pytest.approx(0.65, abs=0.01)
+        assert result.algorithm == "mttd"
+        assert result.active_elements == 7
+        assert result.elapsed_ms >= 0.0
+
+    def test_query_with_raw_vector(self, paper_processor):
+        result = paper_processor.query([0.5, 0.5], k=2, algorithm="celf")
+        assert set(result.element_ids) == {1, 3}
+
+    def test_query_with_raw_vector_requires_k(self, paper_processor):
+        with pytest.raises(ValueError):
+            paper_processor.query([0.5, 0.5])
+
+    def test_default_algorithm_used(self, paper_processor):
+        result = paper_processor.query([0.5, 0.5], k=2)
+        assert result.algorithm == "mttd"
+
+    def test_algorithm_instance_accepted(self, paper_processor):
+        from repro.core.algorithms import MTTS
+
+        result = paper_processor.query([0.5, 0.5], k=2, algorithm=MTTS(epsilon=0.3))
+        assert set(result.element_ids) == {1, 3}
+
+    def test_epsilon_override(self, paper_processor):
+        result = paper_processor.query([0.5, 0.5], k=2, algorithm="mtts", epsilon=0.5)
+        assert len(result.element_ids) <= 2
+
+    def test_all_registry_algorithms_run(self, paper_processor):
+        for name in ("greedy", "celf", "sieve", "topk", "mtts", "mttd"):
+            result = paper_processor.query([0.3, 0.7], k=3, algorithm=name)
+            assert len(result.element_ids) <= 3
+
+    def test_result_elements_materialisation(self, paper_processor):
+        result = paper_processor.query([0.5, 0.5], k=2, algorithm="mttd")
+        elements = paper_processor.result_elements(result)
+        assert {element.element_id for element in elements} == set(result.element_ids)
+
+    def test_snapshot_is_frozen(self, paper_processor):
+        snapshot = paper_processor.snapshot()
+        before = snapshot.active_count
+        # Further ingestion must not affect the existing snapshot.
+        paper_processor.process_bucket([], end_time=20)
+        assert snapshot.active_count == before
+        assert paper_processor.active_count == 0
+
+    def test_objective_binding(self, paper_processor):
+        objective = paper_processor.objective(np.array([0.5, 0.5]))
+        assert objective.context.active_count == paper_processor.active_count

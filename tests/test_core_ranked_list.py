@@ -1,0 +1,176 @@
+"""Tests for the per-topic ranked lists and their merged traversal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ranked_list import RankedListIndex
+from repro.core.scoring import ProfileBuilder
+from tests.conftest import PAPER_SCORING, build_paper_elements, build_paper_topic_model
+
+
+def build_paper_index(until_time: int = 8) -> RankedListIndex:
+    """Build the ranked lists by replaying the paper example up to a time.
+
+    This mirrors Algorithm 1 directly (insert + refresh on reference +
+    remove on expiry) without going through the full processor, so the
+    index logic is tested in isolation.
+    """
+    model = build_paper_topic_model()
+    builder = ProfileBuilder(model, PAPER_SCORING)
+    index = RankedListIndex(model.num_topics, PAPER_SCORING)
+    elements = {e.element_id: e for e in build_paper_elements()}
+    profiles = {eid: builder.build(element) for eid, element in elements.items()}
+    window_length = 4
+
+    for time in range(1, until_time + 1):
+        element = elements.get(time)
+        if element is not None and element.timestamp <= until_time:
+            index.insert(profiles[element.element_id])
+            for parent_id in element.references:
+                window_start = element.timestamp - window_length + 1
+                followers = {
+                    eid: profiles[eid]
+                    for eid, other in elements.items()
+                    if parent_id in other.references
+                    and window_start <= other.timestamp <= element.timestamp
+                }
+                index.refresh(profiles[parent_id], followers, activity_time=element.timestamp)
+        # Expire elements never referred to after the window start.
+        window_start = time - window_length + 1
+        for eid in list(elements):
+            if eid in index and index.last_activity(eid) < window_start:
+                index.remove(eid)
+    return index
+
+
+class TestRankedListMaintenance:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RankedListIndex(0, PAPER_SCORING)
+
+    def test_insert_uses_semantic_score_only(self, paper_topic_model):
+        builder = ProfileBuilder(paper_topic_model, PAPER_SCORING)
+        element = build_paper_elements()[2]  # e3
+        profile = builder.build(element)
+        index = RankedListIndex(2, PAPER_SCORING)
+        index.insert(profile)
+        # Before any reference arrives δ_1(e3) = λ·R_1(e3) ≈ 0.378.
+        assert index.score(0, 3) == pytest.approx(0.378, abs=0.01)
+        assert index.last_activity(3) == element.timestamp
+
+    def test_paper_figure5_scores(self):
+        """The ranked-list tuples at t = 8 match Figure 5."""
+        index = build_paper_index(until_time=8)
+        expected_topic1 = {3: 0.65, 6: 0.48, 8: 0.17, 2: 0.10, 7: 0.06, 1: 0.06, 5: 0.05}
+        expected_topic2 = {1: 0.56, 2: 0.48, 5: 0.27, 7: 0.18, 8: 0.16, 6: 0.13, 3: 0.03}
+        for element_id, expected in expected_topic1.items():
+            assert index.score(0, element_id) == pytest.approx(expected, abs=0.011)
+        for element_id, expected in expected_topic2.items():
+            assert index.score(1, element_id) == pytest.approx(expected, abs=0.011)
+        # e4 expired at t = 8 and must not appear on any list.
+        assert 4 not in index
+        # Descending order of list 1 matches the figure.
+        order_topic1 = [eid for eid, _ in index.items(0)]
+        assert order_topic1[:2] == [3, 6]
+
+    def test_scores_of_collects_all_topics(self):
+        index = build_paper_index(until_time=8)
+        scores = index.scores_of(8)
+        assert set(scores) == {0, 1}
+
+    def test_remove_clears_every_list(self):
+        index = build_paper_index(until_time=8)
+        index.remove(8)
+        assert 8 not in index
+        assert all(8 != eid for eid, _ in index.items(0))
+        assert all(8 != eid for eid, _ in index.items(1))
+
+    def test_total_tuples_and_list_size(self):
+        index = build_paper_index(until_time=8)
+        assert index.total_tuples() == index.list_size(0) + index.list_size(1)
+        assert index.list_size(0) == 7
+
+    def test_update_timer_records_samples(self):
+        index = build_paper_index(until_time=8)
+        assert index.update_timer.count > 0
+
+    def test_clear(self):
+        index = build_paper_index(until_time=8)
+        index.clear()
+        assert index.total_tuples() == 0
+        assert 3 not in index
+
+    def test_validate(self):
+        assert build_paper_index(until_time=8).validate()
+
+
+class TestTraversal:
+    def test_rejects_wrong_vector_shape(self):
+        index = build_paper_index()
+        with pytest.raises(ValueError):
+            index.traversal(np.array([0.5, 0.3, 0.2]))
+
+    def test_pop_order_follows_weighted_scores(self):
+        """With x = (0.5, 0.5) the first pops match the MTTS walkthrough."""
+        index = build_paper_index()
+        traversal = index.traversal(np.array([0.5, 0.5]))
+        first = traversal.pop()
+        second = traversal.pop()
+        assert first[0] == 3  # x1·δ1(e3) = 0.33 beats x2·δ2(e1) = 0.28
+        assert second[0] == 1
+        assert traversal.retrieved_count == 2
+
+    def test_stored_score_combines_topics(self):
+        index = build_paper_index()
+        traversal = index.traversal(np.array([0.5, 0.5]))
+        expected = 0.5 * index.score(0, 3) + 0.5 * index.score(1, 3)
+        assert traversal.stored_score(3) == pytest.approx(expected)
+
+    def test_upper_bound_decreases_monotonically(self):
+        index = build_paper_index()
+        traversal = index.traversal(np.array([0.5, 0.5]))
+        bounds = [traversal.upper_bound()]
+        while True:
+            item = traversal.pop()
+            if item is None:
+                break
+            bounds.append(traversal.upper_bound())
+        assert all(later <= earlier + 1e-9 for earlier, later in zip(bounds, bounds[1:]))
+
+    def test_upper_bound_dominates_future_scores(self):
+        index = build_paper_index()
+        traversal = index.traversal(np.array([0.3, 0.7]))
+        while True:
+            bound = traversal.upper_bound()
+            item = traversal.pop()
+            if item is None:
+                break
+            _eid, score = item
+            assert score <= bound + 1e-9
+
+    def test_each_element_retrieved_once(self):
+        index = build_paper_index()
+        traversal = index.traversal(np.array([0.5, 0.5]))
+        popped = [eid for eid, _ in traversal]
+        assert len(popped) == len(set(popped))
+        assert set(popped) == {1, 2, 3, 5, 6, 7, 8}
+
+    def test_single_topic_query_only_touches_that_list(self):
+        index = build_paper_index()
+        traversal = index.traversal(np.array([1.0, 0.0]))
+        popped = [eid for eid, _ in traversal]
+        # Only elements present on topic 1's list are retrieved, best first.
+        assert popped[0] == 3
+        assert set(popped) == {eid for eid, _ in index.items(0)}
+
+    def test_exhausted(self):
+        index = build_paper_index()
+        traversal = index.traversal(np.array([0.5, 0.5]))
+        assert not traversal.exhausted()
+        for _ in traversal:
+            pass
+        assert traversal.exhausted()
+        assert traversal.pop() is None
+        assert traversal.upper_bound() == 0.0

@@ -1,0 +1,209 @@
+"""Tests for the dataset profiles, the synthetic generator and the loaders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import load_stream_jsonl, save_stream_jsonl
+from repro.datasets.profiles import DATASET_PROFILES, DatasetProfile, get_profile, profile_names
+from repro.datasets.synthetic import TOPIC_THEMES, SyntheticStreamGenerator
+
+
+class TestProfiles:
+    def test_registry_contains_paper_datasets(self):
+        for name in ("aminer", "reddit", "twitter"):
+            assert name in DATASET_PROFILES
+            assert f"{name}-small" in DATASET_PROFILES
+        assert "tiny" in DATASET_PROFILES
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(ValueError, match="unknown dataset profile"):
+            get_profile("nonexistent")
+
+    def test_profile_names_sorted(self):
+        names = profile_names()
+        assert list(names) == sorted(names)
+
+    def test_shape_statistics_follow_table3_ordering(self):
+        """AMiner documents are longest and most referenced; tweets shortest."""
+        aminer = get_profile("aminer")
+        reddit = get_profile("reddit")
+        twitter = get_profile("twitter")
+        assert aminer.mean_document_length > reddit.mean_document_length > twitter.mean_document_length
+        assert aminer.mean_references > reddit.mean_references > twitter.mean_references
+
+    def test_invalid_profile_parameters(self):
+        with pytest.raises(ValueError):
+            DatasetProfile(
+                name="bad", description="", num_elements=0, vocabulary_size=10,
+                num_topics=2, duration=10, mean_document_length=3, mean_references=0.5,
+            )
+        with pytest.raises(ValueError):
+            DatasetProfile(
+                name="bad", description="", num_elements=10, vocabulary_size=10,
+                num_topics=2, duration=10, mean_document_length=3, mean_references=0.5,
+                topical_reference_bias=1.5,
+            )
+
+    def test_scaled_profile(self):
+        profile = get_profile("tiny").scaled(2.0)
+        assert profile.num_elements == 2 * get_profile("tiny").num_elements
+        assert profile.duration == 2 * get_profile("tiny").duration
+        assert profile.name.startswith("tiny")
+
+    def test_with_topics(self):
+        profile = get_profile("tiny").with_topics(7)
+        assert profile.num_topics == 7
+        assert get_profile("tiny").num_topics != 7 or True  # original untouched
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ValueError):
+            get_profile("tiny").scaled(0.0)
+
+
+class TestSyntheticGenerator:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return SyntheticStreamGenerator.from_profile("tiny", seed=123).generate()
+
+    def test_generates_requested_number_of_elements(self, dataset):
+        assert len(dataset.stream) == dataset.profile.num_elements
+
+    def test_elements_are_ordered_and_unique(self, dataset):
+        timestamps = [element.timestamp for element in dataset.stream]
+        assert timestamps == sorted(timestamps)
+        ids = [element.element_id for element in dataset.stream]
+        assert len(ids) == len(set(ids))
+
+    def test_topic_distributions_are_sparse_probabilities(self, dataset):
+        max_topics = dataset.profile.max_topics_per_element
+        for element in dataset.stream:
+            distribution = element.topic_distribution
+            assert distribution is not None
+            assert distribution.sum() == pytest.approx(1.0)
+            assert np.all(distribution >= 0.0)
+            assert int(np.count_nonzero(distribution)) <= max_topics
+
+    def test_references_point_to_earlier_elements(self, dataset):
+        by_id = {element.element_id: element for element in dataset.stream}
+        for element in dataset.stream:
+            for parent_id in element.references:
+                assert parent_id in by_id
+                assert by_id[parent_id].timestamp <= element.timestamp
+                age = element.timestamp - by_id[parent_id].timestamp
+                assert age <= dataset.profile.reference_horizon
+
+    def test_documents_use_vocabulary_words(self, dataset):
+        for element in dataset.stream.elements[:50]:
+            assert len(element.tokens) >= 2
+            for token in element.tokens:
+                assert token in dataset.vocabulary
+
+    def test_topic_model_is_valid_oracle(self, dataset):
+        assert dataset.topic_model.validate()
+        assert dataset.topic_model.num_topics == dataset.profile.num_topics
+        assert len(dataset.topic_names) == dataset.profile.num_topics
+
+    def test_seed_reproducibility(self):
+        first = SyntheticStreamGenerator.from_profile("tiny", seed=9).generate()
+        second = SyntheticStreamGenerator.from_profile("tiny", seed=9).generate()
+        assert len(first.stream) == len(second.stream)
+        for left, right in zip(first.stream, second.stream):
+            assert left.tokens == right.tokens
+            assert left.references == right.references
+            assert left.timestamp == right.timestamp
+
+    def test_different_seeds_differ(self):
+        first = SyntheticStreamGenerator.from_profile("tiny", seed=1).generate()
+        second = SyntheticStreamGenerator.from_profile("tiny", seed=2).generate()
+        assert any(
+            left.tokens != right.tokens for left, right in zip(first.stream, second.stream)
+        )
+
+    def test_statistics_shape(self, dataset):
+        stats = dataset.statistics()
+        assert stats["num_elements"] == dataset.profile.num_elements
+        assert stats["average_length"] >= 2.0
+        assert stats["average_references"] >= 0.0
+        assert stats["num_topics"] == dataset.profile.num_topics
+
+    def test_reference_counts_match_stream(self, dataset):
+        counts = dataset.reference_counts()
+        total = sum(len(element.references) for element in dataset.stream)
+        assert sum(counts.values()) == total
+
+    def test_topical_keywords_come_from_topic(self, dataset):
+        keywords = dataset.topical_keywords(0, count=5)
+        assert len(keywords) == 5
+        theme_name, seeds = TOPIC_THEMES[0]
+        del theme_name
+        # Seed words are boosted, so at least one top word is a seed word.
+        assert any(keyword in seeds for keyword in keywords)
+
+    def test_make_query_from_topic(self, dataset):
+        query = dataset.make_query(k=5, topic=2)
+        assert query.k == 5
+        assert query.vector.shape == (dataset.profile.num_topics,)
+        assert query.vector.sum() == pytest.approx(1.0)
+        assert int(np.argmax(query.vector)) == 2
+
+    def test_make_query_from_keywords(self, dataset):
+        keywords = dataset.topical_keywords(1, count=3)
+        query = dataset.make_query(k=4, keywords=keywords)
+        assert query.keywords == tuple(keywords)
+        assert int(np.argmax(query.vector)) == 1
+
+    def test_make_query_requires_exactly_one_source(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.make_query(k=3)
+        with pytest.raises(ValueError):
+            dataset.make_query(k=3, keywords=["a"], topic=1)
+
+    def test_train_topic_model_lda(self, dataset):
+        model = dataset.train_topic_model(kind="lda", num_topics=3, iterations=8, seed=1)
+        assert model.num_topics == 3
+        assert model.validate()
+
+    def test_train_topic_model_invalid_kind(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.train_topic_model(kind="bogus")
+
+    def test_reference_density_matches_profile(self):
+        dataset = SyntheticStreamGenerator.from_profile("tiny", seed=5).generate()
+        stats = dataset.statistics()
+        expected = dataset.profile.mean_references
+        assert stats["average_references"] == pytest.approx(expected, rel=0.5)
+
+
+class TestLoaders:
+    def test_roundtrip(self, tmp_path, tiny_dataset):
+        path = tmp_path / "stream.jsonl"
+        written = save_stream_jsonl(tiny_dataset.stream, path)
+        assert written == len(tiny_dataset.stream)
+        loaded = load_stream_jsonl(path)
+        assert len(loaded) == len(tiny_dataset.stream)
+        for left, right in zip(tiny_dataset.stream, loaded):
+            assert left.element_id == right.element_id
+            assert left.tokens == right.tokens
+            assert left.references == right.references
+            np.testing.assert_allclose(left.topic_distribution, right.topic_distribution)
+
+    def test_creates_parent_directories(self, tmp_path, tiny_dataset):
+        path = tmp_path / "nested" / "dir" / "stream.jsonl"
+        save_stream_jsonl(tiny_dataset.stream.elements[:5], path)
+        assert path.exists()
+        assert len(load_stream_jsonl(path)) == 5
+
+    def test_skips_blank_lines(self, tmp_path, tiny_dataset):
+        path = tmp_path / "stream.jsonl"
+        save_stream_jsonl(tiny_dataset.stream.elements[:3], path)
+        content = path.read_text() + "\n\n"
+        path.write_text(content)
+        assert len(load_stream_jsonl(path)) == 3
+
+    def test_invalid_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"element_id": 1, "timestamp": 1}\nnot-json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_stream_jsonl(path)

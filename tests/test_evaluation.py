@@ -1,0 +1,322 @@
+"""Tests for the effectiveness metrics, kappa, workloads and the user study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.element import SocialElement
+from repro.evaluation.kappa import cohen_weighted_kappa
+from repro.evaluation.metrics import (
+    average_pairwise_similarity,
+    coverage_score,
+    influence_score,
+    quality_ratios,
+    reference_count,
+    relevance,
+    text_similarity,
+    topic_similarity,
+)
+from repro.evaluation.user_study import SimulatedUserStudy
+from repro.evaluation.workload import WorkloadGenerator
+
+
+def make_element(element_id, tokens, topic, references=(), timestamp=1):
+    return SocialElement(
+        element_id=element_id,
+        timestamp=timestamp,
+        tokens=tuple(tokens),
+        references=tuple(references),
+        topic_distribution=np.asarray(topic, dtype=float),
+    )
+
+
+@pytest.fixture()
+def small_snapshot():
+    """Five candidates on two topics plus two window elements referencing them."""
+    candidates = [
+        make_element(1, ["goal", "league"], [1.0, 0.0]),
+        make_element(2, ["goal", "match"], [0.9, 0.1]),
+        make_element(3, ["cloud", "software"], [0.0, 1.0]),
+        make_element(4, ["kernel", "software"], [0.1, 0.9]),
+        make_element(5, ["league", "derby"], [0.8, 0.2]),
+    ]
+    window = candidates + [
+        make_element(6, ["retweet"], [1.0, 0.0], references=(1, 2), timestamp=2),
+        make_element(7, ["reply"], [0.0, 1.0], references=(3,), timestamp=2),
+    ]
+    return candidates, window
+
+
+class TestSimilarities:
+    def test_topic_similarity(self):
+        assert topic_similarity(np.array([1.0, 0.0]), np.array([1.0, 0.0])) == pytest.approx(1.0)
+        assert topic_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 0.0
+        assert topic_similarity(None, np.array([1.0])) == 0.0
+        assert topic_similarity(np.zeros(2), np.array([1.0, 0.0])) == 0.0
+
+    def test_text_similarity(self):
+        assert text_similarity({"a": 1}, {"a": 1}) == pytest.approx(1.0)
+        assert text_similarity({"a": 1}, {"b": 1}) == 0.0
+        assert text_similarity({}, {"a": 1}) == 0.0
+        assert 0.0 < text_similarity({"a": 1, "b": 1}, {"a": 1, "c": 1}) < 1.0
+
+    def test_relevance_uses_topic_vector(self):
+        element = make_element(1, ["x"], [0.5, 0.5])
+        assert relevance(element, np.array([1.0, 0.0])) == pytest.approx(1 / np.sqrt(2))
+
+
+class TestCoverage:
+    def test_empty_selection_is_zero(self, small_snapshot):
+        candidates, _ = small_snapshot
+        assert coverage_score([], candidates, np.array([1.0, 0.0])) == 0.0
+
+    def test_coverage_increases_with_better_selection(self, small_snapshot):
+        candidates, _ = small_snapshot
+        query = np.array([1.0, 0.0])
+        narrow = coverage_score([candidates[2]], candidates, query)
+        on_topic = coverage_score([candidates[0]], candidates, query)
+        assert on_topic > narrow
+
+    def test_coverage_bounded_by_one_when_normalised(self, small_snapshot):
+        candidates, _ = small_snapshot
+        value = coverage_score(candidates, candidates, np.array([0.5, 0.5]))
+        assert 0.0 <= value <= 1.0
+
+    def test_unnormalised_variant_is_larger_or_equal(self, small_snapshot):
+        candidates, _ = small_snapshot
+        query = np.array([1.0, 0.0])
+        normalised = coverage_score([candidates[0]], candidates, query, normalize=True)
+        raw = coverage_score([candidates[0]], candidates, query, normalize=False)
+        assert raw >= normalised
+
+    def test_selected_elements_do_not_cover_themselves(self, small_snapshot):
+        candidates, _ = small_snapshot
+        # A selection containing every candidate leaves nothing to cover
+        # except the excluded ones; coverage of "everything" uses only others.
+        value = coverage_score(candidates, candidates, np.array([1.0, 0.0]))
+        assert value == 0.0 or value <= 1.0
+
+
+class TestInfluence:
+    def test_counts_unique_followers(self, small_snapshot):
+        _, window = small_snapshot
+        raw = influence_score([1, 2], window, normalize=False)
+        # Element 6 references both 1 and 2 but is counted once.
+        assert raw == 1.0
+
+    def test_normalised_against_top_k(self, small_snapshot):
+        _, window = small_snapshot
+        value = influence_score([1], window, k=1)
+        assert value == pytest.approx(1.0)
+        weaker = influence_score([4], window, k=1)
+        assert weaker == 0.0
+
+    def test_empty_selection(self, small_snapshot):
+        _, window = small_snapshot
+        assert influence_score([], window) == 0.0
+
+    def test_reference_count(self, small_snapshot):
+        _, window = small_snapshot
+        assert reference_count([1, 2, 3], window) == 3
+        assert reference_count([5], window) == 0
+
+    def test_no_references_in_window(self):
+        window = [make_element(1, ["a"], [1.0])]
+        assert influence_score([1], window) == 0.0
+
+
+class TestQualityRatios:
+    def test_ratios_relative_to_reference(self):
+        ratios = quality_ratios({"celf": 2.0, "mtts": 1.9, "topk": 1.0})
+        assert ratios["celf"] == pytest.approx(1.0)
+        assert ratios["mtts"] == pytest.approx(0.95)
+        assert ratios["topk"] == pytest.approx(0.5)
+
+    def test_missing_reference_returns_empty(self):
+        assert quality_ratios({"mtts": 1.0}) == {}
+
+    def test_average_pairwise_similarity(self):
+        elements = [
+            make_element(1, ["a"], [1.0, 0.0]),
+            make_element(2, ["b"], [1.0, 0.0]),
+            make_element(3, ["c"], [0.0, 1.0]),
+        ]
+        value = average_pairwise_similarity(elements)
+        assert 0.0 < value < 1.0
+        assert average_pairwise_similarity(elements[:1]) == 0.0
+
+
+class TestKappa:
+    def test_perfect_agreement(self):
+        assert cohen_weighted_kappa([1, 2, 3, 4, 5], [1, 2, 3, 4, 5]) == pytest.approx(1.0)
+
+    def test_constant_identical_raters(self):
+        assert cohen_weighted_kappa([3, 3, 3], [3, 3, 3]) == 1.0
+
+    def test_total_disagreement_is_negative(self):
+        value = cohen_weighted_kappa([1, 1, 5, 5], [5, 5, 1, 1])
+        assert value < 0.0
+
+    def test_moderate_agreement_between_zero_and_one(self):
+        value = cohen_weighted_kappa([1, 2, 3, 4, 5], [2, 2, 3, 4, 4])
+        assert 0.0 < value < 1.0
+
+    def test_linear_weighting_penalises_near_misses_less(self):
+        near = cohen_weighted_kappa([1, 2, 3, 4, 5], [2, 3, 4, 5, 5])
+        far = cohen_weighted_kappa([1, 2, 3, 4, 5], [5, 4, 5, 1, 1])
+        assert near > far
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            cohen_weighted_kappa([1, 2], [1])
+        with pytest.raises(ValueError):
+            cohen_weighted_kappa([], [])
+        with pytest.raises(ValueError):
+            cohen_weighted_kappa([0, 1], [1, 2])
+        with pytest.raises(ValueError):
+            cohen_weighted_kappa([1, 6], [1, 2])
+        with pytest.raises(ValueError):
+            cohen_weighted_kappa([1, 2], [1, 2], num_categories=1)
+
+
+class TestWorkloadGenerator:
+    def test_invalid_configuration(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(tiny_dataset, mode="bogus")
+        with pytest.raises(ValueError):
+            WorkloadGenerator(tiny_dataset, min_keywords=0)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(tiny_dataset, min_keywords=3, max_keywords=2)
+
+    def test_generates_requested_number(self, tiny_dataset):
+        generator = WorkloadGenerator(tiny_dataset, k=5, seed=1)
+        workload = generator.generate(12)
+        assert len(workload) == 12
+        assert all(query.k == 5 for query in workload)
+
+    def test_keyword_counts_in_range(self, tiny_dataset):
+        generator = WorkloadGenerator(tiny_dataset, min_keywords=2, max_keywords=4, seed=2)
+        for _ in range(20):
+            keywords = generator.sample_keywords()
+            assert 2 <= len(keywords) <= 4
+
+    def test_query_times_within_stream_range(self, tiny_dataset):
+        generator = WorkloadGenerator(tiny_dataset, seed=3)
+        workload = generator.generate(15)
+        start, end = tiny_dataset.stream.start_time, tiny_dataset.stream.end_time
+        for query in workload:
+            assert start <= query.time <= end
+
+    def test_workload_sorted_by_time(self, tiny_dataset):
+        workload = WorkloadGenerator(tiny_dataset, seed=4).generate(10)
+        times = [query.time for query in workload]
+        assert times == sorted(times)
+
+    def test_explicit_times(self, tiny_dataset):
+        generator = WorkloadGenerator(tiny_dataset, seed=5)
+        workload = generator.generate(3, times=[100, 50, 200])
+        assert sorted(query.time for query in workload) == [50, 100, 200]
+        with pytest.raises(ValueError):
+            generator.generate(3, times=[1, 2])
+
+    def test_topical_mode_uses_topic_words(self, tiny_dataset):
+        generator = WorkloadGenerator(tiny_dataset, mode="topical", seed=6)
+        keywords = generator.sample_keywords()
+        assert all(keyword in tiny_dataset.vocabulary for keyword in keywords)
+
+    def test_uniform_mode(self, tiny_dataset):
+        generator = WorkloadGenerator(tiny_dataset, mode="uniform", seed=7)
+        workload = generator.generate(5)
+        assert len(workload) == 5
+
+    def test_reproducible_with_seed(self, tiny_dataset):
+        first = WorkloadGenerator(tiny_dataset, seed=11).generate(5)
+        second = WorkloadGenerator(tiny_dataset, seed=11).generate(5)
+        for left, right in zip(first, second):
+            assert left.keywords == right.keywords
+            assert left.time == right.time
+
+    def test_queries_between(self, tiny_dataset):
+        workload = WorkloadGenerator(tiny_dataset, seed=12).generate(20)
+        start, end = tiny_dataset.stream.start_time, tiny_dataset.stream.end_time
+        middle = (start + end) // 2
+        subset = workload.queries_between(start, middle)
+        assert all(start <= query.time <= middle for query in subset)
+
+    def test_invalid_num_queries(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(tiny_dataset, seed=1).generate(0)
+
+
+class TestSimulatedUserStudy:
+    def make_results(self, small_snapshot):
+        candidates, _window = small_snapshot
+        return {
+            "good": [candidates[0], candidates[1], candidates[4]],
+            "offtopic": [candidates[2], candidates[3]],
+            "empty": [],
+        }
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            SimulatedUserStudy(evaluators_per_query=1)
+        with pytest.raises(ValueError):
+            SimulatedUserStudy(noise=-0.1)
+        with pytest.raises(ValueError):
+            SimulatedUserStudy(rating_scale=1)
+
+    def test_representativeness_truth_prefers_on_topic(self, small_snapshot):
+        candidates, _ = small_snapshot
+        query = np.array([1.0, 0.0])
+        good = SimulatedUserStudy.representativeness_truth(
+            [candidates[0], candidates[4]], query, candidates
+        )
+        bad = SimulatedUserStudy.representativeness_truth(
+            [candidates[2], candidates[3]], query, candidates
+        )
+        assert good > bad
+
+    def test_impact_truth_prefers_referenced(self, small_snapshot):
+        candidates, window = small_snapshot
+        referenced = SimulatedUserStudy.impact_truth([candidates[0]], window)
+        ignored = SimulatedUserStudy.impact_truth([candidates[4]], window)
+        assert referenced > ignored
+        assert SimulatedUserStudy.impact_truth([], window) == 0.0
+
+    def test_judge_query_produces_ratings_for_each_method(self, small_snapshot):
+        candidates, window = small_snapshot
+        study = SimulatedUserStudy(evaluators_per_query=3, noise=0.0, seed=1)
+        judged = study.judge_query(
+            self.make_results(small_snapshot), np.array([1.0, 0.0]), candidates, window
+        )
+        for method in ("good", "offtopic", "empty"):
+            assert len(judged.representativeness[method]) == 3
+            assert len(judged.impact[method]) == 3
+            assert all(1 <= rating <= 5 for rating in judged.representativeness[method])
+
+    def test_noiseless_evaluators_agree_perfectly(self, small_snapshot):
+        candidates, window = small_snapshot
+        study = SimulatedUserStudy(evaluators_per_query=3, noise=0.0, seed=2)
+        judged = study.judge_query(
+            self.make_results(small_snapshot), np.array([1.0, 0.0]), candidates, window
+        )
+        outcome = study.aggregate([judged])
+        assert outcome.representativeness_kappa[1] == pytest.approx(1.0)
+        assert outcome.representativeness["good"] > outcome.representativeness["offtopic"]
+
+    def test_aggregate_requires_queries(self):
+        with pytest.raises(ValueError):
+            SimulatedUserStudy().aggregate([])
+
+    def test_outcome_rows(self, small_snapshot):
+        candidates, window = small_snapshot
+        study = SimulatedUserStudy(evaluators_per_query=2, noise=0.05, seed=3)
+        judged = study.judge_query(
+            self.make_results(small_snapshot), np.array([1.0, 0.0]), candidates, window
+        )
+        outcome = study.aggregate([judged, judged])
+        rows = outcome.as_rows()
+        assert len(rows) == 3
+        assert outcome.num_queries == 2
+        assert outcome.evaluators_per_query == 2

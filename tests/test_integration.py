@@ -1,0 +1,160 @@
+"""End-to-end integration tests: generate → train → replay → query → evaluate.
+
+These tests exercise the whole public API the way the examples and the
+benchmark harness do, including the optional path that trains a topic model
+from the generated corpus instead of using the ground-truth oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    KSIRProcessor,
+    KSIRQuery,
+    ProcessorConfig,
+    ScoringConfig,
+    SyntheticStreamGenerator,
+    infer_query_vector,
+)
+from repro.evaluation.metrics import coverage_score, influence_score
+from repro.evaluation.workload import WorkloadGenerator
+from repro.search import SEARCH_REGISTRY
+from repro.search.base import SearchRequest
+
+
+class TestEndToEndPipeline:
+    def test_full_pipeline_on_tiny_profile(self, tiny_dataset, tiny_processor):
+        # 1. The stream was fully replayed.
+        assert tiny_processor.elements_processed == len(tiny_dataset.stream)
+        assert tiny_processor.active_count > 0
+
+        # 2. Ad-hoc queries with every algorithm return consistent results.
+        query = tiny_dataset.make_query(k=6, topic=0)
+        scores = {}
+        for algorithm in ("celf", "sieve", "topk", "mtts", "mttd"):
+            result = tiny_processor.query(query, algorithm=algorithm)
+            assert len(result) <= 6
+            scores[algorithm] = result.score
+        assert scores["mttd"] >= 0.9 * scores["celf"]
+
+        # 3. The effectiveness metrics run on the same snapshot.
+        candidates = list(tiny_processor.window.active_elements())
+        window_elements = [
+            tiny_processor.window.get(eid) for eid in tiny_processor.window.window_ids()
+        ]
+        result = tiny_processor.query(query, algorithm="mttd")
+        selected = list(tiny_processor.result_elements(result))
+        coverage = coverage_score(selected, candidates, query.vector)
+        influence = influence_score(result.element_ids, window_elements, k=query.k)
+        assert 0.0 <= coverage <= 1.0
+        assert 0.0 <= influence <= 1.0
+
+    def test_incremental_processing_matches_batch(self, tiny_dataset):
+        """Replaying bucket-by-bucket equals replaying via process_stream."""
+        config = ProcessorConfig(
+            window_length=3 * 3600, bucket_length=900,
+            scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
+        )
+        batch = KSIRProcessor(tiny_dataset.topic_model, config)
+        batch.process_stream(tiny_dataset.stream)
+
+        incremental = KSIRProcessor(tiny_dataset.topic_model, config)
+        for bucket in tiny_dataset.stream.buckets(config.bucket_length):
+            incremental.process_bucket(bucket.elements, bucket.end_time)
+
+        assert set(batch.window.active_ids()) == set(incremental.window.active_ids())
+        query = tiny_dataset.make_query(k=5, topic=1)
+        assert batch.query(query, algorithm="celf").score == pytest.approx(
+            incremental.query(query, algorithm="celf").score
+        )
+
+    def test_query_by_keyword_pipeline(self, tiny_dataset, tiny_processor):
+        """The paper's query-by-keyword transformation end to end."""
+        keywords = tiny_dataset.topical_keywords(2, count=3)
+        vector = infer_query_vector(tiny_dataset.topic_model, keywords)
+        query = KSIRQuery(k=5, vector=vector, keywords=tuple(keywords))
+        result = tiny_processor.query(query, algorithm="mttd")
+        assert len(result) >= 1
+        # The selected elements should lean towards the queried topic.
+        selected = tiny_processor.result_elements(result)
+        dominant = [int(np.argmax(e.topic_distribution)) for e in selected]
+        assert any(topic == 2 for topic in dominant)
+
+    def test_search_baselines_run_on_processor_snapshot(self, tiny_dataset, tiny_processor):
+        query = tiny_dataset.make_query(k=4, topic=0)
+        request = SearchRequest(
+            elements=list(tiny_processor.window.active_elements()),
+            keywords=query.keywords,
+            query_vector=query.vector,
+            k=query.k,
+        )
+        for name, cls in SEARCH_REGISTRY.items():
+            result = cls().search(request)
+            assert len(result) <= 4, name
+
+    def test_workload_replay_with_interleaved_queries(self, tiny_dataset):
+        """Queries issued at their workload timestamps during the replay."""
+        config = ProcessorConfig(
+            window_length=3 * 3600, bucket_length=1800,
+            scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
+        )
+        processor = KSIRProcessor(tiny_dataset.topic_model, config)
+        workload = WorkloadGenerator(tiny_dataset, k=5, seed=3).generate(6)
+        pending = list(workload)
+        answered = []
+        for bucket in tiny_dataset.stream.buckets(config.bucket_length):
+            processor.process_bucket(bucket.elements, bucket.end_time)
+            while pending and pending[0].time <= bucket.end_time:
+                query = pending.pop(0)
+                if processor.active_count == 0:
+                    continue
+                answered.append(processor.query(query, algorithm="mttd"))
+        assert len(answered) >= 1
+        assert all(result.elapsed_ms >= 0.0 for result in answered)
+
+    def test_trained_lda_model_can_replace_oracle(self, tiny_dataset):
+        """Train LDA on the corpus and run the processor with it (no ground truth)."""
+        model = tiny_dataset.train_topic_model(kind="lda", num_topics=5, iterations=15, seed=2)
+        config = ProcessorConfig(
+            window_length=3 * 3600, bucket_length=1800,
+            scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
+        )
+        processor = KSIRProcessor(model, config)
+        # Strip the ground-truth distributions so the processor infers them.
+        stripped = [
+            type(element)(
+                element_id=element.element_id,
+                timestamp=element.timestamp,
+                tokens=element.tokens,
+                references=element.references,
+            )
+            for element in tiny_dataset.stream.elements[:150]
+        ]
+        from repro.core.stream import SocialStream
+
+        processor.process_stream(SocialStream(stripped))
+        assert processor.active_count > 0
+        keywords = tiny_dataset.topical_keywords(0, count=3)
+        vector = infer_query_vector(model, keywords)
+        result = processor.query(KSIRQuery(k=5, vector=vector))
+        assert len(result) <= 5
+
+    def test_reproducibility_of_full_run(self):
+        """Same seed → same dataset → same query answers."""
+        def run():
+            dataset = SyntheticStreamGenerator.from_profile("tiny", seed=99).generate()
+            config = ProcessorConfig(
+                window_length=3 * 3600, bucket_length=900,
+                scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
+            )
+            processor = KSIRProcessor(dataset.topic_model, config)
+            processor.process_stream(dataset.stream)
+            query = dataset.make_query(k=5, topic=1)
+            return processor.query(query, algorithm="mttd")
+
+        first = run()
+        second = run()
+        assert first.element_ids == second.element_ids
+        assert first.score == pytest.approx(second.score)

@@ -1,0 +1,267 @@
+"""Tests for the effectiveness-study search baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.element import SocialElement
+from repro.search import SEARCH_REGISTRY
+from repro.search.base import SearchRequest
+from repro.search.diversity import DiversityAwareSearch
+from repro.search.lexrank import lexrank_scores, pairwise_cosine_matrix
+from repro.search.relevance import TopicRelevanceSearch, topic_cosine
+from repro.search.sumblr import SumblrSummarizer, kmeans_cluster
+from repro.search.tfidf import (
+    TFIDFSearch,
+    build_document_frequencies,
+    cosine_similarity,
+    tfidf_vector,
+)
+
+
+def make_element(element_id, tokens, topic=None, references=(), timestamp=1):
+    return SocialElement(
+        element_id=element_id,
+        timestamp=timestamp,
+        tokens=tuple(tokens),
+        references=tuple(references),
+        topic_distribution=None if topic is None else np.asarray(topic, dtype=float),
+    )
+
+
+@pytest.fixture()
+def sports_vs_tech_elements():
+    """Ten elements split between a 'sports' topic and a 'tech' topic."""
+    sports_docs = [
+        ["goal", "league", "striker"],
+        ["match", "goal", "penalty"],
+        ["league", "coach", "derby"],
+        ["striker", "transfer", "match"],
+        ["penalty", "keeper", "goal"],
+    ]
+    tech_docs = [
+        ["cloud", "software", "kernel"],
+        ["database", "query", "index"],
+        ["compiler", "kernel", "software"],
+        ["network", "cloud", "latency"],
+        ["query", "database", "software"],
+    ]
+    elements = []
+    for i, tokens in enumerate(sports_docs):
+        elements.append(make_element(i, tokens, topic=[0.9, 0.1], timestamp=i + 1))
+    for i, tokens in enumerate(tech_docs):
+        elements.append(
+            make_element(5 + i, tokens, topic=[0.1, 0.9], timestamp=i + 6,
+                         references=(0,) if i == 0 else ())
+        )
+    return elements
+
+
+def make_request(elements, keywords, vector, k=3):
+    return SearchRequest(elements=elements, keywords=tuple(keywords), query_vector=np.asarray(vector), k=k)
+
+
+class TestSearchRequest:
+    def test_invalid_k(self, sports_vs_tech_elements):
+        with pytest.raises(ValueError):
+            make_request(sports_vs_tech_elements, ["goal"], [1.0, 0.0], k=0)
+
+    def test_registry_contains_paper_baselines(self):
+        assert set(SEARCH_REGISTRY) == {"tfidf", "div", "sumblr", "rel"}
+
+
+class TestTFIDFHelpers:
+    def test_document_frequencies(self, sports_vs_tech_elements):
+        frequencies = build_document_frequencies(sports_vs_tech_elements)
+        assert frequencies["goal"] == 3
+        assert frequencies["software"] == 3
+
+    def test_tfidf_vector_weights_rare_words_higher(self, sports_vs_tech_elements):
+        frequencies = build_document_frequencies(sports_vs_tech_elements)
+        vector = tfidf_vector(["goal", "keeper"], frequencies, len(sports_vs_tech_elements))
+        assert vector["keeper"] > vector["goal"]
+
+    def test_cosine_similarity_range_and_symmetry(self):
+        left = {"a": 1.0, "b": 2.0}
+        right = {"b": 2.0, "c": 1.0}
+        value = cosine_similarity(left, right)
+        assert 0.0 < value < 1.0
+        assert value == pytest.approx(cosine_similarity(right, left))
+        assert cosine_similarity(left, left) == pytest.approx(1.0)
+        assert cosine_similarity(left, {}) == 0.0
+        assert cosine_similarity(left, {"z": 1.0}) == 0.0
+
+
+class TestTFIDFSearch:
+    def test_returns_keyword_matching_elements(self, sports_vs_tech_elements):
+        request = make_request(sports_vs_tech_elements, ["goal", "penalty"], [1.0, 0.0])
+        result = TFIDFSearch().search(request)
+        assert len(result) == 3
+        returned_tokens = {
+            token
+            for element in sports_vs_tech_elements
+            if element.element_id in result
+            for token in element.tokens
+        }
+        assert "goal" in returned_tokens or "penalty" in returned_tokens
+
+    def test_respects_k(self, sports_vs_tech_elements):
+        request = make_request(sports_vs_tech_elements, ["goal"], [1.0, 0.0], k=2)
+        assert len(TFIDFSearch().search(request)) == 2
+
+    def test_rank_is_sorted_descending(self, sports_vs_tech_elements):
+        request = make_request(sports_vs_tech_elements, ["goal"], [1.0, 0.0])
+        ranked = TFIDFSearch().rank(request)
+        scores = [score for _eid, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_no_match_returns_zero_scores(self, sports_vs_tech_elements):
+        request = make_request(sports_vs_tech_elements, ["zzz"], [1.0, 0.0])
+        ranked = TFIDFSearch().rank(request)
+        assert all(score == 0.0 for _eid, score in ranked)
+
+
+class TestTopicRelevanceSearch:
+    def test_topic_cosine(self):
+        assert topic_cosine(np.array([1.0, 0.0]), np.array([1.0, 0.0])) == pytest.approx(1.0)
+        assert topic_cosine(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+        assert topic_cosine(np.zeros(2), np.array([1.0, 0.0])) == 0.0
+
+    def test_returns_on_topic_elements(self, sports_vs_tech_elements):
+        request = make_request(sports_vs_tech_elements, ["goal"], [1.0, 0.0], k=4)
+        result = TopicRelevanceSearch().search(request)
+        assert set(result).issubset({0, 1, 2, 3, 4})
+
+    def test_missing_topic_distribution_scores_zero(self):
+        elements = [make_element(1, ["a"]), make_element(2, ["b"], topic=[1.0, 0.0])]
+        request = make_request(elements, ["a"], [1.0, 0.0], k=1)
+        assert TopicRelevanceSearch().search(request) == (2,)
+
+
+class TestDiversityAwareSearch:
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            DiversityAwareSearch(relevance_weight=1.5)
+
+    def test_respects_k_and_uniqueness(self, sports_vs_tech_elements):
+        request = make_request(sports_vs_tech_elements, ["goal", "software"], [0.5, 0.5], k=4)
+        result = DiversityAwareSearch().search(request)
+        assert len(result) == 4
+        assert len(set(result)) == 4
+
+    def test_prefers_diverse_results(self):
+        # Three near-identical relevant elements plus one different relevant one:
+        # DIV should include the different one; pure relevance would not.
+        elements = [
+            make_element(1, ["goal", "league", "match"], topic=[1, 0]),
+            make_element(2, ["goal", "league", "match"], topic=[1, 0]),
+            make_element(3, ["goal", "league", "match"], topic=[1, 0]),
+            make_element(4, ["goal", "derby", "keeper"], topic=[1, 0]),
+        ]
+        request = make_request(elements, ["goal"], [1.0, 0.0], k=2)
+        result = DiversityAwareSearch(relevance_weight=0.3).search(request)
+        assert 4 in result
+
+    def test_empty_candidates(self):
+        request = make_request([], ["goal"], [1.0, 0.0], k=2)
+        assert DiversityAwareSearch().search(request) == ()
+
+
+class TestLexRank:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            lexrank_scores(np.ones((2, 3)))
+
+    def test_scores_sum_to_one(self):
+        similarity = np.array([[1.0, 0.5, 0.0], [0.5, 1.0, 0.5], [0.0, 0.5, 1.0]])
+        scores = lexrank_scores(similarity)
+        assert scores.shape == (3,)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_central_node_scores_highest(self):
+        # Node 1 is similar to both others; nodes 0 and 2 only to node 1.
+        similarity = np.array([[1.0, 0.8, 0.0], [0.8, 1.0, 0.8], [0.0, 0.8, 1.0]])
+        scores = lexrank_scores(similarity)
+        assert int(np.argmax(scores)) == 1
+
+    def test_teleport_weights_bias_scores(self):
+        similarity = np.array([[1.0, 0.5], [0.5, 1.0]])
+        unbiased = lexrank_scores(similarity)
+        biased = lexrank_scores(similarity, teleport_weights=[10.0, 1.0])
+        assert biased[0] > unbiased[0]
+
+    def test_invalid_teleport_weights(self):
+        similarity = np.eye(2)
+        with pytest.raises(ValueError):
+            lexrank_scores(similarity, teleport_weights=[1.0])
+        with pytest.raises(ValueError):
+            lexrank_scores(similarity, teleport_weights=[-1.0, 1.0])
+
+    def test_empty_matrix(self):
+        assert lexrank_scores(np.zeros((0, 0))).shape == (0,)
+
+    def test_pairwise_cosine_matrix(self):
+        vectors = [{"a": 1.0}, {"a": 1.0, "b": 1.0}, {"c": 1.0}]
+        matrix = pairwise_cosine_matrix(vectors)
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 1] == pytest.approx(1 / np.sqrt(2))
+        assert matrix[0, 2] == 0.0
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+
+class TestKMeans:
+    def test_empty_input(self):
+        assert kmeans_cluster(np.zeros((0, 2)), 3).shape == (0,)
+
+    def test_separates_obvious_clusters(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+        labels = kmeans_cluster(points, num_clusters=2)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_more_clusters_than_points(self):
+        points = np.array([[0.0], [1.0]])
+        labels = kmeans_cluster(points, num_clusters=5)
+        assert len(set(labels.tolist())) <= 2
+
+
+class TestSumblr:
+    def test_respects_k(self, sports_vs_tech_elements):
+        request = make_request(sports_vs_tech_elements, ["goal", "software"], [0.5, 0.5], k=4)
+        result = SumblrSummarizer().search(request)
+        assert len(result) == 4
+        assert len(set(result)) == 4
+
+    def test_keyword_filter_restricts_candidates(self, sports_vs_tech_elements):
+        request = make_request(sports_vs_tech_elements, ["goal"], [1.0, 0.0], k=2)
+        result = SumblrSummarizer().search(request)
+        keyword_matching = {
+            element.element_id
+            for element in sports_vs_tech_elements
+            if "goal" in element.tokens
+        }
+        assert set(result).issubset(keyword_matching)
+
+    def test_falls_back_to_all_elements_when_no_match(self, sports_vs_tech_elements):
+        request = make_request(sports_vs_tech_elements, ["zzz"], [0.5, 0.5], k=3)
+        result = SumblrSummarizer().search(request)
+        assert len(result) == 3
+
+    def test_covers_both_clusters(self, sports_vs_tech_elements):
+        request = make_request(
+            sports_vs_tech_elements, ["goal", "software"], [0.5, 0.5], k=2
+        )
+        result = SumblrSummarizer().search(request)
+        sides = {0 if eid < 5 else 1 for eid in result}
+        assert sides == {0, 1}
+
+    def test_empty_candidates(self):
+        request = make_request([], ["goal"], [1.0, 0.0], k=2)
+        assert SumblrSummarizer().search(request) == ()
+
+    def test_popularity_extraction(self, sports_vs_tech_elements):
+        popularity = SumblrSummarizer._popularity(sports_vs_tech_elements)
+        assert popularity.get(0) == 1

@@ -1,0 +1,250 @@
+"""Tests for the topic-model oracle, LDA, BTM and inference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topics.btm import BitermTopicModel, extract_biterms
+from repro.topics.inference import TopicInferencer, infer_query_vector
+from repro.topics.lda import LatentDirichletAllocation
+from repro.topics.model import MatrixTopicModel
+from repro.topics.vocabulary import Vocabulary
+
+
+def make_two_topic_corpus(docs_per_topic: int = 40, words_per_doc: int = 8):
+    """A tiny corpus with two clearly separated topics."""
+    rng = np.random.default_rng(11)
+    sports = ["goal", "match", "league", "striker", "penalty", "coach"]
+    tech = ["software", "cloud", "compiler", "kernel", "network", "database"]
+    corpus = []
+    for _ in range(docs_per_topic):
+        corpus.append(list(rng.choice(sports, size=words_per_doc)))
+        corpus.append(list(rng.choice(tech, size=words_per_doc)))
+    vocabulary = Vocabulary(sports + tech)
+    return corpus, vocabulary, sports, tech
+
+
+class TestMatrixTopicModel:
+    def test_rejects_shape_mismatch(self):
+        vocabulary = Vocabulary(["a", "b"])
+        with pytest.raises(ValueError):
+            MatrixTopicModel(vocabulary, np.ones((2, 3)))
+
+    def test_rejects_negative_entries(self):
+        vocabulary = Vocabulary(["a", "b"])
+        with pytest.raises(ValueError):
+            MatrixTopicModel(vocabulary, np.array([[0.5, -0.5]]))
+
+    def test_normalizes_rows(self):
+        vocabulary = Vocabulary(["a", "b"])
+        model = MatrixTopicModel(vocabulary, np.array([[2.0, 2.0], [1.0, 3.0]]))
+        assert model.validate()
+        assert model.word_probability(0, "a") == pytest.approx(0.5)
+        assert model.word_probability(1, "b") == pytest.approx(0.75)
+
+    def test_zero_row_becomes_uniform(self):
+        vocabulary = Vocabulary(["a", "b"])
+        model = MatrixTopicModel(vocabulary, np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert model.word_probability(0, "a") == pytest.approx(0.5)
+
+    def test_word_probabilities_for_unknown_word(self):
+        vocabulary = Vocabulary(["a"])
+        model = MatrixTopicModel(vocabulary, np.array([[1.0]]))
+        assert model.word_probability(0, "zzz") == 0.0
+        assert np.all(model.word_probabilities("zzz") == 0.0)
+
+    def test_top_words(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        model = MatrixTopicModel(vocabulary, np.array([[0.1, 0.6, 0.3]]))
+        assert model.top_words(0, 2) == ["b", "c"]
+
+    def test_from_word_distributions(self, paper_topic_model):
+        assert paper_topic_model.num_topics == 2
+        assert paper_topic_model.word_probability(0, "lebron") == pytest.approx(0.12)
+        assert paper_topic_model.word_probability(1, "pl") == pytest.approx(0.11)
+        assert paper_topic_model.validate()
+
+    def test_from_word_distributions_builder(self):
+        model = MatrixTopicModel.from_word_distributions(
+            [{"a": 0.6, "b": 0.4}, {"b": 1.0}]
+        )
+        assert model.num_topics == 2
+        assert model.word_probability(0, "a") == pytest.approx(0.6)
+
+    def test_num_topics_must_be_positive(self):
+        vocabulary = Vocabulary(["a"])
+        with pytest.raises(ValueError):
+            MatrixTopicModel(vocabulary, np.zeros((0, 1)))
+
+
+class TestLDA:
+    def test_requires_fit_before_use(self):
+        vocabulary = Vocabulary(["a"])
+        model = LatentDirichletAllocation(vocabulary, num_topics=2, iterations=5, burn_in=1)
+        assert not model.is_fitted
+        with pytest.raises(RuntimeError):
+            _ = model.topic_word_matrix
+
+    def test_invalid_parameters(self):
+        vocabulary = Vocabulary(["a"])
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(vocabulary, num_topics=2, iterations=0)
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(vocabulary, num_topics=2, iterations=5, burn_in=5)
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(vocabulary, num_topics=2, alpha=-1.0)
+
+    def test_fit_produces_valid_distributions(self):
+        corpus, vocabulary, _, _ = make_two_topic_corpus(docs_per_topic=15)
+        model = LatentDirichletAllocation(
+            vocabulary, num_topics=2, iterations=30, burn_in=10, seed=5
+        )
+        report = model.fit(corpus)
+        assert model.is_fitted
+        assert model.validate()
+        doc_topic = model.document_topic_matrix
+        assert doc_topic.shape == (len(corpus), 2)
+        assert np.allclose(doc_topic.sum(axis=1), 1.0)
+        assert len(report.log_likelihood_trace) == 30
+
+    def test_fit_separates_obvious_topics(self):
+        corpus, vocabulary, sports, tech = make_two_topic_corpus(docs_per_topic=30)
+        model = LatentDirichletAllocation(
+            vocabulary, num_topics=2, iterations=50, burn_in=20, seed=3
+        )
+        model.fit(corpus)
+        # One topic should put most of its mass on sports words, the other on
+        # tech words (labels can be swapped).
+        sports_mass = [
+            sum(model.word_probability(topic, word) for word in sports) for topic in (0, 1)
+        ]
+        tech_mass = [
+            sum(model.word_probability(topic, word) for word in tech) for topic in (0, 1)
+        ]
+        sports_topic = int(np.argmax(sports_mass))
+        tech_topic = int(np.argmax(tech_mass))
+        assert sports_topic != tech_topic
+        assert sports_mass[sports_topic] > 0.8
+        assert tech_mass[tech_topic] > 0.8
+
+    def test_log_likelihood_improves(self):
+        corpus, vocabulary, _, _ = make_two_topic_corpus(docs_per_topic=20)
+        model = LatentDirichletAllocation(
+            vocabulary, num_topics=2, iterations=40, burn_in=10, seed=1
+        )
+        report = model.fit(corpus)
+        first = np.mean(report.log_likelihood_trace[:5])
+        last = np.mean(report.log_likelihood_trace[-5:])
+        assert last > first
+
+    def test_empty_corpus_rejected(self):
+        vocabulary = Vocabulary(["a"])
+        model = LatentDirichletAllocation(vocabulary, num_topics=2, iterations=5, burn_in=1)
+        with pytest.raises(ValueError):
+            model.fit([])
+
+
+class TestBTM:
+    def test_extract_biterms(self):
+        assert extract_biterms([1, 2, 3]) == [(1, 2), (1, 3), (2, 3)]
+        assert extract_biterms([2, 1]) == [(1, 2)]
+        assert extract_biterms([1, 1]) == []
+        assert extract_biterms([5]) == []
+        assert extract_biterms([]) == []
+
+    def test_extract_biterms_window(self):
+        biterms = extract_biterms([1, 2, 3, 4], window=1)
+        assert biterms == [(1, 2), (2, 3), (3, 4)]
+
+    def test_fit_produces_valid_distributions(self):
+        corpus, vocabulary, _, _ = make_two_topic_corpus(docs_per_topic=15, words_per_doc=5)
+        model = BitermTopicModel(vocabulary, num_topics=2, iterations=30, burn_in=10, seed=5)
+        report = model.fit(corpus)
+        assert model.is_fitted
+        assert model.validate()
+        assert report.num_biterms > 0
+        assert model.topic_mixture.shape == (2,)
+        assert model.topic_mixture.sum() == pytest.approx(1.0)
+
+    def test_fit_separates_obvious_topics(self):
+        corpus, vocabulary, sports, tech = make_two_topic_corpus(docs_per_topic=25, words_per_doc=5)
+        model = BitermTopicModel(vocabulary, num_topics=2, iterations=40, burn_in=15, seed=2)
+        model.fit(corpus)
+        sports_mass = [
+            sum(model.word_probability(topic, word) for word in sports) for topic in (0, 1)
+        ]
+        tech_mass = [
+            sum(model.word_probability(topic, word) for word in tech) for topic in (0, 1)
+        ]
+        assert int(np.argmax(sports_mass)) != int(np.argmax(tech_mass))
+
+    def test_infer_document_concentrates_on_right_topic(self):
+        corpus, vocabulary, sports, tech = make_two_topic_corpus(docs_per_topic=25, words_per_doc=5)
+        model = BitermTopicModel(vocabulary, num_topics=2, iterations=40, burn_in=15, seed=2)
+        model.fit(corpus)
+        sports_doc = model.infer_document(["goal", "match", "striker"])
+        tech_doc = model.infer_document(["software", "kernel", "database"])
+        assert sports_doc.sum() == pytest.approx(1.0)
+        assert int(np.argmax(sports_doc)) != int(np.argmax(tech_doc))
+
+    def test_infer_document_empty_returns_uniform(self):
+        corpus, vocabulary, _, _ = make_two_topic_corpus(docs_per_topic=10, words_per_doc=5)
+        model = BitermTopicModel(vocabulary, num_topics=2, iterations=10, burn_in=2, seed=2)
+        model.fit(corpus)
+        assert np.allclose(model.infer_document([]), 0.5)
+
+    def test_rejects_corpus_without_biterms(self):
+        vocabulary = Vocabulary(["a", "b"])
+        model = BitermTopicModel(vocabulary, num_topics=2, iterations=5, burn_in=1)
+        with pytest.raises(ValueError):
+            model.fit([["a"], ["b"]])
+
+
+class TestTopicInferencer:
+    def test_invalid_configuration(self, paper_topic_model):
+        with pytest.raises(ValueError):
+            TopicInferencer(paper_topic_model, method="bogus")
+        with pytest.raises(ValueError):
+            TopicInferencer(paper_topic_model, iterations=0)
+        with pytest.raises(ValueError):
+            TopicInferencer(paper_topic_model, sparsity_threshold=1.5)
+
+    def test_expectation_inference_concentrates(self, paper_topic_model):
+        inferencer = TopicInferencer(paper_topic_model, alpha=0.05)
+        basketball = inferencer.infer(["lebron", "nbaplayoffs", "cavs"])
+        soccer = inferencer.infer(["lfc", "ucl", "pl"])
+        assert basketball.shape == (2,)
+        assert basketball.sum() == pytest.approx(1.0)
+        assert basketball[0] > 0.8
+        assert soccer[1] > 0.8
+
+    def test_gibbs_inference_agrees_with_expectation(self, paper_topic_model):
+        expectation = TopicInferencer(paper_topic_model, alpha=0.05)
+        gibbs = TopicInferencer(paper_topic_model, alpha=0.05, method="gibbs", seed=3,
+                                iterations=80)
+        keywords = ["lebron", "nbaplayoffs"]
+        assert int(np.argmax(expectation.infer(keywords))) == int(
+            np.argmax(gibbs.infer(keywords))
+        )
+
+    def test_empty_document_is_uniform(self, paper_topic_model):
+        inferencer = TopicInferencer(paper_topic_model)
+        assert np.allclose(inferencer.infer([]), 0.5)
+        assert np.allclose(inferencer.infer(["unknownword"]), 0.5)
+
+    def test_sparsity_threshold_truncates(self, paper_topic_model):
+        inferencer = TopicInferencer(paper_topic_model, alpha=0.05, sparsity_threshold=0.2)
+        distribution = inferencer.infer(["lebron", "nbaplayoffs", "cavs"])
+        assert distribution[1] == 0.0
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_infer_many_stacks_rows(self, paper_topic_model):
+        inferencer = TopicInferencer(paper_topic_model)
+        stacked = inferencer.infer_many([["lebron"], ["pl"]])
+        assert stacked.shape == (2, 2)
+
+    def test_infer_query_vector_helper(self, paper_topic_model):
+        vector = infer_query_vector(paper_topic_model, ["ucl", "lfc"])
+        assert vector.shape == (2,)
+        assert vector[1] > vector[0]

@@ -1,0 +1,149 @@
+"""Tests for the vocabulary and preprocessing substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topics.preprocess import STOP_WORDS, Preprocessor, tokenize
+from repro.topics.vocabulary import Vocabulary
+
+
+class TestVocabulary:
+    def test_add_assigns_sequential_ids(self):
+        vocabulary = Vocabulary()
+        assert vocabulary.add("alpha") == 0
+        assert vocabulary.add("beta") == 1
+        assert vocabulary.add("alpha") == 0
+        assert len(vocabulary) == 2
+
+    def test_constructor_from_iterable(self):
+        vocabulary = Vocabulary(["a", "b", "a"])
+        assert len(vocabulary) == 2
+        assert vocabulary.words == ["a", "b"]
+
+    def test_id_and_word_lookup(self):
+        vocabulary = Vocabulary(["a", "b"])
+        assert vocabulary.id_of("b") == 1
+        assert vocabulary.word_of(0) == "a"
+        assert vocabulary.get_id("missing") is None
+        with pytest.raises(KeyError):
+            vocabulary.id_of("missing")
+
+    def test_add_document_updates_frequencies(self):
+        vocabulary = Vocabulary()
+        vocabulary.add_document(["a", "b", "a"])
+        vocabulary.add_document(["a", "c"])
+        assert vocabulary.documents_seen == 2
+        assert vocabulary.document_frequency("a") == 2
+        assert vocabulary.total_frequency("a") == 3
+        assert vocabulary.document_frequency("b") == 1
+
+    def test_from_documents(self):
+        vocabulary = Vocabulary.from_documents([["x", "y"], ["y", "z"]])
+        assert set(vocabulary) == {"x", "y", "z"}
+
+    def test_encode_skips_unknown(self):
+        vocabulary = Vocabulary(["a", "b"])
+        assert vocabulary.encode(["a", "zzz", "b"]) == [0, 1]
+        with pytest.raises(KeyError):
+            vocabulary.encode(["zzz"], skip_unknown=False)
+
+    def test_decode_roundtrip(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        ids = vocabulary.encode(["c", "a"])
+        assert vocabulary.decode(ids) == ["c", "a"]
+
+    def test_pruned_by_min_document_frequency(self):
+        vocabulary = Vocabulary()
+        vocabulary.add_document(["common", "rare"])
+        vocabulary.add_document(["common"])
+        pruned = vocabulary.pruned(min_document_frequency=2)
+        assert "common" in pruned
+        assert "rare" not in pruned
+
+    def test_pruned_by_max_document_ratio(self):
+        vocabulary = Vocabulary()
+        for _ in range(4):
+            vocabulary.add_document(["stopword", "content"])
+        vocabulary.add_document(["stopword"])
+        pruned = vocabulary.pruned(max_document_ratio=0.9)
+        # "stopword" appears in every document (ratio 1.0 > 0.9) and is dropped;
+        # "content" appears in 4/5 documents and survives.
+        assert "stopword" not in pruned
+        assert "content" in pruned
+
+    def test_pruned_max_size_keeps_most_frequent(self):
+        vocabulary = Vocabulary()
+        vocabulary.add_document(["a", "b"])
+        vocabulary.add_document(["a"])
+        pruned = vocabulary.pruned(max_size=1)
+        assert len(pruned) == 1
+        assert "a" in pruned
+
+    def test_pruned_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            Vocabulary().pruned(max_document_ratio=0.0)
+
+    @given(st.lists(st.text(alphabet="abcde", min_size=1, max_size=4), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_ids_are_dense_and_unique(self, words):
+        vocabulary = Vocabulary(words)
+        ids = [vocabulary.id_of(word) for word in vocabulary]
+        assert sorted(ids) == list(range(len(vocabulary)))
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_strips_urls(self):
+        tokens = tokenize("breaking news https://example.com/x?y=1 wow")
+        assert "breaking" in tokens and "wow" in tokens
+        assert not any("http" in token for token in tokens)
+
+    def test_keeps_hashtags_and_mentions_without_sigils(self):
+        tokens = tokenize("@LFC wins the #UCL final")
+        assert "lfc" in tokens
+        assert "ucl" in tokens
+        assert "#ucl" not in tokens
+
+    def test_keeps_numbers_and_hyphens(self):
+        tokens = tokenize("the 2018-19 season")
+        assert "2018-19" in tokens
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+
+class TestPreprocessor:
+    def test_removes_stop_words(self):
+        processor = Preprocessor()
+        tokens = processor.process("the quick brown fox and the lazy dog")
+        assert "the" not in tokens and "and" not in tokens
+        assert "quick" in tokens and "fox" in tokens
+
+    def test_min_token_length(self):
+        processor = Preprocessor(min_token_length=3)
+        assert "ab" not in processor.process("ab abc")
+        assert "abc" in processor.process("ab abc")
+
+    def test_extra_noise_words(self):
+        processor = Preprocessor(extra_noise_words=frozenset({"spamword"}))
+        assert "spamword" not in processor.process("spamword content")
+
+    def test_process_corpus(self):
+        processor = Preprocessor()
+        corpus = processor.process_corpus(["first document", "second document"])
+        assert len(corpus) == 2
+        assert all(isinstance(tokens, list) for tokens in corpus)
+
+    def test_invalid_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Preprocessor(min_token_length=0)
+        with pytest.raises(ValueError):
+            Preprocessor(min_token_length=5, max_token_length=4)
+
+    def test_stop_words_are_lowercase(self):
+        assert all(word == word.lower() for word in STOP_WORDS)

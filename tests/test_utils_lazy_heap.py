@@ -1,0 +1,111 @@
+"""Unit and property tests for the lazy max-heap."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.lazy_heap import LazyMaxHeap
+
+
+class TestBasicOperations:
+    def test_empty(self):
+        heap = LazyMaxHeap()
+        assert len(heap) == 0
+        assert heap.max_priority() is None
+        with pytest.raises(IndexError):
+            heap.peek()
+        with pytest.raises(IndexError):
+            heap.pop()
+
+    def test_push_and_pop_order(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 3.0)
+        heap.push("c", 2.0)
+        assert heap.pop() == ("b", 3.0)
+        assert heap.pop() == ("c", 2.0)
+        assert heap.pop() == ("a", 1.0)
+        assert len(heap) == 0
+
+    def test_peek_does_not_remove(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 5.0)
+        assert heap.peek() == ("a", 5.0)
+        assert len(heap) == 1
+
+    def test_update_priority_down(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 5.0)
+        heap.push("b", 4.0)
+        heap.push("a", 1.0)
+        assert heap.pop() == ("b", 4.0)
+        assert heap.pop() == ("a", 1.0)
+
+    def test_update_priority_up(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 4.0)
+        heap.push("a", 9.0)
+        assert heap.pop() == ("a", 9.0)
+
+    def test_remove_makes_entry_stale(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 5.0)
+        heap.push("b", 1.0)
+        heap.remove("a")
+        assert "a" not in heap
+        assert heap.pop() == ("b", 1.0)
+
+    def test_discard_missing_is_noop(self):
+        heap = LazyMaxHeap()
+        heap.discard("missing")
+        assert len(heap) == 0
+
+    def test_priority_lookup(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 2.5)
+        assert heap.priority("a") == 2.5
+        with pytest.raises(KeyError):
+            heap.priority("missing")
+
+    def test_contains_and_iter(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        assert set(iter(heap)) == {"a", "b"}
+        assert "a" in heap and "c" not in heap
+
+    def test_duplicate_same_priority(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("a", 1.0)
+        assert heap.pop() == ("a", 1.0)
+        assert len(heap) == 0
+        assert heap.max_priority() is None
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=20), st.floats(-100, 100)),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pop_all_returns_descending_latest_priorities(self, pushes):
+        """Popping everything yields the latest priority per key, descending."""
+        heap = LazyMaxHeap()
+        reference = {}
+        for key, priority in pushes:
+            heap.push(key, priority)
+            reference[key] = priority
+        popped = []
+        while len(heap):
+            popped.append(heap.pop())
+        assert {key for key, _ in popped} == set(reference)
+        priorities = [priority for _, priority in popped]
+        assert priorities == sorted(priorities, reverse=True)
+        for key, priority in popped:
+            assert priority == reference[key]

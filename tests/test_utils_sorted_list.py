@@ -1,0 +1,155 @@
+"""Unit and property tests for the descending sorted list."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.sorted_list import DescendingSortedList
+
+
+class TestBasicOperations:
+    def test_empty_list(self):
+        ranked = DescendingSortedList()
+        assert len(ranked) == 0
+        assert "x" not in ranked
+        assert list(ranked) == []
+        assert ranked.get("x") is None
+
+    def test_insert_and_contains(self):
+        ranked = DescendingSortedList()
+        ranked.insert("a", 1.0)
+        assert "a" in ranked
+        assert ranked.score("a") == 1.0
+        assert len(ranked) == 1
+
+    def test_descending_iteration_order(self):
+        ranked = DescendingSortedList()
+        ranked.insert("low", 1.0)
+        ranked.insert("high", 3.0)
+        ranked.insert("mid", 2.0)
+        assert [key for key, _ in ranked] == ["high", "mid", "low"]
+        assert [score for _, score in ranked] == [3.0, 2.0, 1.0]
+
+    def test_ties_broken_by_key(self):
+        ranked = DescendingSortedList()
+        ranked.insert("b", 1.0)
+        ranked.insert("a", 1.0)
+        assert ranked.keys() == ["a", "b"]
+
+    def test_insert_replaces_existing(self):
+        ranked = DescendingSortedList()
+        ranked.insert("a", 1.0)
+        ranked.insert("a", 5.0)
+        assert len(ranked) == 1
+        assert ranked.score("a") == 5.0
+
+    def test_update_moves_position(self):
+        ranked = DescendingSortedList()
+        ranked.insert("a", 1.0)
+        ranked.insert("b", 2.0)
+        ranked.update("a", 3.0)
+        assert ranked.keys() == ["a", "b"]
+
+    def test_remove(self):
+        ranked = DescendingSortedList()
+        ranked.insert("a", 1.0)
+        ranked.remove("a")
+        assert "a" not in ranked
+        assert len(ranked) == 0
+
+    def test_remove_missing_raises(self):
+        ranked = DescendingSortedList()
+        with pytest.raises(KeyError):
+            ranked.remove("missing")
+
+    def test_discard_missing_is_noop(self):
+        ranked = DescendingSortedList()
+        ranked.discard("missing")
+        assert len(ranked) == 0
+
+    def test_peek_returns_maximum(self):
+        ranked = DescendingSortedList()
+        ranked.insert("a", 1.0)
+        ranked.insert("b", 9.0)
+        assert ranked.peek() == ("b", 9.0)
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            DescendingSortedList().peek()
+
+    def test_at_indexing(self):
+        ranked = DescendingSortedList()
+        for key, score in [("a", 1.0), ("b", 2.0), ("c", 3.0)]:
+            ranked.insert(key, score)
+        assert ranked.at(0) == ("c", 3.0)
+        assert ranked.at(2) == ("a", 1.0)
+
+    def test_items_matches_iteration(self):
+        ranked = DescendingSortedList()
+        for key, score in [("a", 1.0), ("b", 2.0)]:
+            ranked.insert(key, score)
+        assert ranked.items() == list(ranked)
+
+    def test_clear(self):
+        ranked = DescendingSortedList()
+        ranked.insert("a", 1.0)
+        ranked.clear()
+        assert len(ranked) == 0
+        assert ranked.validate()
+
+    def test_negative_and_zero_scores(self):
+        ranked = DescendingSortedList()
+        ranked.insert("neg", -1.5)
+        ranked.insert("zero", 0.0)
+        ranked.insert("pos", 2.5)
+        assert ranked.keys() == ["pos", "zero", "neg"]
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=30), st.floats(-100, 100)),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_dict(self, operations):
+        """Insert/update sequences keep the list consistent with a dict."""
+        ranked = DescendingSortedList()
+        reference = {}
+        for key, score in operations:
+            ranked.insert(key, score)
+            reference[key] = score
+        assert len(ranked) == len(reference)
+        assert ranked.validate()
+        expected = sorted(reference.items(), key=lambda item: (-item[1], item[0]))
+        assert ranked.items() == [(key, score) for key, score in expected]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "update", "remove"]),
+                st.integers(min_value=0, max_value=15),
+                st.floats(-50, 50),
+            ),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_operations_preserve_invariants(self, operations):
+        """Arbitrary operation sequences never break the sorted invariant."""
+        ranked = DescendingSortedList()
+        reference = {}
+        for action, key, score in operations:
+            if action == "remove":
+                ranked.discard(key)
+                reference.pop(key, None)
+            else:
+                ranked.insert(key, score)
+                reference[key] = score
+            assert ranked.validate()
+        assert set(ranked.keys()) == set(reference)
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
