@@ -41,6 +41,15 @@ from repro.core.stream import SocialStream
 from repro.core.window import ActiveWindow
 from repro.datasets.profiles import DATASET_PROFILES, DatasetProfile
 from repro.datasets.synthetic import SyntheticDataset, SyntheticStreamGenerator
+from repro.service import (
+    IncrementalScheduler,
+    QueryRegistry,
+    ServiceEngine,
+    ServiceMetrics,
+    SnapshotCache,
+    StandingQuery,
+    StandingResult,
+)
 from repro.topics.btm import BitermTopicModel
 from repro.topics.inference import TopicInferencer, infer_query_vector
 from repro.topics.lda import LatentDirichletAllocation
@@ -64,13 +73,20 @@ __all__ = [
     "MatrixTopicModel",
     "MTTD",
     "MTTS",
+    "IncrementalScheduler",
     "Preprocessor",
     "ProcessorConfig",
+    "QueryRegistry",
     "QueryResult",
     "RankedListIndex",
     "ScoringConfig",
     "ScoringContext",
+    "ServiceEngine",
+    "ServiceMetrics",
     "SieveStreaming",
+    "SnapshotCache",
+    "StandingQuery",
+    "StandingResult",
     "SocialElement",
     "SocialStream",
     "SyntheticDataset",

@@ -9,6 +9,8 @@ without writing Python:
   previously saved stream;
 * ``repro-ksir query`` — replay a stream and answer a keyword query with any
   of the registered algorithms;
+* ``repro-ksir serve`` — replay a stream while continuously maintaining N
+  registered standing queries and print the service metrics report;
 * ``repro-ksir experiment`` — regenerate one of the paper's tables or figures
   with reduced, CLI-friendly settings.
 
@@ -23,15 +25,18 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core.algorithms import ALGORITHM_REGISTRY
 from repro.core.processor import KSIRProcessor, ProcessorConfig
 from repro.core.query import KSIRQuery
 from repro.core.scoring import ScoringConfig
 from repro.datasets.loaders import load_stream_jsonl, save_stream_jsonl
 from repro.datasets.profiles import profile_names
 from repro.datasets.synthetic import SyntheticStreamGenerator
+from repro.evaluation.workload import WorkloadGenerator
 from repro.experiments import figures as figure_experiments
 from repro.experiments import tables as table_experiments
 from repro.experiments.config import EffectivenessConfig, EfficiencyConfig
+from repro.service import ServiceEngine
 from repro.topics.inference import TopicInferencer, infer_query_vector
 from repro.topics.model import MatrixTopicModel
 
@@ -49,6 +54,20 @@ EXPERIMENT_CHOICES = (
     "figure13",
     "figure14",
 )
+
+def _canonical_algorithm_names() -> tuple:
+    """One name per registered algorithm class (shortest spelling wins)."""
+    best: Dict[type, str] = {}
+    for name, cls in ALGORITHM_REGISTRY.items():
+        current = best.get(cls)
+        if current is None or (len(name), name) < (len(current), current):
+            best[cls] = name
+    return tuple(sorted(best.values()))
+
+
+#: Algorithm names accepted by ``query``/``serve`` (derived from the
+#: registry, so newly registered algorithms appear automatically).
+ALGORITHM_CHOICES = _canonical_algorithm_names()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,14 +100,40 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--stream", type=Path, help="JSONL stream (defaults to generating the profile)")
     query.add_argument("--model", type=Path, help="topic model .npz (required with --stream)")
     query.add_argument("--k", type=int, default=10)
-    query.add_argument("--algorithm", default="mttd",
-                       choices=["mttd", "mtts", "celf", "sieve", "topk", "greedy"])
+    query.add_argument("--algorithm", default="mttd", choices=ALGORITHM_CHOICES)
     query.add_argument("--epsilon", type=float, default=0.1)
     query.add_argument("--window-hours", type=int, default=24)
     query.add_argument("--bucket-minutes", type=int, default=15)
     query.add_argument("--lambda-weight", type=float, default=0.5)
     query.add_argument("--eta", type=float, default=1.5)
     query.add_argument("--seed", type=int, default=2019)
+
+    serve = subparsers.add_parser(
+        "serve", help="replay a stream while maintaining standing k-SIR queries"
+    )
+    serve.add_argument("--profile", default="tiny", choices=sorted(profile_names()))
+    serve.add_argument("--queries", type=int, default=100,
+                       help="number of standing queries to register")
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--algorithm", default="mttd", choices=ALGORITHM_CHOICES)
+    serve.add_argument("--epsilon", type=float, default=0.1)
+    serve.add_argument("--mode", default="topical",
+                       choices=["topical", "frequency", "uniform"],
+                       help="standing-query keyword sampling mode")
+    serve.add_argument("--window-hours", type=int, default=24)
+    serve.add_argument("--bucket-minutes", type=int, default=15)
+    serve.add_argument("--lambda-weight", type=float, default=0.5)
+    serve.add_argument("--eta", type=float, default=1.5)
+    serve.add_argument("--workers", type=int, default=4,
+                       help="evaluator thread-pool size")
+    serve.add_argument("--ttl-buckets", type=int, default=None,
+                       help="drop standing queries after this many buckets")
+    serve.add_argument("--naive", action="store_true",
+                       help="re-run every standing query on every bucket "
+                            "(disables incremental maintenance)")
+    serve.add_argument("--top", type=int, default=3,
+                       help="standing results to print after the replay")
+    serve.add_argument("--seed", type=int, default=2019)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures"
@@ -189,6 +234,48 @@ def run_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_serve(args: argparse.Namespace) -> int:
+    dataset = SyntheticStreamGenerator.from_profile(args.profile, seed=args.seed).generate()
+    config = ProcessorConfig(
+        window_length=args.window_hours * 3600,
+        bucket_length=args.bucket_minutes * 60,
+        scoring=ScoringConfig(lambda_weight=args.lambda_weight, eta=args.eta),
+    )
+    processor = KSIRProcessor(dataset.topic_model, config, inferencer=dataset.inferencer)
+    generator = WorkloadGenerator(
+        dataset, k=args.k, mode=args.mode, seed=args.seed + 17
+    )
+    with ServiceEngine(
+        processor,
+        max_workers=args.workers,
+        incremental=not args.naive,
+    ) as engine:
+        for _ in range(args.queries):
+            engine.register(
+                generator.generate_query(),
+                algorithm=args.algorithm,
+                epsilon=args.epsilon,
+                ttl_buckets=args.ttl_buckets,
+            )
+        engine.serve_stream(dataset.stream)
+        _print(engine.report())
+
+        shown = 0
+        for query_id, standing_result in engine.results().items():
+            if shown >= max(0, args.top):
+                break
+            standing = engine.registry.get(query_id)
+            keywords = " ".join(standing.query.keywords) or "<no keywords>"
+            result = standing_result.result
+            _print(
+                f"  {query_id} [{keywords}]: |S|={len(result)} "
+                f"score={result.score:.4f} stale={standing_result.staleness_buckets} "
+                f"buckets, evaluated {standing_result.evaluations}x"
+            )
+            shown += 1
+    return 0
+
+
 def _experiment_runner(name: str, efficiency: EfficiencyConfig,
                        effectiveness: EffectivenessConfig, queries: int) -> str:
     if name == "table3":
@@ -234,6 +321,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "generate": run_generate,
     "stats": run_stats,
     "query": run_query,
+    "serve": run_serve,
     "experiment": run_experiment,
 }
 

@@ -15,6 +15,10 @@ result size ``k`` and, for index-based algorithms, the ranked-list index,
 they return a :class:`repro.core.algorithms.base.SelectionOutcome`.
 """
 
+import inspect
+from functools import lru_cache
+from typing import Optional, Union
+
 from repro.core.algorithms.base import KSIRAlgorithm, SelectionOutcome
 from repro.core.algorithms.celf import CELF
 from repro.core.algorithms.greedy import GreedySelection
@@ -51,6 +55,36 @@ def make_algorithm(name: str, **kwargs) -> KSIRAlgorithm:
     return cls(**kwargs)
 
 
+def resolve_algorithm(
+    algorithm: Union[str, KSIRAlgorithm, None],
+    default_name: str = "mttd",
+    epsilon: Optional[float] = None,
+) -> KSIRAlgorithm:
+    """Resolve an instance, a registry name or ``None`` into an algorithm.
+
+    Instances pass through unchanged; names (``None`` means
+    ``default_name``) are instantiated with ``epsilon`` forwarded only when
+    the class actually accepts it, so ε-free baselines (greedy, CELF, top-k)
+    resolve without special-casing at every call site.
+    """
+    if isinstance(algorithm, KSIRAlgorithm):
+        return algorithm
+    name = algorithm or default_name
+    key = name.strip().lower()
+    cls = ALGORITHM_REGISTRY.get(key)
+    if cls is None:
+        # Delegate to make_algorithm for the canonical unknown-name error.
+        return make_algorithm(name)
+    if epsilon is not None and _accepts_epsilon(cls):
+        return cls(epsilon=epsilon)
+    return cls()
+
+
+@lru_cache(maxsize=None)
+def _accepts_epsilon(cls: type) -> bool:
+    return "epsilon" in inspect.signature(cls.__init__).parameters
+
+
 __all__ = [
     "ALGORITHM_REGISTRY",
     "CELF",
@@ -62,4 +96,5 @@ __all__ = [
     "SieveStreaming",
     "TopKRepresentative",
     "make_algorithm",
+    "resolve_algorithm",
 ]

@@ -15,11 +15,11 @@ The :class:`KSIRProcessor` ties everything together:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Union
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.algorithms import KSIRAlgorithm, make_algorithm
+from repro.core.algorithms import KSIRAlgorithm, resolve_algorithm
 from repro.core.element import SocialElement
 from repro.core.query import KSIRQuery, QueryResult
 from repro.core.ranked_list import RankedListIndex
@@ -90,6 +90,10 @@ class KSIRProcessor:
         self._elements_processed = 0
         self._buckets_processed = 0
         self._ingest_timer = TimingStats(name="bucket-ingest")
+        # Scoring snapshot memoised per ingested bucket: (buckets_processed
+        # at build time, context).  Repeated queries against an unchanged
+        # window share one frozen context instead of rebuilding it per call.
+        self._snapshot_cache: Optional[Tuple[int, ScoringContext]] = None
 
     # -- metadata -----------------------------------------------------------------
 
@@ -231,7 +235,22 @@ class KSIRProcessor:
     # -- query processing ----------------------------------------------------------------------
 
     def snapshot(self) -> ScoringContext:
-        """A frozen scoring snapshot of the current active window."""
+        """A frozen scoring snapshot of the current active window.
+
+        The snapshot is memoised on :attr:`buckets_processed`: as long as no
+        further bucket is ingested, every query shares the same frozen
+        context (a :class:`ScoringContext` is immutable by contract, so
+        sharing is safe).  Ingesting a bucket invalidates the cache.
+        """
+        cached = self._snapshot_cache
+        if cached is not None and cached[0] == self._buckets_processed:
+            return cached[1]
+        context = self._build_snapshot()
+        self._snapshot_cache = (self._buckets_processed, context)
+        return context
+
+    def _build_snapshot(self) -> ScoringContext:
+        """Materialise a fresh scoring snapshot (bypasses the cache)."""
         followers = {
             element_id: self._window.followers_of(element_id)
             for element_id in self._window.active_ids()
@@ -255,15 +274,11 @@ class KSIRProcessor:
     def _resolve_algorithm(
         self, algorithm: Union[str, KSIRAlgorithm, None], epsilon: Optional[float]
     ) -> KSIRAlgorithm:
-        if isinstance(algorithm, KSIRAlgorithm):
-            return algorithm
-        name = algorithm or self._config.default_algorithm
-        eps = self._config.default_epsilon if epsilon is None else epsilon
-        try:
-            return make_algorithm(name, epsilon=eps)
-        except TypeError:
-            # Algorithms without an epsilon parameter (greedy, CELF, top-k).
-            return make_algorithm(name)
+        return resolve_algorithm(
+            algorithm,
+            default_name=self._config.default_algorithm,
+            epsilon=self._config.default_epsilon if epsilon is None else epsilon,
+        )
 
     def query(
         self,

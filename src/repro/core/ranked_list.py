@@ -15,6 +15,13 @@ Query algorithms traverse the lists in descending score order through
 :class:`RankedListTraversal`, which merges the per-topic cursors (weighted by
 the query vector) and implements the paper's rule that once an element has
 been retrieved from one list its tuples in the other lists are skipped.
+
+The index additionally records which topics had tuples inserted, re-scored
+or removed since the last drain (:meth:`RankedListIndex.take_dirty_topics`).
+The serving layer's incremental scheduler uses this dirty-topic set to
+re-evaluate only the standing queries whose topic support actually changed.
+The set is bounded by the number of topics, so consumers that never drain it
+(ad-hoc query users) pay at most ``O(z)`` memory.
 """
 
 from __future__ import annotations
@@ -41,6 +48,8 @@ class RankedListIndex:
         ]
         # element id -> last-activity timestamp t_e (shared across its lists).
         self._last_activity: Dict[int, int] = {}
+        # Topics whose lists changed since the last drain (bounded by z).
+        self._dirty_topics: Set[int] = set()
         self._update_timer = TimingStats(name="ranked-list-update")
 
     # -- metadata ----------------------------------------------------------------
@@ -92,6 +101,29 @@ class RankedListIndex:
         """The ``(element_id, δ_i(e))`` tuples of one list, best first."""
         return self._lists[topic].items()
 
+    # -- dirty-topic tracking ---------------------------------------------------------
+
+    @property
+    def dirty_topic_count(self) -> int:
+        """Number of topics with un-drained changes."""
+        return len(self._dirty_topics)
+
+    def peek_dirty_topics(self) -> Tuple[int, ...]:
+        """The currently dirty topics, without draining them."""
+        return tuple(sorted(self._dirty_topics))
+
+    def take_dirty_topics(self) -> Tuple[int, ...]:
+        """Drain and return the dirty-topic set.
+
+        The result holds every topic whose list had tuples inserted,
+        re-scored or removed since the previous drain.  Consumers (the
+        serving layer's incremental scheduler) call this once per ingested
+        bucket.
+        """
+        dirty = tuple(sorted(self._dirty_topics))
+        self._dirty_topics.clear()
+        return dirty
+
     # -- scoring helper -------------------------------------------------------------
 
     def _singleton_topic_score(
@@ -134,6 +166,7 @@ class RankedListIndex:
             for topic in profile.topics:
                 score = self._config.lambda_weight * profile.semantic_score(topic)
                 self._lists[topic].insert(profile.element_id, score)
+                self._dirty_topics.add(topic)
 
     def refresh(
         self,
@@ -149,17 +182,22 @@ class RankedListIndex:
             )
             for topic, score in self._rescore(profile, followers).items():
                 self._lists[topic].update(profile.element_id, score)
+                self._dirty_topics.add(topic)
 
     def remove(self, element_id: int) -> None:
         """Remove every tuple of an expired element."""
         with self._update_timer.measure():
             self._last_activity.pop(element_id, None)
-            for ranked in self._lists:
-                ranked.discard(element_id)
+            for topic, ranked in enumerate(self._lists):
+                if ranked.get(element_id) is not None:
+                    ranked.discard(element_id)
+                    self._dirty_topics.add(topic)
 
     def clear(self) -> None:
         """Drop every tuple (used when rebuilding the index)."""
-        for ranked in self._lists:
+        for topic, ranked in enumerate(self._lists):
+            if len(ranked) > 0:
+                self._dirty_topics.add(topic)
             ranked.clear()
         self._last_activity.clear()
 

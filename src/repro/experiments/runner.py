@@ -23,7 +23,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.algorithms import KSIRAlgorithm, make_algorithm
+from repro.core.algorithms import KSIRAlgorithm, resolve_algorithm
 from repro.core.element import SocialElement
 from repro.core.processor import KSIRProcessor, ProcessorConfig
 from repro.core.query import KSIRQuery, QueryResult
@@ -141,12 +141,7 @@ class EfficiencyExperiment:
         return generator.generate(num_queries)
 
     def _resolve(self, algorithm: Union[str, KSIRAlgorithm], epsilon: float) -> KSIRAlgorithm:
-        if isinstance(algorithm, KSIRAlgorithm):
-            return algorithm
-        try:
-            return make_algorithm(algorithm, epsilon=epsilon)
-        except TypeError:
-            return make_algorithm(algorithm)
+        return resolve_algorithm(algorithm, epsilon=epsilon)
 
     def run(
         self,

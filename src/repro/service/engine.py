@@ -1,0 +1,367 @@
+"""The continuous multi-query serving engine.
+
+:class:`ServiceEngine` is the façade of the ``repro.service`` layer: it owns
+a :class:`~repro.core.processor.KSIRProcessor`, a
+:class:`~repro.service.registry.QueryRegistry` of standing queries, the
+shared per-bucket :class:`~repro.service.snapshot_cache.SnapshotCache`, the
+:class:`~repro.service.scheduler.IncrementalScheduler` and a thread-pool
+evaluator.  Driving it is a two-step loop:
+
+1. :meth:`ingest_bucket` feeds one stream bucket to the processor, drains
+   the ranked lists' per-topic dirty sets, prunes TTL-expired queries, asks
+   the scheduler which standing queries are affected and re-evaluates only
+   those (the naive mode re-runs everything for comparison);
+2. :meth:`result` / :meth:`results` read the per-query result cache, with
+   staleness metadata saying how many buckets ago each answer was computed.
+
+:meth:`serve_stream` wraps the loop over a whole
+:class:`~repro.core.stream.SocialStream`, and :meth:`report` renders the
+service metrics (p50/p99 latency, pairs/sec, cache hit rates, re-eval
+ratio).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.core.algorithms import KSIRAlgorithm, resolve_algorithm
+from repro.core.element import SocialElement
+from repro.core.processor import KSIRProcessor
+from repro.core.query import KSIRQuery, QueryResult
+from repro.core.scoring import KSIRObjective, ScoringContext
+from repro.core.stream import SocialStream
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import QueryRegistry, StandingQuery
+from repro.service.scheduler import IncrementalScheduler, SchedulePlan
+from repro.service.snapshot_cache import SnapshotCache
+from repro.utils.timing import StopWatch
+
+
+@dataclass(frozen=True)
+class StandingResult:
+    """A cached standing-query answer plus its staleness metadata.
+
+    Attributes
+    ----------
+    query_id:
+        The standing query this answers.
+    result:
+        The cached :class:`~repro.core.query.QueryResult`.
+    evaluated_at_bucket:
+        ``buckets_processed`` when the answer was (re)computed.
+    evaluated_at_time:
+        Stream time of that bucket (None before any advance).
+    evaluations:
+        How many times the query has been evaluated so far.
+    staleness_buckets:
+        Buckets ingested since the answer was computed (0 = fresh).  A
+        positive value means the scheduler proved the window changes since
+        then could not affect this query's topics — the answer is reused,
+        not recomputed.
+    """
+
+    query_id: str
+    result: QueryResult
+    evaluated_at_bucket: int
+    evaluated_at_time: Optional[int]
+    evaluations: int = 1
+    staleness_buckets: int = 0
+
+    @property
+    def fresh(self) -> bool:
+        """Whether the answer reflects the latest ingested bucket."""
+        return self.staleness_buckets == 0
+
+
+class ServiceEngine:
+    """Maintains many standing k-SIR queries over one shared sliding window."""
+
+    def __init__(
+        self,
+        processor: KSIRProcessor,
+        registry: Optional[QueryRegistry] = None,
+        scheduler: Optional[IncrementalScheduler] = None,
+        max_workers: int = 4,
+        incremental: bool = True,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self._processor = processor
+        self._registry = registry or QueryRegistry()
+        self._scheduler = scheduler or IncrementalScheduler(
+            self._registry, processor.topic_model.num_topics
+        )
+        if self._scheduler.registry is not self._registry:
+            raise ValueError("scheduler must be bound to the engine's registry")
+        self._snapshots = SnapshotCache(processor)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="ksir-eval"
+        )
+        self._incremental = bool(incremental)
+        self._results: Dict[str, StandingResult] = {}
+        # Solver instances resolved once per standing query (algorithms are
+        # stateless across select() calls, and one query never evaluates
+        # concurrently with itself).
+        self._solvers: Dict[str, KSIRAlgorithm] = {}
+        self._pending: set = set()
+        self._metrics = ServiceMetrics()
+        self._closed = False
+        # A supplied registry may already hold standing queries: adopt them
+        # as never-evaluated so the next bucket gives them a first answer.
+        for standing in self._registry:
+            self._solvers[standing.query_id] = self._resolve_standing(standing)
+            self._pending.add(standing.query_id)
+
+    # -- metadata -----------------------------------------------------------------
+
+    @property
+    def processor(self) -> KSIRProcessor:
+        """The underlying stream processor."""
+        return self._processor
+
+    @property
+    def registry(self) -> QueryRegistry:
+        """The standing-query registry."""
+        return self._registry
+
+    @property
+    def snapshot_cache(self) -> SnapshotCache:
+        """The shared per-bucket snapshot cache."""
+        return self._snapshots
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        """Accumulated service metrics."""
+        return self._metrics
+
+    @property
+    def incremental(self) -> bool:
+        """Whether incremental maintenance is on (False = naive re-run-all)."""
+        return self._incremental
+
+    # -- registration ----------------------------------------------------------------
+
+    def register(
+        self,
+        query: KSIRQuery,
+        query_id: Optional[str] = None,
+        algorithm: Optional[str] = None,
+        epsilon: Optional[float] = None,
+        ttl_buckets: Optional[int] = None,
+    ) -> StandingQuery:
+        """Register a standing query; it is first evaluated on the next bucket."""
+        if query.num_topics != self._processor.topic_model.num_topics:
+            raise ValueError(
+                f"query vector has {query.num_topics} topics, the processor's "
+                f"model has {self._processor.topic_model.num_topics}"
+            )
+        # Resolve the solver before touching the registry, so an unknown
+        # algorithm name fails the registration without leaving an orphan
+        # standing query behind.
+        config = self._processor.config
+        solver = resolve_algorithm(
+            algorithm,
+            default_name=config.default_algorithm,
+            epsilon=config.default_epsilon if epsilon is None else epsilon,
+        )
+        standing = self._registry.register(
+            query,
+            query_id=query_id,
+            algorithm=algorithm,
+            epsilon=epsilon,
+            ttl_buckets=ttl_buckets,
+            at_bucket=self._processor.buckets_processed,
+        )
+        self._solvers[standing.query_id] = solver
+        self._pending.add(standing.query_id)
+        return standing
+
+    def unregister(self, query_id: str) -> bool:
+        """Drop a standing query and its cached result."""
+        removed = self._registry.unregister(query_id)
+        self._results.pop(query_id, None)
+        self._solvers.pop(query_id, None)
+        self._pending.discard(query_id)
+        return removed
+
+    # -- serving loop -----------------------------------------------------------------
+
+    def ingest_bucket(
+        self, elements: Sequence[SocialElement], end_time: int
+    ) -> SchedulePlan:
+        """Ingest one bucket and bring the affected standing results up to date.
+
+        Returns the schedule plan that was executed (useful for inspection
+        and tests).
+        """
+        self._require_open()
+        active_before = self._processor.active_count
+        self._processor.process_bucket(elements, end_time)
+        dirty = self._processor.ranked_lists.take_dirty_topics()
+
+        bucket = self._processor.buckets_processed
+        for standing in self._registry.prune_expired(bucket):
+            self._results.pop(standing.query_id, None)
+            self._solvers.pop(standing.query_id, None)
+            self._pending.discard(standing.query_id)
+            self._metrics.expired_queries += 1
+
+        if self._incremental:
+            # The advance may both add and expire elements, so the expiry
+            # count is estimated from the active-set balance.
+            expired_estimate = max(
+                0, active_before + len(elements) - self._processor.active_count
+            )
+            plan = self._scheduler.plan(
+                dirty,
+                expired_elements=expired_estimate,
+                active_elements=self._processor.active_count,
+                pending_ids=tuple(self._pending),
+            )
+        else:
+            plan = SchedulePlan(
+                query_ids=tuple(sorted(self._registry.ids())),
+                full=len(self._registry) > 0,
+                reason="naive",
+                dirty_topics=dirty,
+            )
+
+        with self._metrics.maintenance_timer.measure():
+            self._evaluate_many(plan.query_ids)
+
+        self._metrics.buckets += 1
+        self._metrics.evaluations += len(plan.query_ids)
+        self._metrics.reused += len(self._registry) - len(plan.query_ids)
+        if plan.full and plan.reason != "incremental":
+            self._metrics.full_reevals += 1
+        return plan
+
+    def serve_stream(
+        self,
+        stream: Union[SocialStream, Iterable[SocialElement]],
+        until: Optional[int] = None,
+    ) -> None:
+        """Replay a whole stream, maintaining the standing queries throughout."""
+        if not isinstance(stream, SocialStream):
+            stream = SocialStream(stream)
+        if len(stream) == 0:
+            return
+        for bucket in stream.buckets(self._processor.config.bucket_length):
+            if until is not None and bucket.end_time > until:
+                break
+            self.ingest_bucket(bucket.elements, bucket.end_time)
+
+    # -- result access -------------------------------------------------------------------
+
+    def result(self, query_id: str) -> Optional[StandingResult]:
+        """The cached answer of one standing query, with current staleness."""
+        stored = self._results.get(query_id)
+        if stored is None:
+            return None
+        staleness = self._processor.buckets_processed - stored.evaluated_at_bucket
+        return replace(stored, staleness_buckets=max(0, staleness))
+
+    def results(self) -> Dict[str, StandingResult]:
+        """Cached answers of every standing query that has been evaluated."""
+        return {
+            query_id: result
+            for query_id in self._registry.ids()
+            if (result := self.result(query_id)) is not None
+        }
+
+    def report(self) -> str:
+        """A human-readable service report (mode, registry size, metrics)."""
+        mode = "incremental" if self._incremental else "naive"
+        header = (
+            f"serving {len(self._registry)} standing queries ({mode} maintenance), "
+            f"{self._processor.active_count} active elements at time "
+            f"{self._processor.current_time}"
+        )
+        return header + "\n" + self._metrics.render()
+
+    # -- evaluation -----------------------------------------------------------------------
+
+    def _evaluate_many(self, query_ids: Sequence[str]) -> None:
+        if not query_ids:
+            return
+        # Materialise the shared snapshot once in the caller's thread so the
+        # workers never race to build it.
+        misses_before = self._snapshots.misses
+        context = self._snapshots.context()
+        built_fresh = self._snapshots.misses > misses_before
+        standings = [self._registry.get(query_id) for query_id in query_ids]
+        # Per-evaluation snapshot accounting: at most one evaluation per
+        # bucket pays for a fresh snapshot, every other one shares it.
+        self._metrics.snapshot_misses += 1 if built_fresh else 0
+        self._metrics.snapshot_hits += len(standings) - (1 if built_fresh else 0)
+        if len(standings) == 1:
+            outcomes = [self._evaluate(standings[0], context)]
+        else:
+            outcomes = list(
+                self._pool.map(lambda s: self._evaluate(s, context), standings)
+            )
+        bucket = self._processor.buckets_processed
+        time = self._processor.current_time
+        for standing, result in zip(standings, outcomes):
+            previous = self._results.get(standing.query_id)
+            self._results[standing.query_id] = StandingResult(
+                query_id=standing.query_id,
+                result=result,
+                evaluated_at_bucket=bucket,
+                evaluated_at_time=time,
+                evaluations=1 if previous is None else previous.evaluations + 1,
+            )
+            self._pending.discard(standing.query_id)
+
+    def _resolve_standing(self, standing: StandingQuery) -> KSIRAlgorithm:
+        config = self._processor.config
+        return resolve_algorithm(
+            standing.algorithm,
+            default_name=config.default_algorithm,
+            epsilon=config.default_epsilon if standing.epsilon is None else standing.epsilon,
+        )
+
+    def _evaluate(self, standing: StandingQuery, context: ScoringContext) -> QueryResult:
+        solver = self._solvers.get(standing.query_id)
+        if solver is None:
+            # Query registered on the registry directly, not via the engine.
+            solver = self._solvers[standing.query_id] = self._resolve_standing(standing)
+        objective = KSIRObjective(context, standing.query.vector)
+        watch = StopWatch()
+        watch.start()
+        outcome = solver.select(
+            objective,
+            standing.query.k,
+            index=self._processor.ranked_lists if solver.requires_index else None,
+        )
+        elapsed = watch.stop()
+        self._metrics.eval_latency.add(elapsed)
+        return QueryResult(
+            element_ids=outcome.element_ids,
+            score=outcome.value,
+            algorithm=solver.name,
+            elapsed_ms=elapsed * 1000.0,
+            evaluated_elements=outcome.evaluated_elements,
+            active_elements=context.active_count,
+            extras=dict(outcome.extras),
+        )
+
+    # -- lifecycle ---------------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the evaluator thread pool (idempotent)."""
+        if not self._closed:
+            self._pool.shutdown(wait=True)
+            self._closed = True
+
+    def __enter__(self) -> "ServiceEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the service engine has been closed")

@@ -1,0 +1,180 @@
+"""Service-level metrics for the standing-query engine.
+
+The serving engine distinguishes *opportunities* (query × bucket pairs: every
+registered standing query could be re-evaluated after every ingested bucket)
+from *evaluations* (the pairs actually re-run).  The gap between the two is
+what incremental maintenance buys, so the report centres on:
+
+* the **re-eval ratio** — evaluations / opportunities;
+* the **result-cache hit rate** — the complementary fraction of pairs served
+  from the per-query result cache (with staleness metadata);
+* the **snapshot-cache hit rate** — how often an evaluation reused the shared
+  per-bucket :class:`~repro.core.scoring.ScoringContext`;
+* **latency percentiles** (p50/p99) of individual query evaluations and the
+  sustained **maintenance throughput** in pairs per second.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.utils.timing import TimingStats
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0.0 when empty).
+
+    ``fraction`` is in ``[0, 1]``; ``percentile(xs, 0.5)`` is the median
+    under the nearest-rank convention.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters and timers accumulated by :class:`~repro.service.engine.ServiceEngine`.
+
+    Attributes
+    ----------
+    eval_latency:
+        Per-evaluation wall-clock times (one sample per re-run pair).
+    maintenance_timer:
+        Per-bucket standing-query maintenance times (evaluation phase only;
+        stream ingestion is tracked by the processor's own timer).
+    buckets:
+        Buckets ingested while serving.
+    evaluations:
+        Query × bucket pairs actually re-evaluated.
+    reused:
+        Query × bucket pairs served from the per-query result cache.
+    full_reevals:
+        Buckets on which the scheduler fell back to re-evaluating every
+        standing query (window-expiry churn or near-total dirtiness).
+    expired_queries:
+        Standing queries dropped because their TTL elapsed.
+    snapshot_hits:
+        Evaluations that reused the shared per-bucket scoring snapshot.
+    snapshot_misses:
+        Evaluations that had to materialise a fresh snapshot.
+    """
+
+    eval_latency: TimingStats = field(
+        default_factory=lambda: TimingStats(name="eval-latency")
+    )
+    maintenance_timer: TimingStats = field(
+        default_factory=lambda: TimingStats(name="bucket-maintenance")
+    )
+    buckets: int = 0
+    evaluations: int = 0
+    reused: int = 0
+    full_reevals: int = 0
+    expired_queries: int = 0
+    snapshot_hits: int = 0
+    snapshot_misses: int = 0
+
+    # -- derived rates ----------------------------------------------------------------
+
+    @property
+    def opportunities(self) -> int:
+        """Query × bucket pairs the engine was responsible for."""
+        return self.evaluations + self.reused
+
+    @property
+    def reeval_ratio(self) -> float:
+        """Fraction of pairs actually re-evaluated (1.0 for the naive mode)."""
+        if self.opportunities == 0:
+            return 0.0
+        return self.evaluations / self.opportunities
+
+    @property
+    def result_cache_hit_rate(self) -> float:
+        """Fraction of pairs served from the per-query result cache."""
+        if self.opportunities == 0:
+            return 0.0
+        return self.reused / self.opportunities
+
+    @property
+    def snapshot_hit_rate(self) -> float:
+        """Fraction of snapshot lookups answered from the shared cache."""
+        lookups = self.snapshot_hits + self.snapshot_misses
+        if lookups == 0:
+            return 0.0
+        return self.snapshot_hits / lookups
+
+    @property
+    def latency_p50_ms(self) -> float:
+        """Median evaluation latency in milliseconds."""
+        return percentile(self.eval_latency.samples_ms, 0.50)
+
+    @property
+    def latency_p99_ms(self) -> float:
+        """99th-percentile evaluation latency in milliseconds."""
+        return percentile(self.eval_latency.samples_ms, 0.99)
+
+    @property
+    def maintenance_seconds(self) -> float:
+        """Total standing-query maintenance time in seconds."""
+        return self.maintenance_timer.total_ms / 1000.0
+
+    @property
+    def queries_per_sec(self) -> float:
+        """Standing-query results maintained per second of maintenance time.
+
+        Counts every query × bucket pair (cached pairs included: keeping a
+        result fresh *or* provably unchanged is the service's unit of work),
+        so the incremental and naive modes are compared on equal footing.
+        """
+        seconds = self.maintenance_seconds
+        if seconds <= 0.0:
+            return 0.0
+        return self.opportunities / seconds
+
+    @property
+    def evaluations_per_sec(self) -> float:
+        """Re-evaluated pairs per second of maintenance time."""
+        seconds = self.maintenance_seconds
+        if seconds <= 0.0:
+            return 0.0
+        return self.evaluations / seconds
+
+    # -- reporting -------------------------------------------------------------------------
+
+    def render(self) -> str:
+        """The metrics report printed by ``repro-ksir serve``."""
+        lines = [
+            "service metrics",
+            f"  buckets ingested     {self.buckets}",
+            (
+                f"  query-bucket pairs   {self.opportunities}"
+                f" (re-eval ratio {self.reeval_ratio:.3f},"
+                f" result-cache hit rate {self.result_cache_hit_rate * 100.0:.1f}%)"
+            ),
+            (
+                f"  evaluations          {self.evaluations}"
+                f" ({self.full_reevals} full re-eval buckets,"
+                f" {self.expired_queries} queries expired by TTL)"
+            ),
+            (
+                f"  eval latency         p50 {self.latency_p50_ms:.3f} ms"
+                f" | p99 {self.latency_p99_ms:.3f} ms"
+                f" | mean {self.eval_latency.mean_ms:.3f} ms"
+            ),
+            (
+                f"  throughput           {self.queries_per_sec:.1f} pairs/sec"
+                f" ({self.evaluations_per_sec:.1f} evals/sec,"
+                f" maintenance {self.maintenance_seconds:.3f} s)"
+            ),
+            (
+                f"  snapshot cache       hit rate {self.snapshot_hit_rate * 100.0:.1f}%"
+                f" ({self.snapshot_hits} hits, {self.snapshot_misses} misses)"
+            ),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Incremental re-evaluation scheduling for standing queries.
+
+After each ingested bucket the ranked-list index reports which topics had
+tuples inserted, re-scored or removed (the per-topic dirty sets).  A standing
+query's answer can only have changed if its topic support intersects those
+dirty topics — ``f(S, x)`` is a weighted sum over the query's non-zero
+topics, and the window state feeding any ``f_i`` with ``x_i > 0`` is exactly
+what the dirty sets track.  The scheduler therefore re-evaluates only the
+affected queries and lets the engine serve every other standing result from
+its cache (with staleness metadata).
+
+Two situations fall back to re-evaluating everything:
+
+* **window-expiry churn** — when an advance expires a large fraction of the
+  active set, nearly every list changed and the per-query bookkeeping would
+  cost more than it saves;
+* **near-total dirtiness** — when the dirty topics already cover most of the
+  topic space, the intersection test approves almost every query anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from repro.service.registry import QueryRegistry
+from repro.utils.validation import require_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """The scheduler's decision for one bucket.
+
+    Attributes
+    ----------
+    query_ids:
+        Standing queries to re-evaluate, in deterministic (sorted) order.
+    full:
+        Whether this is a full re-evaluation of the registry.
+    reason:
+        Why the plan was chosen (``"incremental"``, ``"expiry-churn"``,
+        ``"dirty-fraction"`` or ``"naive"``).
+    dirty_topics:
+        The dirty topics the plan was derived from.
+    """
+
+    query_ids: Tuple[str, ...]
+    full: bool
+    reason: str
+    dirty_topics: Tuple[int, ...]
+
+
+class IncrementalScheduler:
+    """Plans which standing queries to re-evaluate after a bucket."""
+
+    def __init__(
+        self,
+        registry: QueryRegistry,
+        num_topics: int,
+        dirty_fraction_fallback: float = 0.75,
+        expiry_churn_fraction: float = 0.5,
+    ) -> None:
+        require_positive(num_topics, "num_topics")
+        require_in_range(dirty_fraction_fallback, "dirty_fraction_fallback", 0.0, 1.0)
+        require_in_range(expiry_churn_fraction, "expiry_churn_fraction", 0.0, 1.0)
+        self._registry = registry
+        self._num_topics = int(num_topics)
+        self._dirty_fraction_fallback = float(dirty_fraction_fallback)
+        self._expiry_churn_fraction = float(expiry_churn_fraction)
+
+    @property
+    def registry(self) -> QueryRegistry:
+        """The registry the plans are drawn from."""
+        return self._registry
+
+    def plan(
+        self,
+        dirty_topics: Iterable[int],
+        expired_elements: int = 0,
+        active_elements: int = 0,
+        pending_ids: Sequence[str] = (),
+    ) -> SchedulePlan:
+        """Decide which standing queries need re-evaluation.
+
+        Parameters
+        ----------
+        dirty_topics:
+            Topics whose ranked lists changed during the bucket.
+        expired_elements:
+            How many active elements the window advance expired.
+        active_elements:
+            Active-set size after the advance (churn denominator).
+        pending_ids:
+            Queries that have never been evaluated; they are always included
+            regardless of the dirty sets.
+        """
+        dirty = tuple(sorted(set(dirty_topics)))
+        pending = [qid for qid in pending_ids if qid in self._registry]
+
+        if len(self._registry) > 0:
+            churn_floor = self._expiry_churn_fraction * max(1, active_elements)
+            if expired_elements > 0 and expired_elements >= churn_floor:
+                return SchedulePlan(
+                    query_ids=tuple(sorted(self._registry.ids())),
+                    full=True,
+                    reason="expiry-churn",
+                    dirty_topics=dirty,
+                )
+            if len(dirty) >= self._dirty_fraction_fallback * self._num_topics:
+                return SchedulePlan(
+                    query_ids=tuple(sorted(self._registry.ids())),
+                    full=True,
+                    reason="dirty-fraction",
+                    dirty_topics=dirty,
+                )
+
+        affected = self._registry.affected_by(dirty)
+        affected.update(pending)
+        return SchedulePlan(
+            query_ids=tuple(sorted(affected)),
+            full=len(affected) == len(self._registry) and len(self._registry) > 0,
+            reason="incremental",
+            dirty_topics=dirty,
+        )

@@ -1,0 +1,63 @@
+"""One shared scoring snapshot per ingested bucket.
+
+Every standing-query evaluation needs a frozen
+:class:`~repro.core.scoring.ScoringContext` of the active window.  Building
+one costs time linear in the window, so the serving engine must not rebuild
+it per query: the :class:`SnapshotCache` materialises a single context per
+processor version (``buckets_processed``) and hands the same object to every
+evaluation until the next bucket invalidates it.  Versioning by bucket count
+— not per query — is what makes the snapshot *shared*: with ``q`` standing
+queries the window is frozen once per bucket instead of ``q`` times.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.processor import KSIRProcessor
+from repro.core.scoring import ScoringContext
+
+
+class SnapshotCache:
+    """Versioned cache of the processor's scoring snapshot."""
+
+    def __init__(self, processor: KSIRProcessor) -> None:
+        self._processor = processor
+        self._version: Optional[int] = None
+        self._context: Optional[ScoringContext] = None
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def version(self) -> Optional[int]:
+        """``buckets_processed`` the cached context belongs to (None when cold)."""
+        return self._version
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that had to materialise a fresh snapshot."""
+        return self._misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        lookups = self._hits + self._misses
+        if lookups == 0:
+            return 0.0
+        return self._hits / lookups
+
+    def context(self) -> ScoringContext:
+        """The scoring snapshot of the processor's current bucket version."""
+        version = self._processor.buckets_processed
+        if self._context is not None and self._version == version:
+            self._hits += 1
+            return self._context
+        self._misses += 1
+        self._context = self._processor.snapshot()
+        self._version = version
+        return self._context

@@ -114,3 +114,47 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Figure 7" in output
         assert "mttd" in output
+
+
+class TestServeCommand:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.profile == "tiny"
+        assert args.queries == 100
+        assert args.algorithm == "mttd"
+        assert not args.naive
+        assert args.ttl_buckets is None
+
+    def test_serve_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--algorithm", "nope"])
+
+    def test_serve_end_to_end_prints_metrics_report(self, capsys):
+        exit_code = main(
+            [
+                "serve", "--profile", "tiny", "--queries", "10", "--k", "3",
+                "--window-hours", "3", "--bucket-minutes", "30", "--eta", "1.0",
+                "--workers", "2", "--seed", "3",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "standing queries" in output
+        assert "p50" in output and "p99" in output
+        assert "re-eval ratio" in output
+        assert "snapshot cache" in output
+        assert "q00000" in output  # sample standing results are printed
+
+    def test_serve_naive_mode(self, capsys):
+        exit_code = main(
+            [
+                "serve", "--profile", "tiny", "--queries", "5", "--k", "3",
+                "--window-hours", "3", "--bucket-minutes", "30", "--eta", "1.0",
+                "--naive", "--seed", "3",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "naive maintenance" in output
+        assert "re-eval ratio 1.000" in output

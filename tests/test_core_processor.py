@@ -159,3 +159,124 @@ class TestQueryProcessing:
     def test_objective_binding(self, paper_processor):
         objective = paper_processor.objective(np.array([0.5, 0.5]))
         assert objective.context.active_count == paper_processor.active_count
+
+
+class TestSnapshotCaching:
+    def test_snapshot_reused_while_window_unchanged(self, paper_topic_model, paper_elements):
+        config = ProcessorConfig(
+            window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
+        )
+        processor = KSIRProcessor(paper_topic_model, config)
+        processor.process_stream(SocialStream(paper_elements))
+        first = processor.snapshot()
+        assert processor.snapshot() is first
+
+    def test_snapshot_invalidated_by_new_bucket(self, paper_topic_model, paper_elements):
+        config = ProcessorConfig(
+            window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
+        )
+        processor = KSIRProcessor(paper_topic_model, config)
+        processor.process_stream(SocialStream(paper_elements))
+        first = processor.snapshot()
+        processor.process_bucket([], end_time=9)
+        second = processor.snapshot()
+        assert second is not first
+        # e1 (ts=1, last referenced at 5) expired at t=9: the new snapshot
+        # reflects the slide while the old one stays frozen.
+        assert second.active_count < first.active_count
+
+    def test_repeated_queries_share_one_snapshot(self, paper_topic_model, paper_elements):
+        config = ProcessorConfig(
+            window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
+        )
+        processor = KSIRProcessor(paper_topic_model, config)
+        processor.process_stream(SocialStream(paper_elements))
+        first = processor.query([0.5, 0.5], k=2, algorithm="mttd")
+        second = processor.query([0.5, 0.5], k=2, algorithm="celf")
+        assert set(first.element_ids) == set(second.element_ids) == {1, 3}
+
+
+class TestParentReactivation:
+    """The re-activation branch of process_bucket (Algorithm 1).
+
+    When an expired parent is referenced by a new element, the processor must
+    rebuild its profile from the window archive and re-insert its
+    ranked-list tuples before refreshing its influence score.
+    """
+
+    def _drive(self, paper_topic_model, elements, until):
+        config = ProcessorConfig(
+            window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
+        )
+        processor = KSIRProcessor(paper_topic_model, config)
+        by_id = {element.element_id: element for element in elements}
+        for time in range(1, until + 1):
+            bucket = [by_id[time]] if time in by_id else []
+            processor.process_bucket(bucket, end_time=time)
+        return processor
+
+    def test_profile_rebuilt_and_tuples_reinserted(self, paper_topic_model, paper_elements):
+        # e2 (t=2) expires at t=6; e7 (t=7) references it, re-activating it.
+        processor = self._drive(paper_topic_model, paper_elements, until=6)
+        assert 2 not in processor.ranked_lists
+        assert 2 not in processor.snapshot()
+
+        by_id = {element.element_id: element for element in paper_elements}
+        processor.process_bucket([by_id[7]], end_time=7)
+
+        # The parent is active again with a freshly built profile...
+        snapshot = processor.snapshot()
+        assert 2 in snapshot
+        profile = snapshot.profile(2)
+        assert profile.topic_probability(1) == pytest.approx(0.74)
+        # ...its ranked-list tuples are back with the refreshed influence
+        # score delta_2(e2) = 0.5*R_2(e2) + 0.25*p_2(e2)*p_2(e7) ~= 0.39
+        # (only e7 follows it at t=7; e8's reference arrives later and lifts
+        # it to Figure 5's 0.48), and its last activity is the referencing
+        # element's time, so it survives until t = 7 + T.
+        assert 2 in processor.ranked_lists
+        assert processor.ranked_lists.score(1, 2) == pytest.approx(0.393, abs=0.011)
+        assert processor.ranked_lists.last_activity(2) == 7
+        assert processor.window.followers_of(2) == (7,)
+
+    def test_reactivated_parent_is_queryable(self, paper_topic_model, paper_elements):
+        processor = self._drive(paper_topic_model, paper_elements, until=7)
+        result = processor.query([0.0, 1.0], k=2, algorithm="mttd")
+        # At t=7 the topic-2 ranking is e1 (0.56) then the re-activated e2
+        # (0.39): an expired-then-referenced element is immediately
+        # answerable again.
+        assert result.element_ids == (1, 2)
+
+    def test_reactivation_with_inferred_distributions(self, paper_topic_model, paper_elements):
+        # The same replay with topic distributions stripped: the parent's
+        # archived copy carries the distribution inferred on first arrival,
+        # and re-activation rebuilds the profile from it.
+        stripped = [
+            type(element)(
+                element_id=element.element_id,
+                timestamp=element.timestamp,
+                tokens=element.tokens,
+                references=element.references,
+                topic_distribution=None,
+            )
+            for element in paper_elements
+        ]
+        processor = self._drive(paper_topic_model, stripped, until=7)
+        assert 2 in processor.ranked_lists
+        snapshot = processor.snapshot()
+        # The soccer tweet e2 infers mostly topic 2 and lands on its list.
+        assert snapshot.profile(2).topic_probability(1) > 0.5
+        assert processor.ranked_lists.score(1, 2) > 0.0
+
+    def test_dirty_topics_cover_reactivation(self, paper_topic_model, paper_elements):
+        processor = self._drive(paper_topic_model, paper_elements, until=6)
+        processor.ranked_lists.take_dirty_topics()
+        by_id = {element.element_id: element for element in paper_elements}
+        processor.process_bucket([by_id[7]], end_time=7)
+        dirty = set(processor.ranked_lists.take_dirty_topics())
+        # The topics of both the re-activated parent (e2) and the new
+        # follower (e7) are reported, so the serving layer re-evaluates any
+        # standing query they could affect.
+        snapshot = processor.snapshot()
+        assert set(snapshot.profile(2).topics) <= dirty
+        assert set(snapshot.profile(7).topics) <= dirty

@@ -174,3 +174,55 @@ class TestTraversal:
         assert traversal.exhausted()
         assert traversal.pop() is None
         assert traversal.upper_bound() == 0.0
+
+
+class TestDirtyTopicTracking:
+    def _profiles(self):
+        model = build_paper_topic_model()
+        builder = ProfileBuilder(model, PAPER_SCORING)
+        return model, {e.element_id: builder.build(e) for e in build_paper_elements()}
+
+    def test_insert_marks_element_topics_dirty(self):
+        model, profiles = self._profiles()
+        index = RankedListIndex(model.num_topics, PAPER_SCORING)
+        index.insert(profiles[4])  # e4 is pure topic 1 (p_2 = 0)
+        assert index.peek_dirty_topics() == (0,)
+        assert index.take_dirty_topics() == (0,)
+        assert index.dirty_topic_count == 0
+
+    def test_take_drains_the_set(self):
+        model, profiles = self._profiles()
+        index = RankedListIndex(model.num_topics, PAPER_SCORING)
+        index.insert(profiles[1])
+        index.take_dirty_topics()
+        assert index.take_dirty_topics() == ()
+
+    def test_refresh_marks_rescored_topics(self):
+        model, profiles = self._profiles()
+        index = RankedListIndex(model.num_topics, PAPER_SCORING)
+        index.insert(profiles[3])
+        index.take_dirty_topics()
+        index.refresh(profiles[3], {4: profiles[4]}, activity_time=4)
+        assert index.take_dirty_topics() == tuple(sorted(profiles[3].topics))
+
+    def test_remove_marks_only_lists_holding_the_element(self):
+        model, profiles = self._profiles()
+        index = RankedListIndex(model.num_topics, PAPER_SCORING)
+        index.insert(profiles[4])  # only on topic 0's list
+        index.take_dirty_topics()
+        index.remove(4)
+        assert index.take_dirty_topics() == (0,)
+
+    def test_remove_of_absent_element_marks_nothing(self):
+        model, _profiles = self._profiles()
+        index = RankedListIndex(model.num_topics, PAPER_SCORING)
+        index.remove(99)
+        assert index.take_dirty_topics() == ()
+
+    def test_clear_marks_every_held_topic(self):
+        model, profiles = self._profiles()
+        index = RankedListIndex(model.num_topics, PAPER_SCORING)
+        index.insert(profiles[1])
+        index.take_dirty_topics()
+        index.clear()
+        assert index.take_dirty_topics() == tuple(sorted(profiles[1].topics))
