@@ -23,6 +23,13 @@ Quickstart
 True
 """
 
+from repro.cluster import (
+    ClusterConfig,
+    ClusterCoordinator,
+    ShardPlanner,
+    ShardWorker,
+    verify_equivalence,
+)
 from repro.core.algorithms import (
     CELF,
     GreedySelection,
@@ -63,6 +70,8 @@ __all__ = [
     "ActiveWindow",
     "BitermTopicModel",
     "CELF",
+    "ClusterConfig",
+    "ClusterCoordinator",
     "DATASET_PROFILES",
     "DatasetProfile",
     "GreedySelection",
@@ -83,6 +92,8 @@ __all__ = [
     "ScoringContext",
     "ServiceEngine",
     "ServiceMetrics",
+    "ShardPlanner",
+    "ShardWorker",
     "SieveStreaming",
     "SnapshotCache",
     "StandingQuery",
@@ -98,5 +109,6 @@ __all__ = [
     "infer_query_vector",
     "make_algorithm",
     "tokenize",
+    "verify_equivalence",
     "__version__",
 ]

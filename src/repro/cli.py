@@ -23,8 +23,9 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
+from repro.cluster import BACKEND_CHOICES, ClusterConfig, ClusterCoordinator
 from repro.core.algorithms import ALGORITHM_REGISTRY
 from repro.core.processor import KSIRProcessor, ProcessorConfig
 from repro.core.query import KSIRQuery
@@ -70,6 +71,36 @@ def _canonical_algorithm_names() -> tuple:
 ALGORITHM_CHOICES = _canonical_algorithm_names()
 
 
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--backend``/``--shards`` execution-layer options."""
+    parser.add_argument("--backend", default="single", choices=["single", "cluster"],
+                        help="execution backend: one processor or a sharded cluster")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="number of shards (cluster backend only)")
+    parser.add_argument("--partitioner", default="hash",
+                        choices=["hash", "round-robin", "load-balanced"],
+                        help="element partitioning strategy (cluster backend only)")
+    parser.add_argument("--fanout", default="thread", choices=list(BACKEND_CHOICES),
+                        help="cluster fan-out executor (thread pool, serial, "
+                             "or one process per shard)")
+
+
+def _make_execution_backend(args: argparse.Namespace, topic_model, config, inferencer):
+    """Build the processor or cluster coordinator the subcommand runs on."""
+    if args.backend == "cluster":
+        return ClusterCoordinator(
+            topic_model,
+            config,
+            cluster=ClusterConfig(
+                num_shards=args.shards,
+                partitioner=args.partitioner,
+                backend=args.fanout,
+            ),
+            inferencer=inferencer,
+        )
+    return KSIRProcessor(topic_model, config, inferencer=inferencer)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser of the ``repro-ksir`` command."""
     parser = argparse.ArgumentParser(
@@ -107,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--lambda-weight", type=float, default=0.5)
     query.add_argument("--eta", type=float, default=1.5)
     query.add_argument("--seed", type=int, default=2019)
+    _add_execution_arguments(query)
 
     serve = subparsers.add_parser(
         "serve", help="replay a stream while maintaining standing k-SIR queries"
@@ -134,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--top", type=int, default=3,
                        help="standing results to print after the replay")
     serve.add_argument("--seed", type=int, default=2019)
+    _add_execution_arguments(serve)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures"
@@ -217,20 +250,43 @@ def run_query(args: argparse.Namespace) -> int:
         bucket_length=args.bucket_minutes * 60,
         scoring=ScoringConfig(lambda_weight=args.lambda_weight, eta=args.eta),
     )
-    processor = KSIRProcessor(model, config, inferencer=inferencer)
-    processor.process_stream(stream)
-    _print(
-        f"replayed {processor.elements_processed} elements; "
-        f"{processor.active_count} active at time {processor.current_time}"
-    )
+    backend = _make_execution_backend(args, model, config, inferencer)
+    try:
+        backend.process_stream(stream)
+        where = (
+            f" across {backend.num_shards} shards"
+            if isinstance(backend, ClusterCoordinator)
+            else ""
+        )
+        _print(
+            f"replayed {backend.elements_processed} elements{where}; "
+            f"{backend.active_count} active at time {backend.current_time}"
+        )
 
-    vector = infer_query_vector(model, args.keywords, inferencer=inferencer)
-    query = KSIRQuery(k=args.k, vector=vector, keywords=tuple(args.keywords))
-    result = processor.query(query, algorithm=args.algorithm, epsilon=args.epsilon)
-    _print(result.summary())
-    for element in processor.result_elements(result):
-        followers = processor.window.follower_count(element.element_id)
-        _print(f"  e{element.element_id} ({followers} refs): " + " ".join(element.tokens[:10]))
+        vector = infer_query_vector(model, args.keywords, inferencer=inferencer)
+        query = KSIRQuery(k=args.k, vector=vector, keywords=tuple(args.keywords))
+        result = backend.query(query, algorithm=args.algorithm, epsilon=args.epsilon)
+        _print(result.summary())
+        elements_by_id = {element.element_id: element for element in stream}
+        if isinstance(backend, KSIRProcessor):
+            follower_count = backend.window.follower_count
+        else:
+            # Shard windows are not exposed here; show the stream-wide
+            # in-degree instead (one pass, shared by every result line).
+            in_degree: Dict[int, int] = {}
+            for element in stream:
+                for parent_id in element.references:
+                    in_degree[parent_id] = in_degree.get(parent_id, 0) + 1
+            follower_count = lambda element_id: in_degree.get(element_id, 0)  # noqa: E731
+        for element_id in result.element_ids:
+            element = elements_by_id[element_id]
+            _print(
+                f"  e{element_id} ({follower_count(element_id)} refs): "
+                + " ".join(element.tokens[:10])
+            )
+    finally:
+        if isinstance(backend, ClusterCoordinator):
+            backend.close()
     return 0
 
 
@@ -241,38 +297,44 @@ def run_serve(args: argparse.Namespace) -> int:
         bucket_length=args.bucket_minutes * 60,
         scoring=ScoringConfig(lambda_weight=args.lambda_weight, eta=args.eta),
     )
-    processor = KSIRProcessor(dataset.topic_model, config, inferencer=dataset.inferencer)
+    backend = _make_execution_backend(
+        args, dataset.topic_model, config, dataset.inferencer
+    )
     generator = WorkloadGenerator(
         dataset, k=args.k, mode=args.mode, seed=args.seed + 17
     )
-    with ServiceEngine(
-        processor,
-        max_workers=args.workers,
-        incremental=not args.naive,
-    ) as engine:
-        for _ in range(args.queries):
-            engine.register(
-                generator.generate_query(),
-                algorithm=args.algorithm,
-                epsilon=args.epsilon,
-                ttl_buckets=args.ttl_buckets,
-            )
-        engine.serve_stream(dataset.stream)
-        _print(engine.report())
+    try:
+        with ServiceEngine(
+            backend,
+            max_workers=args.workers,
+            incremental=not args.naive,
+        ) as engine:
+            for _ in range(args.queries):
+                engine.register(
+                    generator.generate_query(),
+                    algorithm=args.algorithm,
+                    epsilon=args.epsilon,
+                    ttl_buckets=args.ttl_buckets,
+                )
+            engine.serve_stream(dataset.stream)
+            _print(engine.report())
 
-        shown = 0
-        for query_id, standing_result in engine.results().items():
-            if shown >= max(0, args.top):
-                break
-            standing = engine.registry.get(query_id)
-            keywords = " ".join(standing.query.keywords) or "<no keywords>"
-            result = standing_result.result
-            _print(
-                f"  {query_id} [{keywords}]: |S|={len(result)} "
-                f"score={result.score:.4f} stale={standing_result.staleness_buckets} "
-                f"buckets, evaluated {standing_result.evaluations}x"
-            )
-            shown += 1
+            shown = 0
+            for query_id, standing_result in engine.results().items():
+                if shown >= max(0, args.top):
+                    break
+                standing = engine.registry.get(query_id)
+                keywords = " ".join(standing.query.keywords) or "<no keywords>"
+                result = standing_result.result
+                _print(
+                    f"  {query_id} [{keywords}]: |S|={len(result)} "
+                    f"score={result.score:.4f} stale={standing_result.staleness_buckets} "
+                    f"buckets, evaluated {standing_result.evaluations}x"
+                )
+                shown += 1
+    finally:
+        if isinstance(backend, ClusterCoordinator):
+            backend.close()
     return 0
 
 

@@ -1,0 +1,56 @@
+"""repro.cluster — sharded parallel execution for k-SIR processing.
+
+The cluster layer partitions the stream across ``N`` shards, each owning a
+partition-restricted :class:`~repro.core.processor.KSIRProcessor`, and keeps
+sharding *transparent*: queries return exactly the single-node answers.
+
+* :class:`ShardPlanner` + partitioning strategies (``hash``,
+  ``round-robin``, ``load-balanced``) — element → home-shard assignment and
+  the routing of followers to their parents' shards (exact influence);
+* :class:`ShardWorker` / :class:`CandidatePool` — per-shard ingestion and
+  bounded candidate export for scatter-gather queries;
+* :class:`ClusterCoordinator` / :class:`ClusterConfig` — parallel fan-out
+  ingestion (thread / serial / one-process-per-shard backends) and the
+  merged final submodular selection;
+* :func:`merge_candidate_pools` / :class:`MergedCandidateContext` — exact
+  evaluation substrate over the candidate union;
+* :func:`verify_equivalence` — replay-and-compare harness proving sharded
+  answers match single-node answers.
+"""
+
+from repro.cluster.coordinator import BACKEND_CHOICES, ClusterConfig, ClusterCoordinator
+from repro.cluster.merge import MergedCandidateContext, merge_candidate_pools
+from repro.cluster.partition import (
+    PARTITIONER_REGISTRY,
+    HashPartitioner,
+    LoadBalancedPartitioner,
+    PartitionStrategy,
+    RoundRobinPartitioner,
+    RoutedBucket,
+    ShardPlanner,
+    make_partitioner,
+)
+from repro.cluster.verify import EquivalenceReport, QueryComparison, verify_equivalence
+from repro.cluster.worker import CandidatePool, ShardStats, ShardWorker
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "CandidatePool",
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "EquivalenceReport",
+    "HashPartitioner",
+    "LoadBalancedPartitioner",
+    "MergedCandidateContext",
+    "PARTITIONER_REGISTRY",
+    "PartitionStrategy",
+    "QueryComparison",
+    "RoundRobinPartitioner",
+    "RoutedBucket",
+    "ShardPlanner",
+    "ShardStats",
+    "ShardWorker",
+    "make_partitioner",
+    "merge_candidate_pools",
+    "verify_equivalence",
+]

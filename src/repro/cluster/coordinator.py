@@ -1,0 +1,425 @@
+"""The cluster coordinator: parallel fan-out ingestion + scatter-gather queries.
+
+:class:`ClusterCoordinator` is the sharded drop-in for
+:class:`~repro.core.processor.KSIRProcessor`: it exposes the same
+``process_bucket`` / ``process_stream`` / ``query`` surface, but executes them
+over ``N`` :class:`~repro.cluster.worker.ShardWorker` partitions planned by a
+:class:`~repro.cluster.partition.ShardPlanner`.
+
+**Ingestion** routes each element to its home shard plus the home shards of
+its referenced parents (exact influence accounting; see the partition module)
+and fans the routed buckets out — through a thread pool by default, serially
+for deterministic debugging/measurement, or through one OS process per shard
+(``backend="process"``) for GIL-free parallelism.
+
+**Queries** run scatter-gather: every shard walks its ranked lists to export
+a bounded :class:`~repro.cluster.worker.CandidatePool` (the per-shard budget
+is derived from the algorithm's ``ε`` — an MTTD/MTTS descend admits at most
+``k`` elements per round and retrieves no deeper than the ``ε``-termination
+threshold, so ``⌈k/ε⌉`` candidates per shard cover every element a descend
+could touch in practice), and the coordinator runs the final submodular
+selection — any registered algorithm — over the merged union, with batch
+algorithms evaluating the merged context and index algorithms traversing the
+merged candidate index.
+
+**Exactness.**  Candidate scores and marginal gains are always exact (each
+pool carries its candidates' complete follower views).  Whenever no shard
+truncates its export — the ``ε``-derived budget exceeds the shard's
+positive-weight support, which ``⌈k/ε⌉`` comfortably does on topical
+queries — the merged union contains everything the single-node run could
+select and the answer is *identical* to the single node's for every
+deterministic algorithm.  A truncated pool keeps index algorithms on their
+usual retrieval frontier but restricts batch algorithms (greedy, CELF) to
+the per-shard top candidates; use :func:`repro.cluster.verify_equivalence`
+to prove the contract on a given stream and configuration, and raise
+``candidate_budget`` / ``budget_scale`` when it reports truncation-induced
+mismatches.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.core.algorithms import KSIRAlgorithm
+from repro.core.element import SocialElement
+from repro.core.processor import ProcessorConfig
+from repro.core.query import KSIRQuery, QueryResult
+from repro.core.scoring import KSIRObjective
+from repro.core.stream import SocialStream, replay_stream
+from repro.cluster.merge import merge_candidate_pools
+from repro.cluster.partition import RoutedBucket, ShardPlanner
+from repro.cluster.worker import CandidatePool, ShardStats, ShardWorker
+from repro.topics.inference import TopicInferencer
+from repro.topics.model import TopicModel
+from repro.utils.timing import StopWatch, TimingStats
+from repro.utils.validation import require_positive
+
+#: Fan-out backends accepted by :class:`ClusterConfig`.
+BACKEND_CHOICES = ("thread", "serial", "process")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Configuration of the sharded execution layer.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of partitions (1 degenerates to single-node behaviour with
+        routing overhead).
+    partitioner:
+        Partitioning strategy name (``hash``, ``round-robin``,
+        ``load-balanced``).
+    backend:
+        Fan-out executor: ``thread`` (default), ``serial`` (deterministic,
+        used for per-shard measurement), or ``process`` (one OS process per
+        shard; GIL-free, pays per-bucket IPC).
+    candidate_budget:
+        Fixed per-shard candidate budget for queries; ``None`` derives the
+        budget from the query algorithm's ``ε`` as
+        ``max(k, ⌈budget_scale · k / ε⌉)``.
+    budget_scale:
+        Multiplier applied to the ε-derived budget (>1 trades latency for an
+        even larger safety margin).
+    max_workers:
+        Thread-pool size for the ``thread`` backend (default: one per shard).
+    """
+
+    num_shards: int = 4
+    partitioner: str = "hash"
+    backend: str = "thread"
+    candidate_budget: Optional[int] = None
+    budget_scale: float = 1.0
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_shards, "num_shards")
+        if self.backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; available: "
+                + ", ".join(BACKEND_CHOICES)
+            )
+        if self.candidate_budget is not None:
+            require_positive(self.candidate_budget, "candidate_budget")
+        require_positive(self.budget_scale, "budget_scale")
+        if self.max_workers is not None:
+            require_positive(self.max_workers, "max_workers")
+
+    def derive_budget(self, k: int, epsilon: float) -> int:
+        """The per-shard candidate budget for a ``(k, ε)`` query."""
+        if self.candidate_budget is not None:
+            return self.candidate_budget
+        return max(int(k), int(math.ceil(self.budget_scale * k / max(epsilon, 1e-9))))
+
+
+class _LocalFanout:
+    """Thread-pool or serial fan-out over in-process shard workers."""
+
+    def __init__(self, workers: Sequence[ShardWorker], pool: Optional[ThreadPoolExecutor]):
+        self._workers = list(workers)
+        self._pool = pool
+
+    @property
+    def workers(self) -> Tuple[ShardWorker, ...]:
+        return tuple(self._workers)
+
+    def _map(self, fn, items):
+        if self._pool is None:
+            return [fn(item) for item in items]
+        return list(self._pool.map(fn, items))
+
+    def ingest(self, routed: Sequence[RoutedBucket], end_time: int) -> None:
+        def run(bucket: RoutedBucket) -> None:
+            self._workers[bucket.shard_id].ingest(
+                bucket.elements, end_time, home_count=bucket.home_count
+            )
+
+        self._map(run, routed)
+
+    def export(self, vector: np.ndarray, budget: Optional[int]) -> List[CandidatePool]:
+        return self._map(
+            lambda worker: worker.export_candidates(vector, budget), self._workers
+        )
+
+    def take_dirty_topics(self) -> Set[int]:
+        dirty: Set[int] = set()
+        for worker in self._workers:
+            dirty.update(worker.take_dirty_topics())
+        return dirty
+
+    def home_active_counts(self) -> List[int]:
+        return [worker.home_active_count for worker in self._workers]
+
+    def stats(self) -> List[ShardStats]:
+        return [worker.stats() for worker in self._workers]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+
+class ClusterCoordinator:
+    """Routes ingestion to shards and answers queries by scatter-gather."""
+
+    def __init__(
+        self,
+        topic_model: TopicModel,
+        config: Optional[ProcessorConfig] = None,
+        cluster: Optional[ClusterConfig] = None,
+        inferencer: Optional[TopicInferencer] = None,
+    ) -> None:
+        self._model = topic_model
+        self._config = config or ProcessorConfig()
+        self._cluster = cluster or ClusterConfig()
+        self._inferencer = inferencer or TopicInferencer(topic_model)
+        self._planner = ShardPlanner(
+            self._cluster.num_shards, strategy=self._cluster.partitioner
+        )
+        self._buckets_processed = 0
+        self._elements_processed = 0
+        self._current_time: Optional[int] = None
+        self._active_cache: Optional[Tuple[int, int]] = None
+        self._ingest_timer = TimingStats(name="cluster-ingest")
+        self._scatter_timer = TimingStats(name="cluster-scatter")
+        self._closed = False
+
+        if self._cluster.backend == "process":
+            # Imported lazily: the process backend pulls in multiprocessing
+            # machinery that thread/serial users never need.
+            from repro.cluster.process_backend import ProcessFanout
+
+            self._fanout: Union[_LocalFanout, "ProcessFanout"] = ProcessFanout(
+                self._cluster.num_shards, topic_model, self._config
+            )
+        else:
+            workers = [
+                ShardWorker(
+                    shard_id,
+                    topic_model,
+                    self._config,
+                    inferencer=self._inferencer,
+                    home_filter=self._make_home_filter(shard_id),
+                )
+                for shard_id in range(self._cluster.num_shards)
+            ]
+            pool = None
+            if self._cluster.backend == "thread":
+                pool = ThreadPoolExecutor(
+                    max_workers=self._cluster.max_workers or self._cluster.num_shards,
+                    thread_name_prefix="ksir-shard",
+                )
+            self._fanout = _LocalFanout(workers, pool)
+
+    def _make_home_filter(self, shard_id: int):
+        planner = self._planner
+        return lambda element_id: planner.owner(element_id) == shard_id
+
+    # -- metadata -----------------------------------------------------------------
+
+    @property
+    def topic_model(self) -> TopicModel:
+        """The shared topic-model oracle."""
+        return self._model
+
+    @property
+    def config(self) -> ProcessorConfig:
+        """The per-shard processor configuration."""
+        return self._config
+
+    @property
+    def cluster_config(self) -> ClusterConfig:
+        """The sharding configuration."""
+        return self._cluster
+
+    @property
+    def planner(self) -> ShardPlanner:
+        """The shard planner (ownership and routing)."""
+        return self._planner
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return self._cluster.num_shards
+
+    @property
+    def workers(self) -> Tuple[ShardWorker, ...]:
+        """The in-process shard workers (empty for the process backend)."""
+        if isinstance(self._fanout, _LocalFanout):
+            return self._fanout.workers
+        return ()
+
+    @property
+    def buckets_processed(self) -> int:
+        """Buckets ingested so far."""
+        return self._buckets_processed
+
+    @property
+    def elements_processed(self) -> int:
+        """Stream elements ingested so far (before replication)."""
+        return self._elements_processed
+
+    @property
+    def current_time(self) -> Optional[int]:
+        """The time of the last processed bucket."""
+        return self._current_time
+
+    @property
+    def active_count(self) -> int:
+        """Active elements across the cluster (each counted on its home shard).
+
+        Memoised per ingested bucket: the count only changes at ingestion,
+        and on the process backend reading it costs a full shard broadcast.
+        """
+        cached = self._active_cache
+        if cached is not None and cached[0] == self._buckets_processed:
+            return cached[1]
+        value = sum(self._fanout.home_active_counts())
+        self._active_cache = (self._buckets_processed, value)
+        return value
+
+    @property
+    def ingest_timer(self) -> TimingStats:
+        """Coordinator-side per-bucket fan-out wall times."""
+        return self._ingest_timer
+
+    @property
+    def scatter_timer(self) -> TimingStats:
+        """Per-query scatter (candidate export) wall times."""
+        return self._scatter_timer
+
+    def shard_stats(self) -> List[ShardStats]:
+        """Per-shard accounting snapshots."""
+        return self._fanout.stats()
+
+    def take_dirty_topics(self) -> Tuple[int, ...]:
+        """Union of the shards' dirty-topic sets since the last drain."""
+        return tuple(sorted(self._fanout.take_dirty_topics()))
+
+    # -- ingestion -----------------------------------------------------------------
+
+    def _prepare(self, elements: Sequence[SocialElement]) -> List[SocialElement]:
+        """Infer missing topic distributions once, before routing.
+
+        Central inference keeps replicas byte-identical across shards and
+        means shard workers (including remote processes) never have to run
+        the inferencer themselves.
+        """
+        prepared: List[SocialElement] = []
+        for element in elements:
+            if element.topic_distribution is None:
+                element = element.with_topic_distribution(
+                    self._inferencer.infer(element.tokens)
+                )
+            prepared.append(element)
+        return prepared
+
+    def process_bucket(self, elements: Sequence[SocialElement], end_time: int) -> None:
+        """Route one bucket to the shards and advance every shard window."""
+        self._require_open()
+        with self._ingest_timer.measure():
+            prepared = self._prepare(elements)
+            routed = self._planner.route_bucket(
+                prepared, with_owners=self._cluster.backend == "process"
+            )
+            self._fanout.ingest(routed, end_time)
+            self._elements_processed += len(prepared)
+            self._buckets_processed += 1
+            self._current_time = int(end_time)
+            # Ownership entries of elements inactive everywhere (even out of
+            # every shard's archive) are routing dead weight; trim with the
+            # archive's own horizon so memory stays bounded on endless
+            # streams.  8 windows matches ActiveWindow's default
+            # ``archive_windows``.
+            cutoff = end_time - 8 * self._config.window_length
+            if cutoff > 0:
+                self._planner.trim_inactive(cutoff)
+
+    def process_stream(
+        self,
+        stream: Union[SocialStream, Iterable[SocialElement]],
+        until: Optional[int] = None,
+    ) -> None:
+        """Replay a whole stream (or until ``until``) through the cluster."""
+        replay_stream(stream, self._config.bucket_length, self.process_bucket, until)
+
+    # -- query processing -------------------------------------------------------------
+
+    def query(
+        self,
+        query: Union[KSIRQuery, np.ndarray, Sequence[float]],
+        k: Optional[int] = None,
+        algorithm: Union[str, KSIRAlgorithm, None] = None,
+        epsilon: Optional[float] = None,
+    ) -> QueryResult:
+        """Answer a k-SIR query by scatter-gather over the shards.
+
+        Accepts the same inputs as :meth:`KSIRProcessor.query`.  The final
+        selection runs the resolved algorithm over the merged per-shard
+        candidate pools; scores are exact because each pool carries its
+        candidates' complete follower views.
+        """
+        self._require_open()
+        ksir_query = KSIRQuery.coerce(query, k)
+        solver = self._config.resolve_algorithm(algorithm, epsilon)
+        solver_epsilon = getattr(solver, "epsilon", None)
+        if solver_epsilon is None:
+            solver_epsilon = (
+                self._config.default_epsilon if epsilon is None else epsilon
+            )
+        budget = self._cluster.derive_budget(ksir_query.k, float(solver_epsilon))
+
+        watch = StopWatch()
+        watch.start()
+        with self._scatter_timer.measure():
+            pools = self._fanout.export(ksir_query.vector, budget)
+        context, index = merge_candidate_pools(
+            pools,
+            num_topics=self._model.num_topics,
+            config=self._config.scoring,
+            time=self._current_time,
+            build_index=solver.requires_index,
+        )
+        objective = KSIRObjective(context, ksir_query.vector)
+        outcome = solver.select(
+            objective,
+            ksir_query.k,
+            index=index if solver.requires_index else None,
+        )
+        elapsed = watch.stop()
+
+        extras = dict(outcome.extras)
+        extras["shards"] = float(self.num_shards)
+        extras["candidate_budget"] = float(budget)
+        extras["merged_candidates"] = float(context.active_count)
+        return QueryResult(
+            element_ids=outcome.element_ids,
+            score=outcome.value,
+            algorithm=solver.name,
+            elapsed_ms=elapsed * 1000.0,
+            evaluated_elements=outcome.evaluated_elements,
+            active_elements=self.active_count,
+            extras=extras,
+        )
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the fan-out backend (idempotent)."""
+        if not self._closed:
+            self._fanout.close()
+            self._closed = True
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the cluster coordinator has been closed")

@@ -1,0 +1,308 @@
+"""Partitioning strategies and the shard planner of the execution layer.
+
+The cluster partitions the *element space*: every stream element has exactly
+one **home shard** whose :class:`~repro.core.processor.KSIRProcessor` owns its
+ranked-list tuples.  Because the influence score of an element counts its
+in-window followers, a follower posted on a different shard must also reach
+the parent's home shard — the planner therefore routes each element to its
+home shard plus the home shards of every element it references.  On those
+extra shards the element is a *foreign replica*: it participates in the
+window and the follower sets (keeping ``δ_i(e)`` of home elements exact) but
+never enters the shard's ranked lists.
+
+Three :class:`PartitionStrategy` implementations are provided:
+
+* ``hash`` — stateless multiplicative hash of the element id; the default,
+  because ownership is a pure function any process can recompute;
+* ``round-robin`` — cycles through the shards in arrival order, giving the
+  most even element counts;
+* ``load-balanced`` — assigns each new element to the shard with the least
+  observed load, where an element's load contribution is its document length
+  plus its reference count (the two drivers of ingest cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.element import SocialElement
+from repro.utils.validation import require_positive
+
+
+class PartitionStrategy:
+    """Decides the home shard of each newly arrived element.
+
+    Strategies may keep state (round-robin counters, load accumulators); the
+    planner calls :meth:`assign` exactly once per element, in arrival order,
+    and memoises the answer, so ownership is stable for the element's whole
+    lifetime.
+    """
+
+    #: Registry name of the strategy.
+    name: str = "base"
+
+    def assign(self, element: SocialElement, num_shards: int) -> int:
+        """The home shard (``0 .. num_shards-1``) of a new element."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class HashPartitioner(PartitionStrategy):
+    """Stateless multiplicative hash of the element id.
+
+    Uses Knuth's multiplicative constant rather than Python's built-in
+    ``hash`` so ownership is reproducible across processes (the process
+    backend recomputes it in the shard workers).
+    """
+
+    name = "hash"
+
+    _KNUTH = 2654435761
+
+    def assign(self, element: SocialElement, num_shards: int) -> int:
+        return self.shard_of(element.element_id, num_shards)
+
+    @staticmethod
+    def shard_of(element_id: int, num_shards: int) -> int:
+        """Pure ownership function, usable without an element object."""
+        return ((int(element_id) * HashPartitioner._KNUTH) & 0xFFFFFFFF) % num_shards
+
+
+class RoundRobinPartitioner(PartitionStrategy):
+    """Cycle through the shards in element arrival order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def assign(self, element: SocialElement, num_shards: int) -> int:
+        shard = self._next % num_shards
+        self._next += 1
+        return shard
+
+
+class LoadBalancedPartitioner(PartitionStrategy):
+    """Assign each element to the least-loaded shard by observed mass.
+
+    The load contribution of an element is ``len(tokens) + len(references)``
+    — document length drives profile building and ranked-list insertion,
+    references drive follower refreshes — so shards end up balanced by
+    expected ingest work rather than by raw element counts.  Ties break
+    towards the lowest shard index, keeping assignments deterministic.
+    """
+
+    name = "load-balanced"
+
+    def __init__(self) -> None:
+        self._loads: List[float] = []
+
+    def assign(self, element: SocialElement, num_shards: int) -> int:
+        while len(self._loads) < num_shards:
+            self._loads.append(0.0)
+        shard = min(range(num_shards), key=lambda s: (self._loads[s], s))
+        self._loads[shard] += float(len(element.tokens) + len(element.references))
+        return shard
+
+    @property
+    def loads(self) -> Tuple[float, ...]:
+        """The accumulated per-shard load masses."""
+        return tuple(self._loads)
+
+
+PARTITIONER_REGISTRY = {
+    "hash": HashPartitioner,
+    "round-robin": RoundRobinPartitioner,
+    "roundrobin": RoundRobinPartitioner,
+    "load-balanced": LoadBalancedPartitioner,
+    "loadbalanced": LoadBalancedPartitioner,
+}
+"""Maps user-facing partitioner names to their classes."""
+
+
+def make_partitioner(name: str) -> PartitionStrategy:
+    """Instantiate a partitioning strategy by (case-insensitive) name."""
+    key = name.strip().lower()
+    try:
+        cls = PARTITIONER_REGISTRY[key]
+    except KeyError as error:
+        available = ", ".join(sorted(set(PARTITIONER_REGISTRY)))
+        raise ValueError(
+            f"unknown partitioner {name!r}; available: {available}"
+        ) from error
+    return cls()
+
+
+@dataclass(frozen=True)
+class RoutedBucket:
+    """The slice of one stream bucket routed to one shard.
+
+    Attributes
+    ----------
+    shard_id:
+        The receiving shard.
+    elements:
+        The routed elements in stream order — home elements interleaved with
+        the foreign replicas whose references point at this shard.
+    home_count / foreign_count:
+        How many of ``elements`` are home vs foreign, for accounting.
+    owners:
+        Home-shard ownership of every routed element and of every element
+        they reference (when known).  Populated only on request
+        (``route_bucket(..., with_owners=True)``): the process backend
+        replays this map into the remote worker so its home filter agrees
+        with the planner; in-process backends share the planner directly and
+        skip the bookkeeping.
+    """
+
+    shard_id: int
+    elements: Tuple[SocialElement, ...]
+    home_count: int
+    foreign_count: int
+    owners: Dict[int, int] = field(default_factory=dict)
+
+
+class ShardPlanner:
+    """Owns the partitioning strategy and the element → shard assignments."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        strategy: Union[str, PartitionStrategy] = "hash",
+    ) -> None:
+        require_positive(num_shards, "num_shards")
+        self._num_shards = int(num_shards)
+        if isinstance(strategy, PartitionStrategy):
+            self._strategy = strategy
+        else:
+            self._strategy = make_partitioner(strategy)
+        self._owners: Dict[int, int] = {}
+        # Last post/reference time per assigned element, mirroring the
+        # windows' ``t_e``; lets :meth:`trim_inactive` bound the ownership
+        # table on endless streams.
+        self._last_activity: Dict[int, int] = {}
+
+    # -- metadata ----------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards the planner routes to."""
+        return self._num_shards
+
+    @property
+    def strategy(self) -> PartitionStrategy:
+        """The partitioning strategy in use."""
+        return self._strategy
+
+    @property
+    def assigned_count(self) -> int:
+        """Number of elements assigned so far."""
+        return len(self._owners)
+
+    def owner(self, element_id: int) -> Optional[int]:
+        """Home shard of an already-assigned element (None when unseen)."""
+        return self._owners.get(element_id)
+
+    def is_home(self, shard_id: int, element_id: int) -> bool:
+        """Whether the element's home shard is ``shard_id``."""
+        return self._owners.get(element_id) == shard_id
+
+    def shard_sizes(self) -> Tuple[int, ...]:
+        """Elements assigned to each shard (cumulative, expiry ignored)."""
+        sizes = [0] * self._num_shards
+        for shard in self._owners.values():
+            sizes[shard] += 1
+        return tuple(sizes)
+
+    # -- assignment and routing -----------------------------------------------------
+
+    def assign(self, element: SocialElement) -> int:
+        """Assign (or look up) the home shard of an element."""
+        element_id = element.element_id
+        self._last_activity[element_id] = max(
+            element.timestamp, self._last_activity.get(element_id, element.timestamp)
+        )
+        existing = self._owners.get(element_id)
+        if existing is not None:
+            return existing
+        shard = self._strategy.assign(element, self._num_shards)
+        if not 0 <= shard < self._num_shards:
+            raise ValueError(
+                f"strategy {self._strategy.name!r} returned shard {shard} "
+                f"outside 0..{self._num_shards - 1}"
+            )
+        self._owners[element_id] = shard
+        return shard
+
+    def trim_inactive(self, cutoff: int) -> int:
+        """Drop ownership of elements whose last activity predates ``cutoff``.
+
+        Safe when ``cutoff`` trails the shards' archive horizon: such
+        elements are inactive on every shard *and* already trimmed from
+        every archive, so a later reference to them is dangling everywhere —
+        exactly the references routing ignores anyway.  Returns the number
+        of entries dropped.
+        """
+        stale = [
+            element_id
+            for element_id, last_activity in self._last_activity.items()
+            if last_activity < cutoff
+        ]
+        for element_id in stale:
+            self._owners.pop(element_id, None)
+            del self._last_activity[element_id]
+        return len(stale)
+
+    def route_bucket(
+        self, elements: Sequence[SocialElement], with_owners: bool = False
+    ) -> Tuple[RoutedBucket, ...]:
+        """Split one stream bucket into per-shard routed buckets.
+
+        Every element goes to its home shard; it is additionally replicated
+        to the home shard of each element it references (so follower edges —
+        and with them the influence scores — are accounted exactly where the
+        parent's ranked-list tuples live).  References to elements never
+        observed by the planner are ignored, exactly as the single-node
+        window ignores dangling references.  Stream order is preserved
+        within each routed bucket.  ``with_owners`` additionally fills each
+        bucket's ownership table (needed only by out-of-process workers).
+        """
+        routed: List[List[SocialElement]] = [[] for _ in range(self._num_shards)]
+        home_counts = [0] * self._num_shards
+        owners: List[Dict[int, int]] = [{} for _ in range(self._num_shards)]
+        for element in elements:
+            home = self.assign(element)
+            targets = {home}
+            for parent_id in element.references:
+                parent_owner = self._owners.get(parent_id)
+                if parent_owner is not None:
+                    targets.add(parent_owner)
+                    # A reference keeps the parent alive on its home shard;
+                    # mirror that in the trim bookkeeping.
+                    self._last_activity[parent_id] = max(
+                        self._last_activity.get(parent_id, element.timestamp),
+                        element.timestamp,
+                    )
+            for shard in targets:
+                routed[shard].append(element)
+                if with_owners:
+                    table = owners[shard]
+                    table[element.element_id] = home
+                    for parent_id in element.references:
+                        parent_owner = self._owners.get(parent_id)
+                        if parent_owner is not None:
+                            table[parent_id] = parent_owner
+            home_counts[home] += 1
+        return tuple(
+            RoutedBucket(
+                shard_id=shard,
+                elements=tuple(routed[shard]),
+                home_count=home_counts[shard],
+                foreign_count=len(routed[shard]) - home_counts[shard],
+                owners=owners[shard],
+            )
+            for shard in range(self._num_shards)
+        )

@@ -1,0 +1,186 @@
+"""One-OS-process-per-shard fan-out (``ClusterConfig(backend="process")``).
+
+The thread backend shares the interpreter, so CPU-bound ingestion serialises
+on the GIL; this backend gives each shard its own process and communicates
+over pipes.  Protocol per command: the coordinator scatters a message to
+every shard pipe, then gathers every reply — so shards genuinely overlap on
+multi-core machines.
+
+State that must agree between the planner (coordinator side) and the home
+filters (shard side) is the element → home-shard table: each
+:class:`~repro.cluster.partition.RoutedBucket` carries the ownership entries
+for its routed elements and their references, and the remote worker replays
+them into a local table before ingesting.
+
+Costs to be aware of: per-bucket pickling of the routed elements and, at
+startup, pickling of the topic model into every shard process.  The backend
+is therefore most useful when per-element processing dominates IPC — exactly
+the heavy-traffic regime the ROADMAP targets.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.processor import ProcessorConfig
+from repro.cluster.partition import RoutedBucket
+from repro.cluster.worker import CandidatePool, ShardStats, ShardWorker
+from repro.topics.model import TopicModel
+
+
+def _shard_main(conn, shard_id: int, topic_model: TopicModel, config: ProcessorConfig) -> None:
+    """The shard process loop: execute commands until ``close`` arrives."""
+    owners: Dict[int, int] = {}
+    # Bucket end time each ownership entry was last (re)shipped; used to
+    # trim the table with the archive horizon, mirroring the planner's
+    # trim_inactive (shipping times trail true activity times, so the
+    # remote table is only ever trimmed later than the planner's — safe).
+    owner_seen: Dict[int, int] = {}
+    worker = ShardWorker(
+        shard_id,
+        topic_model,
+        config,
+        home_filter=lambda element_id: owners.get(element_id) == shard_id,
+    )
+    while True:
+        try:
+            command, payload = conn.recv()
+        except EOFError:
+            break
+        try:
+            if command == "ingest":
+                elements, end_time, owner_updates, home_count = payload
+                owners.update(owner_updates)
+                for element_id in owner_updates:
+                    owner_seen[element_id] = end_time
+                worker.ingest(elements, end_time, home_count=home_count)
+                cutoff = end_time - 8 * config.window_length
+                if cutoff > 0:
+                    for element_id in [
+                        eid for eid, seen in owner_seen.items() if seen < cutoff
+                    ]:
+                        del owner_seen[element_id]
+                        owners.pop(element_id, None)
+                conn.send(("ok", None))
+            elif command == "export":
+                vector, budget = payload
+                conn.send(("ok", worker.export_candidates(vector, budget)))
+            elif command == "dirty":
+                conn.send(("ok", worker.take_dirty_topics()))
+            elif command == "active":
+                conn.send(("ok", worker.home_active_count))
+            elif command == "stats":
+                conn.send(("ok", worker.stats()))
+            elif command == "close":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("error", f"unknown command {command!r}"))
+        except Exception as error:  # surface shard failures to the coordinator
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+    conn.close()
+
+
+class ProcessFanout:
+    """Scatter-gather over one worker process per shard."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        topic_model: TopicModel,
+        config: ProcessorConfig,
+    ) -> None:
+        context = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        self._connections = []
+        self._processes = []
+        for shard_id in range(num_shards):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_shard_main,
+                args=(child_conn, shard_id, topic_model, config),
+                daemon=True,
+                name=f"ksir-shard-{shard_id}",
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+        self._closed = False
+        # The serving engine evaluates standing queries from a thread pool,
+        # so exports can arrive concurrently; the pipe protocol is strictly
+        # request/reply per shard and must not interleave across threads.
+        self._protocol_lock = threading.Lock()
+
+    # -- protocol helpers -----------------------------------------------------------
+
+    def _scatter_gather(self, messages: Sequence[Tuple[str, object]]) -> List[object]:
+        """Send one message per shard, then collect every reply."""
+        with self._protocol_lock:
+            for conn, message in zip(self._connections, messages):
+                conn.send(message)
+            # Drain every pipe before surfacing failures: raising mid-gather
+            # would leave queued replies that desync all later commands.
+            replies: List[object] = []
+            failures: List[str] = []
+            for shard_id, conn in enumerate(self._connections):
+                status, value = conn.recv()
+                if status != "ok":
+                    failures.append(f"shard {shard_id} failed: {value}")
+                    replies.append(None)
+                else:
+                    replies.append(value)
+        if failures:
+            raise RuntimeError("; ".join(failures))
+        return replies
+
+    def _broadcast(self, command: str, payload: object = None) -> List[object]:
+        return self._scatter_gather([(command, payload)] * len(self._connections))
+
+    # -- the fan-out interface (mirrors _LocalFanout) ----------------------------------
+
+    def ingest(self, routed: Sequence[RoutedBucket], end_time: int) -> None:
+        messages = []
+        for bucket in sorted(routed, key=lambda b: b.shard_id):
+            messages.append(
+                ("ingest", (bucket.elements, end_time, bucket.owners, bucket.home_count))
+            )
+        self._scatter_gather(messages)
+
+    def export(self, vector: np.ndarray, budget: Optional[int]) -> List[CandidatePool]:
+        return self._broadcast("export", (vector, budget))
+
+    def take_dirty_topics(self) -> Set[int]:
+        dirty: Set[int] = set()
+        for topics in self._broadcast("dirty"):
+            dirty.update(topics)
+        return dirty
+
+    def home_active_counts(self) -> List[int]:
+        return self._broadcast("active")
+
+    def stats(self) -> List[ShardStats]:
+        return self._broadcast("stats")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._connections:
+            try:
+                conn.send(("close", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._connections:
+            try:
+                conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()

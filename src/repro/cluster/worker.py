@@ -1,0 +1,197 @@
+"""The per-shard execution unit: a partition-restricted k-SIR processor.
+
+A :class:`ShardWorker` owns one :class:`~repro.core.processor.KSIRProcessor`
+whose home filter restricts ranked-list maintenance to the shard's partition.
+The worker's two operations mirror the two halves of the coordinator's
+scatter-gather protocol:
+
+* :meth:`ingest` — process one routed bucket (home elements plus the foreign
+  replicas whose references point into this partition);
+* :meth:`export_candidates` — walk the shard's ranked lists in descending
+  ``x_i · δ_i`` order and return a bounded :class:`CandidatePool` carrying
+  everything the coordinator needs to evaluate the candidates *exactly*:
+  their stored topic-wise scores, their profiles, their in-window follower
+  ids and the followers' profiles.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.element import SocialElement
+from repro.core.processor import KSIRProcessor, ProcessorConfig
+from repro.core.scoring import ElementProfile
+from repro.topics.inference import TopicInferencer
+from repro.topics.model import TopicModel
+
+
+@dataclass(frozen=True)
+class CandidatePool:
+    """One shard's bounded candidate export for one query.
+
+    Attributes
+    ----------
+    shard_id:
+        The exporting shard.
+    candidate_ids:
+        Candidates in the shard's descending retrieval order.
+    scores:
+        ``element_id → {topic → δ_i(e)}`` exactly as stored on the shard's
+        ranked lists (maintained incrementally, so they equal the global
+        singleton scores).
+    activity:
+        ``element_id → t_e`` last-activity timestamps.
+    followers:
+        ``element_id → in-window follower ids`` for every candidate.  The
+        home shard sees the complete follower set of its elements because
+        every follower is routed to it.
+    profiles:
+        Profiles of the candidates *and* of their followers (follower topic
+        probabilities are needed to evaluate influence gains exactly).
+    """
+
+    shard_id: int
+    candidate_ids: Tuple[int, ...]
+    scores: Dict[int, Dict[int, float]]
+    activity: Dict[int, int]
+    followers: Dict[int, Tuple[int, ...]]
+    profiles: Dict[int, ElementProfile]
+
+    def __len__(self) -> int:
+        return len(self.candidate_ids)
+
+
+@dataclass
+class ShardStats:
+    """Lightweight per-shard accounting surfaced by the coordinator."""
+
+    shard_id: int
+    home_elements: int = 0
+    foreign_elements: int = 0
+    buckets: int = 0
+    active_home: int = 0
+    active_total: int = 0
+    ingest_seconds: float = 0.0
+    exports: int = 0
+    exported_candidates: int = 0
+
+
+class ShardWorker:
+    """One shard: a home-filtered processor plus the export protocol."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        topic_model: TopicModel,
+        config: Optional[ProcessorConfig] = None,
+        inferencer: Optional[TopicInferencer] = None,
+        home_filter: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        self._shard_id = int(shard_id)
+        self._processor = KSIRProcessor(
+            topic_model, config, inferencer=inferencer, home_filter=home_filter
+        )
+        self._home_ingested = 0
+        self._foreign_ingested = 0
+        self._exports = 0
+        self._exported_candidates = 0
+        # Export counters may be bumped from several evaluator threads at
+        # once (the serving engine gathers candidates concurrently).
+        self._counter_lock = threading.Lock()
+
+    # -- metadata ----------------------------------------------------------------
+
+    @property
+    def shard_id(self) -> int:
+        """This shard's index."""
+        return self._shard_id
+
+    @property
+    def processor(self) -> KSIRProcessor:
+        """The shard's partition-restricted processor."""
+        return self._processor
+
+    @property
+    def home_active_count(self) -> int:
+        """Active elements owned by this shard."""
+        return self._processor.home_count
+
+    def stats(self) -> ShardStats:
+        """A snapshot of the shard's accounting counters."""
+        return ShardStats(
+            shard_id=self._shard_id,
+            home_elements=self._home_ingested,
+            foreign_elements=self._foreign_ingested,
+            buckets=self._processor.buckets_processed,
+            active_home=self._processor.home_count,
+            active_total=self._processor.active_count,
+            ingest_seconds=self._processor.ingest_timer.total_ms / 1000.0,
+            exports=self._exports,
+            exported_candidates=self._exported_candidates,
+        )
+
+    # -- scatter: ingestion ---------------------------------------------------------
+
+    def ingest(
+        self,
+        elements: Sequence[SocialElement],
+        end_time: int,
+        home_count: Optional[int] = None,
+    ) -> None:
+        """Process one routed bucket and advance the shard window.
+
+        ``home_count`` is the planner's count of home elements in the bucket
+        (used only for accounting; when omitted it is recomputed from the
+        processor's home filter).
+        """
+        if home_count is None:
+            home_count = sum(
+                1 for e in elements if self._processor.is_home(e.element_id)
+            )
+        self._home_ingested += home_count
+        self._foreign_ingested += len(elements) - home_count
+        self._processor.process_bucket(elements, end_time)
+
+    def take_dirty_topics(self) -> Tuple[int, ...]:
+        """Drain the shard's dirty-topic set (see RankedListIndex)."""
+        return self._processor.ranked_lists.take_dirty_topics()
+
+    # -- gather: candidate export -----------------------------------------------------
+
+    def export_candidates(
+        self, query_vector: np.ndarray, budget: Optional[int] = None
+    ) -> CandidatePool:
+        """Export the shard's top candidates for one query vector."""
+        index = self._processor.ranked_lists
+        window = self._processor.window
+        candidate_ids = tuple(index.top_candidates(query_vector, budget))
+
+        scores: Dict[int, Dict[int, float]] = {}
+        activity: Dict[int, int] = {}
+        followers: Dict[int, Tuple[int, ...]] = {}
+        profiles: Dict[int, ElementProfile] = {}
+        for element_id in candidate_ids:
+            scores[element_id] = index.scores_of(element_id)
+            activity[element_id] = index.last_activity(element_id)
+            profiles[element_id] = self._processor.profile(element_id)
+            follower_ids = window.followers_of(element_id)
+            followers[element_id] = follower_ids
+            for follower_id in follower_ids:
+                if follower_id not in profiles:
+                    profiles[follower_id] = self._processor.profile(follower_id)
+
+        with self._counter_lock:
+            self._exports += 1
+            self._exported_candidates += len(candidate_ids)
+        return CandidatePool(
+            shard_id=self._shard_id,
+            candidate_ids=candidate_ids,
+            scores=scores,
+            activity=activity,
+            followers=followers,
+            profiles=profiles,
+        )

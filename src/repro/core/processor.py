@@ -15,7 +15,7 @@ The :class:`KSIRProcessor` ties everything together:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from repro.core.scoring import (
     ScoringConfig,
     ScoringContext,
 )
-from repro.core.stream import SocialStream
+from repro.core.stream import SocialStream, replay_stream
 from repro.core.window import ActiveWindow
 from repro.topics.inference import TopicInferencer
 from repro.topics.model import TopicModel
@@ -70,6 +70,23 @@ class ProcessorConfig:
         if self.bucket_length > self.window_length:
             raise ValueError("bucket_length must not exceed window_length")
 
+    def resolve_algorithm(
+        self,
+        algorithm: Union[str, KSIRAlgorithm, None],
+        epsilon: Optional[float] = None,
+    ) -> KSIRAlgorithm:
+        """Resolve an algorithm against this configuration's defaults.
+
+        Every execution backend (processor, cluster coordinator, serving
+        engine) resolves through here so the default-algorithm and
+        default-ε fallbacks stay identical.
+        """
+        return resolve_algorithm(
+            algorithm,
+            default_name=self.default_algorithm,
+            epsilon=self.default_epsilon if epsilon is None else epsilon,
+        )
+
 
 class KSIRProcessor:
     """Maintains the active window and ranked lists; answers k-SIR queries."""
@@ -79,10 +96,19 @@ class KSIRProcessor:
         topic_model: TopicModel,
         config: Optional[ProcessorConfig] = None,
         inferencer: Optional[TopicInferencer] = None,
+        home_filter: Optional[Callable[[int], bool]] = None,
     ) -> None:
         self._model = topic_model
         self._config = config or ProcessorConfig()
         self._inferencer = inferencer or TopicInferencer(topic_model)
+        # Partition hook used by the sharded execution layer (repro.cluster):
+        # elements whose id fails the filter are *foreign* — they are kept in
+        # the window and profiled (so the influence scores of home elements
+        # stay exact), but they never enter this processor's ranked lists and
+        # therefore never surface as candidates from this partition.  The
+        # filter must be stable per element id.  ``None`` means every element
+        # is home (the single-node behaviour).
+        self._home_filter = home_filter
         self._builder = ProfileBuilder(topic_model, self._config.scoring)
         self._window = ActiveWindow(self._config.window_length)
         self._index = RankedListIndex(topic_model.num_topics, self._config.scoring)
@@ -138,6 +164,28 @@ class KSIRProcessor:
         return self._buckets_processed
 
     @property
+    def home_count(self) -> int:
+        """Active elements owned by this processor's partition.
+
+        Equal to :attr:`active_count` for an unpartitioned (single-node)
+        processor; for a sharded processor it excludes the foreign replicas
+        kept only for exact influence accounting.
+        """
+        return self._index.element_count
+
+    def is_home(self, element_id: int) -> bool:
+        """Whether the element belongs to this processor's partition."""
+        return self._home_filter is None or self._home_filter(element_id)
+
+    def profile(self, element_id: int) -> ElementProfile:
+        """The cached profile of an active element (KeyError when absent)."""
+        return self._profiles[element_id]
+
+    def follower_profiles(self, element_id: int) -> Dict[int, ElementProfile]:
+        """Profiles of the in-window followers of an active element."""
+        return self._follower_profiles(element_id)
+
+    @property
     def ingest_timer(self) -> TimingStats:
         """Per-bucket ingestion times."""
         return self._ingest_timer
@@ -167,8 +215,14 @@ class KSIRProcessor:
                 self._profiles[prepared.element_id] = profile
 
                 touched_parents = self._window.insert(prepared)
-                self._index.insert(profile, activity_time=prepared.timestamp)
+                if self.is_home(prepared.element_id):
+                    self._index.insert(profile, activity_time=prepared.timestamp)
                 for parent_id in touched_parents:
+                    if not self.is_home(parent_id):
+                        # A foreign parent's ranked-list tuples live on its
+                        # owning partition (where this follower is also
+                        # routed), so there is nothing to maintain here.
+                        continue
                     parent_profile = self._profiles.get(parent_id)
                     if parent_profile is None:
                         # The parent expired earlier and was re-activated by
@@ -193,11 +247,14 @@ class KSIRProcessor:
             removed = self._window.advance_to(end_time)
             for element_id in removed:
                 self._profiles.pop(element_id, None)
-                self._index.remove(element_id)
+                if self.is_home(element_id):
+                    self._index.remove(element_id)
             # Elements that lost followers to expiry keep ranked-list tuples,
             # but their influence components are stale: re-score them so the
             # stored δ_i(e) always equals f_i({e}) at query time.
             for element_id in self._window.take_touched_by_expiry():
+                if not self.is_home(element_id):
+                    continue
                 profile = self._profiles.get(element_id)
                 if profile is None:
                     continue
@@ -214,14 +271,7 @@ class KSIRProcessor:
         until: Optional[int] = None,
     ) -> None:
         """Replay a whole stream (or until time ``until``) through the processor."""
-        if not isinstance(stream, SocialStream):
-            stream = SocialStream(stream)
-        if len(stream) == 0:
-            return
-        for bucket in stream.buckets(self._config.bucket_length):
-            if until is not None and bucket.end_time > until:
-                break
-            self.process_bucket(bucket.elements, bucket.end_time)
+        replay_stream(stream, self._config.bucket_length, self.process_bucket, until)
 
     def _follower_profiles(self, element_id: int) -> Dict[int, ElementProfile]:
         """Profiles of the in-window followers of an active element."""
@@ -271,15 +321,6 @@ class KSIRProcessor:
         """A k-SIR objective bound to the current window and ``query_vector``."""
         return KSIRObjective(self.snapshot(), query_vector)
 
-    def _resolve_algorithm(
-        self, algorithm: Union[str, KSIRAlgorithm, None], epsilon: Optional[float]
-    ) -> KSIRAlgorithm:
-        return resolve_algorithm(
-            algorithm,
-            default_name=self._config.default_algorithm,
-            epsilon=self._config.default_epsilon if epsilon is None else epsilon,
-        )
-
     def query(
         self,
         query: Union[KSIRQuery, np.ndarray, Sequence[float]],
@@ -293,14 +334,8 @@ class KSIRProcessor:
         case ``k`` must be given).  ``algorithm`` is an algorithm instance or
         a registry name ("mttd", "mtts", "celf", "sieve", "topk", "greedy").
         """
-        if isinstance(query, KSIRQuery):
-            ksir_query = query
-        else:
-            if k is None:
-                raise ValueError("k must be provided when passing a raw query vector")
-            ksir_query = KSIRQuery(k=k, vector=np.asarray(query, dtype=float))
-
-        solver = self._resolve_algorithm(algorithm, epsilon)
+        ksir_query = KSIRQuery.coerce(query, k)
+        solver = self._config.resolve_algorithm(algorithm, epsilon)
         objective = self.objective(ksir_query.vector)
 
         watch = StopWatch()

@@ -10,7 +10,7 @@ experiment harness aggregates (query time, evaluated elements, ...).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -54,6 +54,23 @@ class KSIRQuery:
             raise ValueError("query vector must have positive mass")
         object.__setattr__(self, "vector", vector / total)
         object.__setattr__(self, "keywords", tuple(self.keywords))
+
+    @classmethod
+    def coerce(
+        cls,
+        query: Union["KSIRQuery", np.ndarray, Sequence[float]],
+        k: Optional[int] = None,
+    ) -> "KSIRQuery":
+        """Normalise a query argument: pass instances through, wrap vectors.
+
+        Raw vectors require ``k``; every query-accepting surface (processor,
+        cluster coordinator) shares this coercion.
+        """
+        if isinstance(query, KSIRQuery):
+            return query
+        if k is None:
+            raise ValueError("k must be provided when passing a raw query vector")
+        return cls(k=k, vector=np.asarray(query, dtype=float))
 
     @property
     def num_topics(self) -> int:

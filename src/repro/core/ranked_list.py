@@ -69,6 +69,11 @@ class RankedListIndex:
         """Accumulated per-element maintenance times (Figure 14)."""
         return self._update_timer
 
+    @property
+    def element_count(self) -> int:
+        """Number of distinct elements with tuples (or an activity record)."""
+        return len(self._last_activity)
+
     def list_size(self, topic: int) -> int:
         """Number of tuples currently on topic ``topic``'s list."""
         return len(self._lists[topic])
@@ -193,6 +198,26 @@ class RankedListIndex:
                     ranked.discard(element_id)
                     self._dirty_topics.add(topic)
 
+    def insert_scores(
+        self,
+        element_id: int,
+        scores: Mapping[int, float],
+        activity_time: int,
+    ) -> None:
+        """Load pre-computed ``⟨topic → δ_i(e)⟩`` tuples verbatim.
+
+        This is the raw loader used by the sharded execution layer
+        (:mod:`repro.cluster`) when it assembles a merged candidate index
+        from per-shard exports: the stored scores were already maintained by
+        the owning shard, so re-deriving them from profiles would only risk
+        drift.  Replaces any previous tuples of the element.
+        """
+        with self._update_timer.measure():
+            self._last_activity[element_id] = int(activity_time)
+            for topic, score in scores.items():
+                self._lists[topic].insert(element_id, float(score))
+                self._dirty_topics.add(topic)
+
     def clear(self) -> None:
         """Drop every tuple (used when rebuilding the index)."""
         for topic, ranked in enumerate(self._lists):
@@ -206,6 +231,29 @@ class RankedListIndex:
     def traversal(self, query_vector: np.ndarray) -> "RankedListTraversal":
         """A fresh descending traversal for the given query vector."""
         return RankedListTraversal(self, query_vector)
+
+    def top_candidates(
+        self, query_vector: np.ndarray, budget: Optional[int] = None
+    ) -> List[int]:
+        """Element ids in descending ``x_i · δ_i`` retrieval order.
+
+        Walks the merged per-topic traversal (the same first/next discipline
+        the query algorithms use) and returns up to ``budget`` distinct
+        element ids; ``None`` drains every list with positive query weight.
+        This is the candidate-export primitive of the scatter-gather layer:
+        each shard bounds its pool here, and the coordinator runs the final
+        submodular selection over the merged union.
+        """
+        if budget is not None and budget <= 0:
+            raise ValueError("budget must be positive (or None for no bound)")
+        traversal = self.traversal(query_vector)
+        candidates: List[int] = []
+        while budget is None or len(candidates) < budget:
+            item = traversal.pop()
+            if item is None:
+                break
+            candidates.append(item[0])
+        return candidates
 
     def validate(self) -> bool:
         """Check the sorted-list invariants of every list (used by tests)."""

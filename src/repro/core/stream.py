@@ -9,9 +9,32 @@ provides the bucketing iterator.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.core.element import SocialElement
+
+
+def replay_stream(
+    stream: Union["SocialStream", Iterable[SocialElement]],
+    bucket_length: int,
+    process_bucket: Callable[[Sequence[SocialElement], int], object],
+    until: Optional[int] = None,
+) -> None:
+    """Drive ``process_bucket`` over a whole stream (or until time ``until``).
+
+    Shared by every execution backend (single-node processor, cluster
+    coordinator, serving engine) so the bucket-iteration semantics — empty
+    buckets included, ``until`` compared against bucket end times — cannot
+    drift between them.
+    """
+    if not isinstance(stream, SocialStream):
+        stream = SocialStream(stream)
+    if len(stream) == 0:
+        return
+    for bucket in stream.buckets(bucket_length):
+        if until is not None and bucket.end_time > until:
+            break
+        process_bucket(bucket.elements, bucket.end_time)
 
 
 class SocialStream:

@@ -1,11 +1,17 @@
 """The continuous multi-query serving engine.
 
 :class:`ServiceEngine` is the façade of the ``repro.service`` layer: it owns
-a :class:`~repro.core.processor.KSIRProcessor`, a
+an execution backend — a single-node
+:class:`~repro.core.processor.KSIRProcessor` or a sharded
+:class:`~repro.cluster.coordinator.ClusterCoordinator` — a
 :class:`~repro.service.registry.QueryRegistry` of standing queries, the
-shared per-bucket :class:`~repro.service.snapshot_cache.SnapshotCache`, the
+shared per-bucket :class:`~repro.service.snapshot_cache.SnapshotCache`
+(single-node only), the
 :class:`~repro.service.scheduler.IncrementalScheduler` and a thread-pool
-evaluator.  Driving it is a two-step loop:
+evaluator.  Standing queries are backend-transparent: the same registry and
+scheduling loop runs over one window or over ``N`` shards, with cluster
+evaluations delegated to the coordinator's scatter-gather path.  Driving it
+is a two-step loop:
 
 1. :meth:`ingest_bucket` feeds one stream bucket to the processor, drains
    the ranked lists' per-topic dirty sets, prunes TTL-expired queries, asks
@@ -24,14 +30,15 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Optional, Sequence, Union
 
-from repro.core.algorithms import KSIRAlgorithm, resolve_algorithm
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.core.algorithms import KSIRAlgorithm
 from repro.core.element import SocialElement
 from repro.core.processor import KSIRProcessor
 from repro.core.query import KSIRQuery, QueryResult
 from repro.core.scoring import KSIRObjective, ScoringContext
-from repro.core.stream import SocialStream
+from repro.core.stream import SocialStream, replay_stream
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import QueryRegistry, StandingQuery
 from repro.service.scheduler import IncrementalScheduler, SchedulePlan
@@ -80,7 +87,7 @@ class ServiceEngine:
 
     def __init__(
         self,
-        processor: KSIRProcessor,
+        backend: Union[KSIRProcessor, ClusterCoordinator],
         registry: Optional[QueryRegistry] = None,
         scheduler: Optional[IncrementalScheduler] = None,
         max_workers: int = 4,
@@ -88,14 +95,17 @@ class ServiceEngine:
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
-        self._processor = processor
+        self._backend = backend
+        self._is_cluster = isinstance(backend, ClusterCoordinator)
         self._registry = registry or QueryRegistry()
         self._scheduler = scheduler or IncrementalScheduler(
-            self._registry, processor.topic_model.num_topics
+            self._registry, backend.topic_model.num_topics
         )
         if self._scheduler.registry is not self._registry:
             raise ValueError("scheduler must be bound to the engine's registry")
-        self._snapshots = SnapshotCache(processor)
+        # The shared per-bucket snapshot only exists on a single node; the
+        # cluster path evaluates through the coordinator's scatter-gather.
+        self._snapshots = None if self._is_cluster else SnapshotCache(backend)
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="ksir-eval"
         )
@@ -117,9 +127,19 @@ class ServiceEngine:
     # -- metadata -----------------------------------------------------------------
 
     @property
-    def processor(self) -> KSIRProcessor:
-        """The underlying stream processor."""
-        return self._processor
+    def backend(self) -> Union[KSIRProcessor, ClusterCoordinator]:
+        """The execution backend (single-node processor or cluster)."""
+        return self._backend
+
+    @property
+    def is_cluster(self) -> bool:
+        """Whether standing queries run on the sharded backend."""
+        return self._is_cluster
+
+    @property
+    def processor(self) -> Optional[KSIRProcessor]:
+        """The single-node processor (None when backed by a cluster)."""
+        return None if self._is_cluster else self._backend
 
     @property
     def registry(self) -> QueryRegistry:
@@ -127,8 +147,8 @@ class ServiceEngine:
         return self._registry
 
     @property
-    def snapshot_cache(self) -> SnapshotCache:
-        """The shared per-bucket snapshot cache."""
+    def snapshot_cache(self) -> Optional[SnapshotCache]:
+        """The shared per-bucket snapshot cache (None on a cluster)."""
         return self._snapshots
 
     @property
@@ -152,27 +172,22 @@ class ServiceEngine:
         ttl_buckets: Optional[int] = None,
     ) -> StandingQuery:
         """Register a standing query; it is first evaluated on the next bucket."""
-        if query.num_topics != self._processor.topic_model.num_topics:
+        if query.num_topics != self._backend.topic_model.num_topics:
             raise ValueError(
                 f"query vector has {query.num_topics} topics, the processor's "
-                f"model has {self._processor.topic_model.num_topics}"
+                f"model has {self._backend.topic_model.num_topics}"
             )
         # Resolve the solver before touching the registry, so an unknown
         # algorithm name fails the registration without leaving an orphan
         # standing query behind.
-        config = self._processor.config
-        solver = resolve_algorithm(
-            algorithm,
-            default_name=config.default_algorithm,
-            epsilon=config.default_epsilon if epsilon is None else epsilon,
-        )
+        solver = self._backend.config.resolve_algorithm(algorithm, epsilon)
         standing = self._registry.register(
             query,
             query_id=query_id,
             algorithm=algorithm,
             epsilon=epsilon,
             ttl_buckets=ttl_buckets,
-            at_bucket=self._processor.buckets_processed,
+            at_bucket=self._backend.buckets_processed,
         )
         self._solvers[standing.query_id] = solver
         self._pending.add(standing.query_id)
@@ -197,11 +212,14 @@ class ServiceEngine:
         and tests).
         """
         self._require_open()
-        active_before = self._processor.active_count
-        self._processor.process_bucket(elements, end_time)
-        dirty = self._processor.ranked_lists.take_dirty_topics()
+        active_before = self._backend.active_count
+        self._backend.process_bucket(elements, end_time)
+        if self._is_cluster:
+            dirty = self._backend.take_dirty_topics()
+        else:
+            dirty = self._backend.ranked_lists.take_dirty_topics()
 
-        bucket = self._processor.buckets_processed
+        bucket = self._backend.buckets_processed
         for standing in self._registry.prune_expired(bucket):
             self._results.pop(standing.query_id, None)
             self._solvers.pop(standing.query_id, None)
@@ -212,12 +230,12 @@ class ServiceEngine:
             # The advance may both add and expire elements, so the expiry
             # count is estimated from the active-set balance.
             expired_estimate = max(
-                0, active_before + len(elements) - self._processor.active_count
+                0, active_before + len(elements) - self._backend.active_count
             )
             plan = self._scheduler.plan(
                 dirty,
                 expired_elements=expired_estimate,
-                active_elements=self._processor.active_count,
+                active_elements=self._backend.active_count,
                 pending_ids=tuple(self._pending),
             )
         else:
@@ -244,14 +262,9 @@ class ServiceEngine:
         until: Optional[int] = None,
     ) -> None:
         """Replay a whole stream, maintaining the standing queries throughout."""
-        if not isinstance(stream, SocialStream):
-            stream = SocialStream(stream)
-        if len(stream) == 0:
-            return
-        for bucket in stream.buckets(self._processor.config.bucket_length):
-            if until is not None and bucket.end_time > until:
-                break
-            self.ingest_bucket(bucket.elements, bucket.end_time)
+        replay_stream(
+            stream, self._backend.config.bucket_length, self.ingest_bucket, until
+        )
 
     # -- result access -------------------------------------------------------------------
 
@@ -260,7 +273,7 @@ class ServiceEngine:
         stored = self._results.get(query_id)
         if stored is None:
             return None
-        staleness = self._processor.buckets_processed - stored.evaluated_at_bucket
+        staleness = self._backend.buckets_processed - stored.evaluated_at_bucket
         return replace(stored, staleness_buckets=max(0, staleness))
 
     def results(self) -> Dict[str, StandingResult]:
@@ -274,10 +287,15 @@ class ServiceEngine:
     def report(self) -> str:
         """A human-readable service report (mode, registry size, metrics)."""
         mode = "incremental" if self._incremental else "naive"
+        where = (
+            f"{self._backend.num_shards}-shard cluster"
+            if self._is_cluster
+            else "single node"
+        )
         header = (
-            f"serving {len(self._registry)} standing queries ({mode} maintenance), "
-            f"{self._processor.active_count} active elements at time "
-            f"{self._processor.current_time}"
+            f"serving {len(self._registry)} standing queries ({mode} maintenance, "
+            f"{where}), {self._backend.active_count} active elements at time "
+            f"{self._backend.current_time}"
         )
         return header + "\n" + self._metrics.render()
 
@@ -286,24 +304,33 @@ class ServiceEngine:
     def _evaluate_many(self, query_ids: Sequence[str]) -> None:
         if not query_ids:
             return
-        # Materialise the shared snapshot once in the caller's thread so the
-        # workers never race to build it.
-        misses_before = self._snapshots.misses
-        context = self._snapshots.context()
-        built_fresh = self._snapshots.misses > misses_before
         standings = [self._registry.get(query_id) for query_id in query_ids]
-        # Per-evaluation snapshot accounting: at most one evaluation per
-        # bucket pays for a fresh snapshot, every other one shares it.
-        self._metrics.snapshot_misses += 1 if built_fresh else 0
-        self._metrics.snapshot_hits += len(standings) - (1 if built_fresh else 0)
-        if len(standings) == 1:
-            outcomes = [self._evaluate(standings[0], context)]
+        if self._is_cluster:
+            # Scatter-gather evaluation: each standing query exports bounded
+            # candidate pools from every shard and runs the final selection
+            # on the coordinator; there is no shared single-node snapshot.
+            if len(standings) == 1:
+                outcomes = [self._evaluate_on_cluster(standings[0])]
+            else:
+                outcomes = list(self._pool.map(self._evaluate_on_cluster, standings))
         else:
-            outcomes = list(
-                self._pool.map(lambda s: self._evaluate(s, context), standings)
-            )
-        bucket = self._processor.buckets_processed
-        time = self._processor.current_time
+            # Materialise the shared snapshot once in the caller's thread so
+            # the workers never race to build it.
+            misses_before = self._snapshots.misses
+            context = self._snapshots.context()
+            built_fresh = self._snapshots.misses > misses_before
+            # Per-evaluation snapshot accounting: at most one evaluation per
+            # bucket pays for a fresh snapshot, every other one shares it.
+            self._metrics.snapshot_misses += 1 if built_fresh else 0
+            self._metrics.snapshot_hits += len(standings) - (1 if built_fresh else 0)
+            if len(standings) == 1:
+                outcomes = [self._evaluate(standings[0], context)]
+            else:
+                outcomes = list(
+                    self._pool.map(lambda s: self._evaluate(s, context), standings)
+                )
+        bucket = self._backend.buckets_processed
+        time = self._backend.current_time
         for standing, result in zip(standings, outcomes):
             previous = self._results.get(standing.query_id)
             self._results[standing.query_id] = StandingResult(
@@ -315,12 +342,20 @@ class ServiceEngine:
             )
             self._pending.discard(standing.query_id)
 
+    def _evaluate_on_cluster(self, standing: StandingQuery) -> QueryResult:
+        solver = self._solvers.get(standing.query_id)
+        if solver is None:
+            # Query registered on the registry directly, not via the engine.
+            solver = self._solvers[standing.query_id] = self._resolve_standing(standing)
+        result = self._backend.query(
+            standing.query, algorithm=solver, epsilon=standing.epsilon
+        )
+        self._metrics.eval_latency.add(result.elapsed_ms / 1000.0)
+        return result
+
     def _resolve_standing(self, standing: StandingQuery) -> KSIRAlgorithm:
-        config = self._processor.config
-        return resolve_algorithm(
-            standing.algorithm,
-            default_name=config.default_algorithm,
-            epsilon=config.default_epsilon if standing.epsilon is None else standing.epsilon,
+        return self._backend.config.resolve_algorithm(
+            standing.algorithm, standing.epsilon
         )
 
     def _evaluate(self, standing: StandingQuery, context: ScoringContext) -> QueryResult:
@@ -334,7 +369,7 @@ class ServiceEngine:
         outcome = solver.select(
             objective,
             standing.query.k,
-            index=self._processor.ranked_lists if solver.requires_index else None,
+            index=self._backend.ranked_lists if solver.requires_index else None,
         )
         elapsed = watch.stop()
         self._metrics.eval_latency.add(elapsed)

@@ -1,0 +1,139 @@
+"""Focused coverage for SnapshotCache accounting and dirty-topic draining.
+
+The serving and cluster layers both lean on these two pieces of bookkeeping:
+the per-bucket snapshot cache must version correctly on ``buckets_processed``
+and the ranked lists must report dirty topics across every mutation path —
+including :meth:`RankedListIndex.clear`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.processor import KSIRProcessor, ProcessorConfig
+from repro.core.ranked_list import RankedListIndex
+from repro.core.scoring import ProfileBuilder, ScoringConfig
+from repro.service import SnapshotCache
+
+
+@pytest.fixture()
+def fresh_processor(paper_topic_model):
+    config = ProcessorConfig(
+        window_length=4, bucket_length=1, scoring=ScoringConfig(lambda_weight=0.5, eta=2.0)
+    )
+    return KSIRProcessor(paper_topic_model, config)
+
+
+class TestSnapshotCache:
+    def test_cold_cache_reports_nothing(self, fresh_processor):
+        cache = SnapshotCache(fresh_processor)
+        assert cache.version is None
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.hit_rate == 0.0
+
+    def test_miss_then_hits_share_one_context(self, fresh_processor, paper_elements):
+        fresh_processor.process_bucket(paper_elements[:3], end_time=3)
+        cache = SnapshotCache(fresh_processor)
+        first = cache.context()
+        assert cache.misses == 1 and cache.hits == 0
+        assert cache.version == fresh_processor.buckets_processed
+        second = cache.context()
+        third = cache.context()
+        assert second is first and third is first
+        assert cache.hits == 2 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_new_bucket_invalidates_and_reversions(self, fresh_processor, paper_elements):
+        cache = SnapshotCache(fresh_processor)
+        fresh_processor.process_bucket(paper_elements[:3], end_time=3)
+        before = cache.context()
+        version_before = cache.version
+        fresh_processor.process_bucket(paper_elements[3:5], end_time=5)
+        after = cache.context()
+        assert after is not before
+        assert cache.version == fresh_processor.buckets_processed
+        assert cache.version == version_before + 1
+        assert cache.misses == 2 and cache.hits == 0
+        # The refreshed context reflects the new window contents.
+        assert set(after.active_ids) >= {4, 5}
+
+    def test_snapshot_cache_agrees_with_processor_snapshot(
+        self, fresh_processor, paper_elements
+    ):
+        fresh_processor.process_bucket(paper_elements[:4], end_time=4)
+        cache = SnapshotCache(fresh_processor)
+        # The processor memoises its own snapshot per bucket, so the cache
+        # must hand back that exact object rather than a rebuilt copy.
+        assert cache.context() is fresh_processor.snapshot()
+
+
+class TestTakeDirtyTopicsAfterClear:
+    @pytest.fixture()
+    def profiled(self, paper_topic_model, paper_elements):
+        config = ScoringConfig(lambda_weight=0.5, eta=2.0)
+        builder = ProfileBuilder(paper_topic_model, config)
+        profiles = [builder.build(element) for element in paper_elements[:3]]
+        return config, profiles
+
+    def test_clear_marks_populated_topics_dirty(self, profiled):
+        config, profiles = profiled
+        index = RankedListIndex(2, config)
+        for profile in profiles:
+            index.insert(profile)
+        populated = {
+            topic for topic in range(index.num_topics) if index.list_size(topic) > 0
+        }
+        index.take_dirty_topics()  # drain the insert dirt
+        index.clear()
+        assert set(index.take_dirty_topics()) == populated
+        assert index.element_count == 0
+        assert index.total_tuples() == 0
+
+    def test_clear_on_empty_lists_reports_nothing(self, profiled):
+        config, _profiles = profiled
+        index = RankedListIndex(2, config)
+        index.clear()
+        assert index.take_dirty_topics() == ()
+
+    def test_drain_is_destructive_and_rebuildable(self, profiled):
+        config, profiles = profiled
+        index = RankedListIndex(2, config)
+        index.insert(profiles[0])
+        first = index.take_dirty_topics()
+        assert first == tuple(sorted(profiles[0].topics))
+        assert index.take_dirty_topics() == ()
+        index.clear()
+        index.take_dirty_topics()
+        # Rebuilding after clear() dirties the re-inserted topics again.
+        index.insert(profiles[1])
+        assert index.take_dirty_topics() == tuple(sorted(profiles[1].topics))
+
+    def test_peek_does_not_drain(self, profiled):
+        config, profiles = profiled
+        index = RankedListIndex(2, config)
+        index.insert(profiles[0])
+        index.clear()
+        peeked = index.peek_dirty_topics()
+        assert peeked == index.peek_dirty_topics()
+        assert index.take_dirty_topics() == peeked
+
+    def test_remove_after_clear_is_clean(self, profiled):
+        config, profiles = profiled
+        index = RankedListIndex(2, config)
+        index.insert(profiles[0])
+        index.clear()
+        index.take_dirty_topics()
+        # The element is gone; removing it again must not re-dirty topics.
+        index.remove(profiles[0].element_id)
+        assert index.take_dirty_topics() == ()
+
+    def test_traversal_after_clear_is_exhausted(self, profiled):
+        config, profiles = profiled
+        index = RankedListIndex(2, config)
+        for profile in profiles:
+            index.insert(profile)
+        index.clear()
+        traversal = index.traversal(np.array([0.5, 0.5]))
+        assert traversal.exhausted()
+        assert traversal.pop() is None
