@@ -1,21 +1,19 @@
-"""Ablation — MTTD's lazy-heap candidate buffer vs a linear-scan buffer."""
+"""Ablation — MTTD's lazy-heap candidate buffer vs a linear-scan buffer.
+
+Thin wrapper over the ``ablation_lazy_buffer`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_ablation_lazy_buffer.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run ablation_lazy_buffer``.  Under pytest the tiny tier is executed as
+a smoke test.
+"""
 
 from __future__ import annotations
 
-from _harness import BENCH_EFFICIENCY, record
+import sys
 
-from repro.experiments.ablations import lazy_buffer_ablation
+from repro.bench.scripts import bench_script
 
+main, test_tiny_tier = bench_script("ablation_lazy_buffer")
 
-def test_ablation_lazy_buffer(benchmark):
-    """Isolate the cost of MTTD's buffer data structure."""
-    result = benchmark.pedantic(
-        lazy_buffer_ablation,
-        kwargs=dict(dataset_name="twitter-small", config=BENCH_EFFICIENCY, num_queries=8),
-        rounds=1,
-        iterations=1,
-    )
-    record("ablation_lazy_buffer", result.render())
-    # Both variants implement the same selection rule; the lazy heap should
-    # not be dramatically slower than the linear scan at this scale.
-    assert result.variant_value <= result.baseline_value * 1.5
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,20 +1,19 @@
-"""Ablation — bisect-backed ranked-list maintenance vs naive re-sorting."""
+"""Ablation — bisect-backed ranked-list maintenance vs naive re-sorting.
+
+Thin wrapper over the ``ablation_ranked_list`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_ablation_ranked_list.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run ablation_ranked_list``.  Under pytest the tiny tier is executed as
+a smoke test.
+"""
 
 from __future__ import annotations
 
-from _harness import record
+import sys
 
-from repro.experiments.ablations import ranked_list_ablation
+from repro.bench.scripts import bench_script
 
+main, test_tiny_tier = bench_script("ablation_ranked_list")
 
-def test_ablation_ranked_list_maintenance(benchmark):
-    """Quantify what the order-maintaining ranked-list structure buys."""
-    result = benchmark.pedantic(
-        ranked_list_ablation,
-        kwargs=dict(dataset_name="twitter-small", max_operations=15000),
-        rounds=1,
-        iterations=1,
-    )
-    record("ablation_ranked_list", result.render())
-    # The sorted list must not be slower than re-sorting everything.
-    assert result.variant_value <= result.baseline_value
+if __name__ == "__main__":
+    sys.exit(main())

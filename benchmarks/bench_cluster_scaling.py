@@ -1,245 +1,19 @@
 """Cluster scaling — sharded ingest and query throughput vs the single node.
 
-The same synthetic stream is replayed through one ``KSIRProcessor`` and
-through ``ClusterCoordinator`` instances at 1/2/4/8 shards, then a fixed
-query workload is answered on every configuration.
-
-**How ingest throughput is measured.**  Each shard's processor times its own
-``process_bucket`` calls.  The fan-out is forced to the deterministic
-``serial`` backend so those per-shard busy times are true solo CPU times —
-with the thread backend on a GIL interpreter, concurrent shards would charge
-each other's GIL waits to their own clocks.  The *aggregate* ingest
-throughput of an ``N``-shard cluster is then the sum of the per-shard rates
-(home elements / shard busy seconds): the capacity the cluster sustains when
-every shard owns a core or a machine, which is the deployment the layer
-exists for.  Wall-clock replay time on this (possibly single-core) machine
-is reported alongside, unaggregated and honest.
-
-The sharding tax is visible in the same table: replicating followers to
-their parents' shards inflates routed elements by the replication factor, so
-aggregate capacity grows sublinearly in the shard count.  The headline
-assertion is that 4 shards still clear >= 2x the single-node ingest rate.
-
-Run as a script (``python benchmarks/bench_cluster_scaling.py [--tiny]``) or
-through pytest-benchmark like the other benchmarks.
+Thin wrapper over the ``cluster_scaling`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_cluster_scaling.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run cluster_scaling``.  Under pytest the tiny tier is executed as
+a smoke test.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster import ClusterConfig, ClusterCoordinator
-from repro.core.processor import KSIRProcessor, ProcessorConfig
-from repro.core.query import KSIRQuery
-from repro.core.scoring import ScoringConfig
-from repro.datasets.profiles import get_profile
-from repro.datasets.synthetic import SyntheticDataset, SyntheticStreamGenerator
-from repro.utils.timing import StopWatch
+from repro.bench.scripts import bench_script
 
-SEED = 2019
-
-CLUSTER_CONFIG = ProcessorConfig(
-    window_length=6 * 3600,
-    bucket_length=900,
-    scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
-)
-
-
-def build_profile(tiny: bool):
-    """The benchmark stream profile (scaled down under ``--tiny``)."""
-    return replace(
-        get_profile("tiny"),
-        name="cluster-bench",
-        num_elements=600 if tiny else 6_000,
-        vocabulary_size=1_200 if tiny else 2_400,
-        num_topics=24,
-        duration=24 * 3600,
-        reference_horizon=3 * 3600,
-    )
-
-
-@dataclass
-class ScalingRun:
-    """Measurements of one configuration (single node or N shards)."""
-
-    label: str
-    shards: int
-    elements: int
-    busy_seconds: float
-    wall_seconds: float
-    aggregate_rate: float
-    routed_elements: int
-    query_mean_ms: float
-    top_result: Tuple[int, ...]
-
-    def row(self) -> str:
-        return (
-            f"{self.label:<10} {self.elements:>8} {self.routed_elements:>8} "
-            f"{self.busy_seconds:>8.3f} {self.wall_seconds:>8.3f} "
-            f"{self.aggregate_rate:>10.1f} {self.query_mean_ms:>9.3f}"
-        )
-
-
-def _run_queries(backend, queries: Sequence[KSIRQuery]) -> Tuple[float, Tuple[int, ...]]:
-    """Answer the workload; returns (mean latency ms, first answer's ids)."""
-    watch = StopWatch()
-    total = 0.0
-    first: Tuple[int, ...] = ()
-    for index, query in enumerate(queries):
-        watch.start()
-        result = backend.query(query, algorithm="mttd", epsilon=0.1)
-        total += watch.stop()
-        if index == 0:
-            first = tuple(sorted(result.element_ids))
-    mean_ms = (total / max(1, len(queries))) * 1000.0
-    return mean_ms, first
-
-
-def run_single(dataset: SyntheticDataset, queries: Sequence[KSIRQuery]) -> ScalingRun:
-    processor = KSIRProcessor(dataset.topic_model, CLUSTER_CONFIG)
-    watch = StopWatch()
-    watch.start()
-    processor.process_stream(dataset.stream)
-    wall = watch.stop()
-    busy = processor.ingest_timer.total_ms / 1000.0
-    query_mean_ms, first = _run_queries(processor, queries)
-    return ScalingRun(
-        label="single",
-        shards=1,
-        elements=processor.elements_processed,
-        busy_seconds=busy,
-        wall_seconds=wall,
-        aggregate_rate=processor.elements_processed / max(1e-9, busy),
-        routed_elements=processor.elements_processed,
-        query_mean_ms=query_mean_ms,
-        top_result=first,
-    )
-
-
-def run_cluster(
-    dataset: SyntheticDataset, num_shards: int, queries: Sequence[KSIRQuery]
-) -> ScalingRun:
-    with ClusterCoordinator(
-        dataset.topic_model,
-        CLUSTER_CONFIG,
-        cluster=ClusterConfig(num_shards=num_shards, backend="serial"),
-    ) as coordinator:
-        watch = StopWatch()
-        watch.start()
-        coordinator.process_stream(dataset.stream)
-        wall = watch.stop()
-        stats = coordinator.shard_stats()
-        busy = sum(stat.ingest_seconds for stat in stats)
-        aggregate = sum(
-            stat.home_elements / max(1e-9, stat.ingest_seconds) for stat in stats
-        )
-        routed = sum(stat.home_elements + stat.foreign_elements for stat in stats)
-        query_mean_ms, first = _run_queries(coordinator, queries)
-        return ScalingRun(
-            label=f"{num_shards}-shard",
-            shards=num_shards,
-            elements=coordinator.elements_processed,
-            busy_seconds=busy,
-            wall_seconds=wall,
-            aggregate_rate=aggregate,
-            routed_elements=routed,
-            query_mean_ms=query_mean_ms,
-            top_result=first,
-        )
-
-
-def render(runs: Sequence[ScalingRun]) -> str:
-    single = runs[0]
-    lines = [
-        "cluster scaling — aggregate ingest capacity and query latency vs single node",
-        "(aggregate rate = sum of per-shard home-elements/busy-second rates, i.e. the",
-        " capacity with one core per shard; wall time is this machine's replay clock)",
-        f"{'config':<10} {'elements':>8} {'routed':>8} {'busy_s':>8} {'wall_s':>8} "
-        f"{'agg el/s':>10} {'query_ms':>9}",
-    ]
-    for run in runs:
-        lines.append(run.row())
-    for run in runs[1:]:
-        speedup = run.aggregate_rate / max(1e-9, single.aggregate_rate)
-        replication = run.routed_elements / max(1, run.elements)
-        lines.append(
-            f"{run.label}: {speedup:.2f}x aggregate ingest vs single "
-            f"(replication factor {replication:.2f}), answers match: "
-            f"{'yes' if run.top_result == single.top_result else 'NO'}"
-        )
-    return "\n".join(lines)
-
-
-def run_all(
-    tiny: bool, shard_counts: Sequence[int], num_queries: int
-) -> Tuple[ScalingRun, ...]:
-    dataset = SyntheticStreamGenerator(build_profile(tiny), seed=SEED).generate()
-    queries = [
-        dataset.make_query(k=5, topic=topic % dataset.profile.num_topics)
-        for topic in range(num_queries)
-    ]
-    runs: List[ScalingRun] = [run_single(dataset, queries)]
-    for num_shards in shard_counts:
-        runs.append(run_cluster(dataset, num_shards, queries))
-    return tuple(runs)
-
-
-# -- pytest-benchmark entry point -------------------------------------------------
-
-
-def test_cluster_scaling(benchmark):
-    """Sharded ingest capacity must clear 2x single-node at 4 shards."""
-    from _harness import record
-
-    runs = benchmark.pedantic(
-        lambda: run_all(tiny=False, shard_counts=(1, 2, 4, 8), num_queries=8),
-        rounds=1,
-        iterations=1,
-    )
-    record("cluster_scaling", render(runs))
-
-    single = runs[0]
-    by_shards: Dict[int, ScalingRun] = {run.shards: run for run in runs[1:]}
-    # Scatter-gather answers must agree with the single node on the shared
-    # sanity query regardless of the shard count.
-    for run in runs[1:]:
-        assert run.top_result == single.top_result, run.label
-    # The acceptance bar: 4 shards sustain >= 2x the single-node ingest rate
-    # in aggregate, the replication tax notwithstanding.
-    speedup = by_shards[4].aggregate_rate / single.aggregate_rate
-    assert speedup >= 2.0, f"4-shard aggregate ingest speedup {speedup:.2f}x below 2x"
-
-
-# -- script entry point ------------------------------------------------------------
-
-
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--tiny", action="store_true",
-                        help="CI-sized run (600 elements, 1/2/4 shards)")
-    parser.add_argument("--shards", type=int, nargs="+", default=None,
-                        help="shard counts to sweep (default: 1 2 4 8)")
-    parser.add_argument("--queries", type=int, default=None,
-                        help="queries per configuration")
-    args = parser.parse_args(list(argv) if argv is not None else None)
-
-    shard_counts = tuple(args.shards) if args.shards else (
-        (1, 2, 4) if args.tiny else (1, 2, 4, 8)
-    )
-    num_queries = args.queries if args.queries is not None else (4 if args.tiny else 8)
-    runs = run_all(tiny=args.tiny, shard_counts=shard_counts, num_queries=num_queries)
-    text = render(runs)
-    try:
-        from _harness import record
-
-        record("cluster_scaling", text)
-    except ImportError:
-        print(text)
-    return 0
-
+main, test_tiny_tier = bench_script("cluster_scaling")
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,24 +1,19 @@
-"""Figure 10 — fraction of active elements evaluated by MTTS / MTTD vs k."""
+"""Figure 10 — fraction of active elements evaluated by MTTS / MTTD vs k.
+
+Thin wrapper over the ``fig10_eval_ratio`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_fig10_eval_ratio.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run fig10_eval_ratio``.  Under pytest the tiny tier is executed as
+a smoke test.
+"""
 
 from __future__ import annotations
 
-from _harness import BENCH_EFFICIENCY, record
+import sys
 
-from repro.experiments.figures import figure10_evaluation_ratio
+from repro.bench.scripts import bench_script
 
+main, test_tiny_tier = bench_script("fig10_eval_ratio")
 
-def test_figure10_evaluation_ratio(benchmark):
-    """Regenerate Figure 10 (ratio of evaluated elements vs k)."""
-    figure = benchmark.pedantic(
-        figure10_evaluation_ratio, kwargs=dict(config=BENCH_EFFICIENCY), rounds=1, iterations=1
-    )
-    record("figure10_evaluation_ratio", figure.render(precision=4))
-
-    # Shape checks: the ratio is far below 1 (the pruning works), grows with
-    # k, and MTTD's ratio is at least MTTS's (it retrieves more, evaluates
-    # buffered elements repeatedly) — all as reported in the paper.
-    for dataset, panel in figure.panels.items():
-        mtts, mttd = panel["mtts"], panel["mttd"]
-        assert max(mtts + mttd) < 0.5, f"pruning ineffective on {dataset}"
-        assert mtts[-1] >= mtts[0], f"MTTS ratio not growing with k on {dataset}"
-        assert sum(mttd) >= sum(mtts) * 0.9, f"MTTD ratio unexpectedly low on {dataset}"
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,28 +1,19 @@
-"""Figure 11 — result quality of all five methods as the result size k varies."""
+"""Figure 11 — result quality of all five methods as the result size k varies.
+
+Thin wrapper over the ``fig11_k_score`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_fig11_k_score.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run fig11_k_score``.  Under pytest the tiny tier is executed as
+a smoke test.
+"""
 
 from __future__ import annotations
 
-import numpy as np
-from _harness import BENCH_EFFICIENCY, record
+import sys
 
-from repro.experiments.figures import figure11_score_vs_k
+from repro.bench.scripts import bench_script
 
+main, test_tiny_tier = bench_script("fig11_k_score")
 
-def test_figure11_score_vs_k(benchmark):
-    """Regenerate Figure 11 (representativeness score vs k)."""
-    figure = benchmark.pedantic(
-        figure11_score_vs_k, kwargs=dict(config=BENCH_EFFICIENCY), rounds=1, iterations=1
-    )
-    record("figure11_score_vs_k", figure.render(precision=4))
-
-    # Shape checks from the paper: MTTD is nearly indistinguishable from CELF
-    # (> 99 %), MTTS stays above 95 %, SieveStreaming is below CELF, and the
-    # Top-k Representative baseline is the weakest.
-    for dataset, panel in figure.panels.items():
-        celf = np.asarray(panel["celf"])
-        mttd = np.asarray(panel["mttd"])
-        mtts = np.asarray(panel["mtts"])
-        topk = np.asarray(panel["topk"])
-        assert np.all(mttd >= 0.97 * celf), f"MTTD quality too low on {dataset}"
-        assert np.all(mtts >= 0.90 * celf), f"MTTS quality too low on {dataset}"
-        assert np.mean(topk) <= np.mean(celf), f"Top-k should not beat CELF on {dataset}"
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,34 +1,19 @@
-"""Figure 12 — query time as the number of topics z varies."""
+"""Figure 12 — query time as the number of topics z varies.
+
+Thin wrapper over the ``fig12_topics_time`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_fig12_topics_time.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run fig12_topics_time``.  Under pytest the tiny tier is executed as
+a smoke test.
+"""
 
 from __future__ import annotations
 
-from _harness import BENCH_EFFICIENCY, record
+import sys
 
-from repro.experiments.figures import INDEXED_METHODS, figure12_time_vs_topics
+from repro.bench.scripts import bench_script
 
-# The full five-method sweep is dominated by SieveStreaming; the paper's key
-# message for Figure 12 is the trend of the index-assisted methods, so the
-# bench sweeps MTTS/MTTD plus CELF as the batch reference.
-METHODS = tuple(INDEXED_METHODS) + ("celf",)
+main, test_tiny_tier = bench_script("fig12_topics_time")
 
-
-def test_figure12_time_vs_topics(benchmark):
-    """Regenerate Figure 12 (query time in ms vs number of topics)."""
-    config = BENCH_EFFICIENCY.with_overrides(num_queries=4)
-    figure = benchmark.pedantic(
-        figure12_time_vs_topics,
-        kwargs=dict(config=config, methods=METHODS),
-        rounds=1,
-        iterations=1,
-    )
-    record("figure12_time_vs_topics", figure.render(precision=3))
-
-    # Shape check: with more topics the per-topic lists get shorter, so the
-    # index-assisted methods do not get slower as z grows (the paper reports
-    # falling query times except for one uptick on AMiner at z = 250).
-    for dataset, panel in figure.panels.items():
-        for method in INDEXED_METHODS:
-            series = panel[method]
-            assert min(series[1:]) <= series[0] * 1.5, (
-                f"{method} query time exploded with z on {dataset}"
-            )
+if __name__ == "__main__":
+    sys.exit(main())

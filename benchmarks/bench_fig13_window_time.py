@@ -1,24 +1,19 @@
-"""Figure 13 — query time as the sliding-window length T varies."""
+"""Figure 13 — query time as the sliding-window length T varies.
+
+Thin wrapper over the ``fig13_window_time`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_fig13_window_time.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run fig13_window_time``.  Under pytest the tiny tier is executed as
+a smoke test.
+"""
 
 from __future__ import annotations
 
-import numpy as np
-from _harness import BENCH_EFFICIENCY, record
+import sys
 
-from repro.experiments.figures import figure13_time_vs_window
+from repro.bench.scripts import bench_script
 
+main, test_tiny_tier = bench_script("fig13_window_time")
 
-def test_figure13_time_vs_window(benchmark):
-    """Regenerate Figure 13 (query time in ms vs window length in hours)."""
-    config = BENCH_EFFICIENCY.with_overrides(num_queries=4)
-    figure = benchmark.pedantic(
-        figure13_time_vs_window, kwargs=dict(config=config), rounds=1, iterations=1
-    )
-    record("figure13_time_vs_window", figure.render(precision=3))
-
-    # Shape checks: query time grows with T for every method (more active
-    # elements), and the index-assisted methods keep beating the baselines.
-    for dataset, panel in figure.panels.items():
-        for method, series in panel.items():
-            assert series[-1] >= series[0] * 0.5, f"{method} trend broken on {dataset}"
-        assert np.mean(panel["mttd"]) < np.mean(panel["sieve"]), dataset
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,21 +1,19 @@
-"""Figure 14 — per-element ranked-list update time vs z and vs T."""
+"""Figure 14 — per-element ranked-list update time vs z and vs T.
+
+Thin wrapper over the ``fig14_update_time`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_fig14_update_time.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run fig14_update_time``.  Under pytest the tiny tier is executed as
+a smoke test.
+"""
 
 from __future__ import annotations
 
-from _harness import BENCH_EFFICIENCY, record
+import sys
 
-from repro.experiments.figures import figure14_update_time
+from repro.bench.scripts import bench_script
 
+main, test_tiny_tier = bench_script("fig14_update_time")
 
-def test_figure14_update_time(benchmark):
-    """Regenerate Figure 14 (ranked-list maintenance cost per element)."""
-    figure = benchmark.pedantic(
-        figure14_update_time, kwargs=dict(config=BENCH_EFFICIENCY), rounds=1, iterations=1
-    )
-    record("figure14_update_time", figure.render(precision=4))
-
-    # Shape check: maintenance stays cheap (well under a few milliseconds per
-    # element on every dataset; the paper reports < 0.3 ms on its testbed).
-    for panel_name, panel in figure.panels.items():
-        for value in panel["update"]:
-            assert value < 5.0, f"update time too high in {panel_name}"
+if __name__ == "__main__":
+    sys.exit(main())

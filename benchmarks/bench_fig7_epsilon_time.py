@@ -1,21 +1,19 @@
-"""Figure 7 — MTTS / MTTD query time as the approximation parameter ε varies."""
+"""Figure 7 — MTTS / MTTD query time as the approximation parameter ε varies.
+
+Thin wrapper over the ``fig7_epsilon_time`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_fig7_epsilon_time.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run fig7_epsilon_time``.  Under pytest the tiny tier is executed as
+a smoke test.
+"""
 
 from __future__ import annotations
 
-from _harness import BENCH_EFFICIENCY, record
+import sys
 
-from repro.experiments.figures import figure7_time_vs_epsilon
+from repro.bench.scripts import bench_script
 
+main, test_tiny_tier = bench_script("fig7_epsilon_time")
 
-def test_figure7_time_vs_epsilon(benchmark):
-    """Regenerate Figure 7 (query time in ms vs ε) on all three datasets."""
-    figure = benchmark.pedantic(
-        figure7_time_vs_epsilon, kwargs=dict(config=BENCH_EFFICIENCY), rounds=1, iterations=1
-    )
-    record("figure7_time_vs_epsilon", figure.render(precision=3))
-
-    # Shape check: MTTS gets faster as ε grows (fewer candidates); the paper
-    # reports a pronounced drop from ε = 0.1 to ε = 0.5.
-    for dataset, panel in figure.panels.items():
-        mtts = panel["mtts"]
-        assert mtts[-1] <= mtts[0] * 1.1, f"MTTS time did not drop with ε on {dataset}"
+if __name__ == "__main__":
+    sys.exit(main())

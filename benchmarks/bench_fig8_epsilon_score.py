@@ -1,29 +1,19 @@
-"""Figure 8 — MTTS / MTTD result quality as the approximation parameter ε varies."""
+"""Figure 8 — MTTS / MTTD result quality as the approximation parameter ε varies.
+
+Thin wrapper over the ``fig8_epsilon_score`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_fig8_epsilon_score.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run fig8_epsilon_score``.  Under pytest the tiny tier is executed as
+a smoke test.
+"""
 
 from __future__ import annotations
 
-from _harness import BENCH_EFFICIENCY, record
+import sys
 
-from repro.experiments.figures import figure8_score_vs_epsilon
+from repro.bench.scripts import bench_script
 
+main, test_tiny_tier = bench_script("fig8_epsilon_score")
 
-def test_figure8_score_vs_epsilon(benchmark):
-    """Regenerate Figure 8 (representativeness score vs ε) with CELF as reference."""
-    figure = benchmark.pedantic(
-        figure8_score_vs_epsilon, kwargs=dict(config=BENCH_EFFICIENCY), rounds=1, iterations=1
-    )
-    record("figure8_score_vs_epsilon", figure.render(precision=4))
-
-    # Shape check: at the default ε = 0.1 both methods are within a few
-    # percent of CELF; larger ε trades quality for speed but never collapses
-    # (the paper reports ≤ 5 % loss on its corpora; on the synthetic AMiner
-    # stand-in MTTD's early termination costs more at ε ≥ 0.4, see
-    # EXPERIMENTS.md).
-    for dataset, panel in figure.panels.items():
-        celf = panel["celf"][0]
-        for method in ("mtts", "mttd"):
-            assert panel[method][0] >= 0.95 * celf, (
-                f"{method} lost too much quality at the default epsilon on {dataset}"
-            )
-            for value in panel[method]:
-                assert value >= 0.75 * celf, f"{method} collapsed on {dataset}"
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,27 +1,19 @@
-"""Figure 9 — query time of all five methods as the result size k varies."""
+"""Figure 9 — query time of all five methods as the result size k varies.
+
+Thin wrapper over the ``fig9_k_time`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_fig9_k_time.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run fig9_k_time``.  Under pytest the tiny tier is executed as
+a smoke test.
+"""
 
 from __future__ import annotations
 
-import numpy as np
-from _harness import BENCH_EFFICIENCY, record
+import sys
 
-from repro.experiments.figures import figure9_time_vs_k
+from repro.bench.scripts import bench_script
 
+main, test_tiny_tier = bench_script("fig9_k_time")
 
-def test_figure9_time_vs_k(benchmark):
-    """Regenerate Figure 9 (query time in ms vs k) for CELF, MTTS, MTTD, Top-k, Sieve."""
-    figure = benchmark.pedantic(
-        figure9_time_vs_k, kwargs=dict(config=BENCH_EFFICIENCY), rounds=1, iterations=1
-    )
-    record("figure9_time_vs_k", figure.render(precision=3))
-
-    # Shape checks: the index-assisted methods beat the submodular baselines
-    # on average, and Top-k Representative is the fastest method overall.
-    for dataset, panel in figure.panels.items():
-        mttd = float(np.mean(panel["mttd"]))
-        celf = float(np.mean(panel["celf"]))
-        sieve = float(np.mean(panel["sieve"]))
-        topk = float(np.mean(panel["topk"]))
-        assert mttd < celf, f"MTTD slower than CELF on {dataset}"
-        assert mttd < sieve, f"MTTD slower than SieveStreaming on {dataset}"
-        assert topk <= mttd * 1.5, f"Top-k unexpectedly slow on {dataset}"
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,50 +1,19 @@
-"""Micro-benchmarks — single-query latency of every k-SIR processing algorithm.
+"""Micro-benchmark — single-query latency of every k-SIR processing algorithm.
 
-Unlike the table/figure benches (which run once and record the rendered
-artefact), these use pytest-benchmark's statistical timing to measure the
-per-query latency of each algorithm on the default configuration
-(twitter-small, k = 10, ε = 0.1), which is the number behind Figure 9's
-default point.
+Thin wrapper over the ``micro_query_latency`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_micro_query_latency.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run micro_query_latency``.  Under pytest the tiny tier is executed as
+a smoke test.
 """
 
 from __future__ import annotations
 
-import pytest
-from _harness import MICRO_EFFICIENCY
+import sys
 
-from repro.experiments.runner import EfficiencyExperiment, prepare_processor
+from repro.bench.scripts import bench_script
 
-ALGORITHMS = ("topk", "mttd", "mtts", "celf", "sieve")
+main, test_tiny_tier = bench_script("micro_query_latency")
 
-
-def _prepared():
-    config = MICRO_EFFICIENCY
-    dataset_name = config.datasets[0]
-    scoring = config.scoring_for(dataset_name)
-    dataset, processor = prepare_processor(
-        dataset_name,
-        seed=config.seed,
-        window_length=config.window_length,
-        bucket_length=config.bucket_length,
-        lambda_weight=scoring.lambda_weight,
-        eta=scoring.eta,
-        replay_fraction=config.replay_fraction,
-    )
-    experiment = EfficiencyExperiment(dataset, processor, seed=config.seed)
-    query = experiment.make_workload(1, k=config.k)[0]
-    return processor, query
-
-
-@pytest.mark.parametrize("algorithm", ALGORITHMS)
-def test_query_latency(benchmark, algorithm):
-    """Latency of one k-SIR query with the given algorithm."""
-    processor, query = _prepared()
-    result = benchmark(processor.query, query, algorithm=algorithm, epsilon=0.1)
-    assert len(result) <= query.k
-
-
-def test_snapshot_construction_latency(benchmark):
-    """Cost of building the frozen scoring snapshot of the active window."""
-    processor, _query = _prepared()
-    snapshot = benchmark(processor.snapshot)
-    assert snapshot.active_count == processor.active_count
+if __name__ == "__main__":
+    sys.exit(main())

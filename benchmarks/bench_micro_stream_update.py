@@ -1,62 +1,19 @@
-"""Micro-benchmarks — stream ingestion and ranked-list maintenance throughput.
+"""Micro-benchmark — bucket-ingest throughput: batched fast path vs element-by-element.
 
-These isolate the maintenance path of Algorithm 1 (the numbers behind
-Figure 14): how long it takes to push one bucket of new elements through
-topic profiling, window insertion and ranked-list updates.
+Thin wrapper over the ``micro_stream_update`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_micro_stream_update.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run micro_stream_update``.  Under pytest the tiny tier is executed as
+a smoke test.
 """
 
 from __future__ import annotations
 
-from _harness import MICRO_EFFICIENCY
+import sys
 
-from repro.core.processor import KSIRProcessor, ProcessorConfig
-from repro.experiments.runner import load_dataset
+from repro.bench.scripts import bench_script
 
+main, test_tiny_tier = bench_script("micro_stream_update")
 
-def _fresh_processor_and_buckets(num_buckets: int = 12):
-    config = MICRO_EFFICIENCY
-    dataset_name = config.datasets[0]
-    dataset = load_dataset(dataset_name, seed=config.seed)
-    scoring = config.scoring_for(dataset_name)
-    processor_config = ProcessorConfig(
-        window_length=config.window_length,
-        bucket_length=config.bucket_length,
-        scoring=scoring,
-    )
-    buckets = list(dataset.stream.buckets(processor_config.bucket_length))[:num_buckets]
-    return dataset, processor_config, buckets
-
-
-def test_bucket_ingestion_throughput(benchmark):
-    """Time to ingest a fixed prefix of buckets into a fresh processor."""
-    dataset, processor_config, buckets = _fresh_processor_and_buckets()
-
-    def ingest():
-        processor = KSIRProcessor(dataset.topic_model, processor_config)
-        for bucket in buckets:
-            processor.process_bucket(bucket.elements, bucket.end_time)
-        return processor
-
-    processor = benchmark(ingest)
-    assert processor.buckets_processed == len(buckets)
-    elements = sum(len(bucket) for bucket in buckets)
-    if elements:
-        mean_update = processor.update_timer.mean_ms
-        assert mean_update < 5.0
-
-
-def test_ranked_list_update_cost(benchmark):
-    """Per-element ranked-list maintenance cost over a replayed prefix."""
-    dataset, processor_config, buckets = _fresh_processor_and_buckets(num_buckets=30)
-    processor = KSIRProcessor(dataset.topic_model, processor_config)
-    for bucket in buckets[:-1]:
-        processor.process_bucket(bucket.elements, bucket.end_time)
-    final_bucket = buckets[-1]
-
-    def replay_final():
-        # Re-ingesting the same bucket is idempotent enough for timing: the
-        # window keeps the latest copy of each element.
-        processor.process_bucket(final_bucket.elements, final_bucket.end_time)
-
-    benchmark(replay_final)
-    assert processor.active_count > 0
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,118 +1,19 @@
 """Service throughput — incremental standing-query maintenance vs naive re-run.
 
-100 standing queries are registered against a replayed synthetic stream with
-many topics (so the per-topic dirty sets cover only a fraction of the topic
-space per bucket).  Two engines replay the same stream:
-
-* **incremental** — the scheduler re-evaluates only the standing queries
-  whose topic support intersects the bucket's dirty topics;
-* **naive** — every standing query is re-run on every bucket.
-
-The recorded artefact reports the re-eval ratio, the sustained maintenance
-throughput in query-bucket pairs per second and the incremental/naive
-speedup.
+Thin wrapper over the ``service_throughput`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_service_throughput.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run service_throughput``.  Under pytest the tiny tier is executed as
+a smoke test.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Tuple
+import sys
 
-from _harness import record
+from repro.bench.scripts import bench_script
 
-from repro.core.processor import KSIRProcessor, ProcessorConfig
-from repro.core.scoring import ScoringConfig
-from repro.datasets.profiles import get_profile
-from repro.datasets.synthetic import SyntheticDataset, SyntheticStreamGenerator
-from repro.service import ServiceEngine, ServiceMetrics
+main, test_tiny_tier = bench_script("service_throughput")
 
-NUM_QUERIES = 100
-SEED = 2019
-
-#: A many-topic, small-bucket profile: per-bucket dirty sets then touch only
-#: a fraction of the topic space, which is the regime standing-query serving
-#: targets (many users, each monitoring a narrow topical interest).
-SERVICE_PROFILE = replace(
-    get_profile("tiny"),
-    name="service-bench",
-    num_elements=1_200,
-    vocabulary_size=1_700,
-    num_topics=120,
-    duration=24 * 3600,
-    reference_horizon=3 * 3600,
-)
-
-SERVICE_CONFIG = ProcessorConfig(
-    window_length=6 * 3600,
-    bucket_length=450,
-    scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
-)
-
-
-@dataclass
-class ServingRun:
-    """Aggregates of one full serve over the stream."""
-
-    mode: str
-    metrics: ServiceMetrics
-
-    def row(self) -> str:
-        m = self.metrics
-        return (
-            f"{self.mode:<12} {m.evaluations:>7} {m.opportunities:>7} "
-            f"{m.reeval_ratio:>7.3f} {m.latency_p50_ms:>8.3f} {m.latency_p99_ms:>8.3f} "
-            f"{m.maintenance_seconds:>8.3f} {m.queries_per_sec:>10.1f}"
-        )
-
-
-def _serve(dataset: SyntheticDataset, incremental: bool) -> ServingRun:
-    processor = KSIRProcessor(dataset.topic_model, SERVICE_CONFIG)
-    with ServiceEngine(processor, incremental=incremental, max_workers=1) as engine:
-        for i in range(NUM_QUERIES):
-            engine.register(
-                dataset.make_query(k=5, topic=i % SERVICE_PROFILE.num_topics),
-                algorithm="mttd",
-                epsilon=0.1,
-            )
-        engine.serve_stream(dataset.stream)
-        return ServingRun(
-            mode="incremental" if incremental else "naive", metrics=engine.metrics
-        )
-
-
-def _render(runs: Tuple[ServingRun, ServingRun]) -> str:
-    incremental, naive = runs
-    speedup = incremental.metrics.queries_per_sec / max(
-        1e-9, naive.metrics.queries_per_sec
-    )
-    lines = [
-        f"service throughput — {NUM_QUERIES} standing queries, "
-        f"{incremental.metrics.buckets} buckets, z={SERVICE_PROFILE.num_topics}",
-        f"{'mode':<12} {'evals':>7} {'pairs':>7} {'ratio':>7} "
-        f"{'p50ms':>8} {'p99ms':>8} {'maint_s':>8} {'pairs/sec':>10}",
-        incremental.row(),
-        naive.row(),
-        f"incremental vs naive: {naive.metrics.evaluations / max(1, incremental.metrics.evaluations):.2f}x "
-        f"fewer evaluations, {speedup:.2f}x maintenance throughput",
-    ]
-    return "\n".join(lines)
-
-
-def test_service_throughput(benchmark):
-    """Incremental vs naive maintenance of 100 standing queries."""
-    dataset = SyntheticStreamGenerator(SERVICE_PROFILE, seed=SEED).generate()
-
-    def run_both() -> Tuple[ServingRun, ServingRun]:
-        return _serve(dataset, incremental=True), _serve(dataset, incremental=False)
-
-    runs = benchmark.pedantic(run_both, rounds=1, iterations=1)
-    record("service_throughput", _render(runs))
-
-    incremental, naive = runs
-    # The incremental scheduler must re-evaluate strictly fewer query-bucket
-    # pairs than the naive baseline, while maintaining the same pairs...
-    assert incremental.metrics.evaluations < naive.metrics.evaluations
-    assert incremental.metrics.opportunities == naive.metrics.opportunities
-    # ...and the saved evaluations translate into >= 3x maintenance throughput.
-    speedup = incremental.metrics.queries_per_sec / naive.metrics.queries_per_sec
-    assert speedup >= 3.0, f"throughput speedup {speedup:.2f}x below 3x"
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,20 +1,19 @@
-"""Table 3 — dataset statistics of the three synthetic stand-in streams."""
+"""Table 3 — dataset statistics of the three synthetic stand-in streams.
+
+Thin wrapper over the ``table3_datasets`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_table3_datasets.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run table3_datasets``.  Under pytest the tiny tier is executed as
+a smoke test.
+"""
 
 from __future__ import annotations
 
-from _harness import BENCH_EFFECTIVENESS, record
+import sys
 
-from repro.experiments.tables import dataset_statistics_table
+from repro.bench.scripts import bench_script
 
+main, test_tiny_tier = bench_script("table3_datasets")
 
-def test_table3_dataset_statistics(benchmark):
-    """Regenerate Table 3 and record the per-dataset statistics."""
-    table = benchmark.pedantic(
-        dataset_statistics_table,
-        kwargs=dict(datasets=BENCH_EFFECTIVENESS.datasets, seed=BENCH_EFFECTIVENESS.seed),
-        rounds=1,
-        iterations=1,
-    )
-    text = record("table3_dataset_statistics", table.render())
-    assert "aminer-small" in text
-    assert len(table.rows) == len(BENCH_EFFECTIVENESS.datasets)
+if __name__ == "__main__":
+    sys.exit(main())

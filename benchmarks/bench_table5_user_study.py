@@ -1,27 +1,19 @@
-"""Table 5 — the simulated user study (representativeness / impact ratings)."""
+"""Table 5 — the simulated user study (representativeness / impact ratings).
+
+Thin wrapper over the ``table5_user_study`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_table5_user_study.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run table5_user_study``.  Under pytest the tiny tier is executed as
+a smoke test.
+"""
 
 from __future__ import annotations
 
-from _harness import BENCH_EFFECTIVENESS, record
+import sys
 
-from repro.experiments.tables import user_study_table
+from repro.bench.scripts import bench_script
 
+main, test_tiny_tier = bench_script("table5_user_study")
 
-def test_table5_user_study(benchmark):
-    """Regenerate Table 5 with simulated evaluators over trending-topic queries."""
-    table = benchmark.pedantic(
-        user_study_table, kwargs=dict(config=BENCH_EFFECTIVENESS), rounds=1, iterations=1
-    )
-    text = record("table5_user_study", table.render(precision=2))
-
-    # Shape check against the paper: k-SIR obtains (close to) the best impact
-    # rating on every dataset and is never the worst on representativeness.
-    header = table.headers
-    ksir_column = header.index("ksir")
-    for row in table.rows:
-        values = row[2:]
-        if row[1] == "Impact":
-            assert row[ksir_column] >= max(values) - 0.5
-        else:
-            assert row[ksir_column] > min(values)
-    assert "kappa" in text
+if __name__ == "__main__":
+    sys.exit(main())

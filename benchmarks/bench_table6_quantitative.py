@@ -1,22 +1,19 @@
-"""Table 6 — quantitative coverage / influence of every query method."""
+"""Table 6 — quantitative coverage / influence of every query method.
+
+Thin wrapper over the ``table6_quantitative`` spec in the :mod:`repro.bench` registry.
+Run as a script (``python benchmarks/bench_table6_quantitative.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``; ``--tiny`` is an alias for ``--tier tiny``) or through
+``repro-ksir bench run table6_quantitative``.  Under pytest the tiny tier is executed as
+a smoke test.
+"""
 
 from __future__ import annotations
 
-from _harness import BENCH_EFFECTIVENESS, record
+import sys
 
-from repro.experiments.tables import quantitative_table
+from repro.bench.scripts import bench_script
 
+main, test_tiny_tier = bench_script("table6_quantitative")
 
-def test_table6_quantitative(benchmark):
-    """Regenerate Table 6 over frequency-weighted keyword workloads."""
-    table = benchmark.pedantic(
-        quantitative_table, kwargs=dict(config=BENCH_EFFECTIVENESS), rounds=1, iterations=1
-    )
-    record("table6_quantitative", table.render(precision=4))
-
-    # Shape check against the paper: k-SIR achieves the highest coverage and
-    # the highest influence on every dataset.
-    ksir_column = table.headers.index("ksir")
-    for row in table.rows:
-        values = row[2:]
-        assert row[ksir_column] == max(values), f"k-SIR not best for {row[0]} {row[1]}"
+if __name__ == "__main__":
+    sys.exit(main())

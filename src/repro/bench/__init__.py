@@ -1,0 +1,64 @@
+"""Unified benchmark subsystem: registry, runner, JSON reports, comparison.
+
+Quick tour:
+
+* :mod:`repro.bench.spec` — declarative :class:`BenchSpec` definitions and
+  the process-wide registry (``register`` / ``get_spec`` / ``iter_specs``).
+* :mod:`repro.bench.runner` — ``run_spec`` executes one tier with monotonic
+  timing, warmup/repeat policy and environment capture (including the
+  cross-machine calibration figure).
+* :mod:`repro.bench.report` — the canonical ``BENCH_<name>.json`` schema
+  (p50/p95 latency, throughput, speedup vs. baseline) with validation and
+  round-tripping.
+* :mod:`repro.bench.compare` — ``compare(old, new, tolerance)`` classifies
+  per-scenario regressions/improvements; CI gates on it.
+* :mod:`repro.bench.suites` — the built-in suite covering every benchmark
+  formerly scripted under ``benchmarks/``.
+* :mod:`repro.bench.scripts` — the uniform ``main()``/pytest wrapper used
+  by the thin ``benchmarks/bench_*.py`` shims.
+"""
+
+from repro.bench.compare import (
+    ComparisonReport,
+    ScenarioComparison,
+    compare,
+    compare_many,
+)
+from repro.bench.report import (
+    BenchReport,
+    ScenarioResult,
+    load_reports,
+    validate_report_dict,
+)
+from repro.bench.runner import capture_environment, run_spec
+from repro.bench.spec import (
+    BenchSpec,
+    Outcome,
+    Scenario,
+    TierPolicy,
+    get_spec,
+    iter_specs,
+    register,
+    spec_names,
+)
+
+__all__ = [
+    "BenchReport",
+    "BenchSpec",
+    "ComparisonReport",
+    "Outcome",
+    "Scenario",
+    "ScenarioComparison",
+    "ScenarioResult",
+    "TierPolicy",
+    "capture_environment",
+    "compare",
+    "compare_many",
+    "get_spec",
+    "iter_specs",
+    "load_reports",
+    "register",
+    "run_spec",
+    "spec_names",
+    "validate_report_dict",
+]

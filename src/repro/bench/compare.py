@@ -1,0 +1,203 @@
+"""Regression classification between two benchmark reports.
+
+:func:`compare` matches the scenarios of an old (baseline) and a new
+(candidate) report and classifies each pair:
+
+* ``regression`` — the normalised latency ratio exceeds ``1 + tolerance``;
+* ``improvement`` — the ratio is below ``1 − tolerance``;
+* ``within_tolerance`` — everything in between, plus scenarios too fast to
+  judge (both medians under ``min_p50_ms``, where timer noise dominates);
+* ``added`` / ``removed`` — scenarios present on only one side (never a
+  failure by themselves).
+
+**Cross-machine normalisation.**  Raw wall-clock comparison against a
+committed baseline would gate on the speed difference between the
+committing machine and the CI runner.  When both reports carry an
+``environment.calibration_ms`` (the runtime of a fixed reference workload,
+see :mod:`repro.bench.runner`), latencies are divided by their own
+calibration first, so the ratio measures *relative* performance against the
+machine's own baseline speed.  Pass ``use_calibration=False`` to compare
+raw milliseconds (same-machine comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bench.report import BenchReport
+
+REGRESSION = "regression"
+IMPROVEMENT = "improvement"
+WITHIN_TOLERANCE = "within_tolerance"
+ADDED = "added"
+REMOVED = "removed"
+
+
+@dataclass(frozen=True)
+class ScenarioComparison:
+    """The classification of one scenario pair."""
+
+    benchmark: str
+    scenario: str
+    status: str
+    old_p50_ms: Optional[float] = None
+    new_p50_ms: Optional[float] = None
+    ratio: Optional[float] = None
+
+    def row(self) -> str:
+        old = f"{self.old_p50_ms:.3f}" if self.old_p50_ms is not None else "-"
+        new = f"{self.new_p50_ms:.3f}" if self.new_p50_ms is not None else "-"
+        ratio = f"{self.ratio:.3f}" if self.ratio is not None else "-"
+        return (
+            f"  {self.benchmark:<24} {self.scenario:<20} {old:>10} {new:>10} "
+            f"{ratio:>7} {self.status}"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """All scenario classifications of one compare run."""
+
+    tolerance: float
+    normalised: bool
+    entries: List[ScenarioComparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> Tuple[ScenarioComparison, ...]:
+        """The entries classified as regressions."""
+        return tuple(entry for entry in self.entries if entry.status == REGRESSION)
+
+    @property
+    def has_regressions(self) -> bool:
+        """Whether any scenario regressed beyond the tolerance."""
+        return any(entry.status == REGRESSION for entry in self.entries)
+
+    def render(self) -> str:
+        """A human-readable comparison table."""
+        mode = "calibration-normalised" if self.normalised else "raw"
+        lines = [
+            f"benchmark comparison — tolerance {self.tolerance:.0%}, {mode} latencies",
+            f"  {'benchmark':<24} {'scenario':<20} {'old_p50':>10} {'new_p50':>10} "
+            f"{'ratio':>7} status",
+        ]
+        lines.extend(entry.row() for entry in self.entries)
+        count = len(self.regressions)
+        lines.append(
+            f"{count} regression(s) beyond {self.tolerance:.0%}"
+            if count
+            else "no regressions"
+        )
+        return "\n".join(lines)
+
+
+def compare(
+    old: BenchReport,
+    new: BenchReport,
+    tolerance: float = 0.25,
+    use_calibration: bool = True,
+    min_p50_ms: float = 1.0,
+) -> ComparisonReport:
+    """Classify the scenario-by-scenario change from ``old`` to ``new``."""
+    if tolerance < 0.0:
+        raise ValueError("tolerance must be non-negative")
+    old_scale = new_scale = 1.0
+    normalised = False
+    if use_calibration:
+        old_calibration = old.calibration_ms
+        new_calibration = new.calibration_ms
+        if old_calibration and new_calibration:
+            old_scale = old_calibration
+            new_scale = new_calibration
+            normalised = True
+
+    result = ComparisonReport(tolerance=tolerance, normalised=normalised)
+    old_by_name = {scenario.name: scenario for scenario in old.scenarios}
+    new_by_name = {scenario.name: scenario for scenario in new.scenarios}
+
+    for name, old_scenario in old_by_name.items():
+        new_scenario = new_by_name.get(name)
+        if new_scenario is None:
+            result.entries.append(
+                ScenarioComparison(
+                    benchmark=old.benchmark,
+                    scenario=name,
+                    status=REMOVED,
+                    old_p50_ms=old_scenario.p50_ms,
+                )
+            )
+            continue
+        old_p50 = old_scenario.p50_ms
+        new_p50 = new_scenario.p50_ms
+        if old_p50 < min_p50_ms and new_p50 < min_p50_ms:
+            status, ratio = WITHIN_TOLERANCE, None
+        else:
+            ratio = (new_p50 / new_scale) / max(1e-12, old_p50 / old_scale)
+            if ratio > 1.0 + tolerance:
+                status = REGRESSION
+            elif ratio < 1.0 - tolerance:
+                status = IMPROVEMENT
+            else:
+                status = WITHIN_TOLERANCE
+        result.entries.append(
+            ScenarioComparison(
+                benchmark=old.benchmark,
+                scenario=name,
+                status=status,
+                old_p50_ms=old_p50,
+                new_p50_ms=new_p50,
+                ratio=ratio,
+            )
+        )
+
+    for name, new_scenario in new_by_name.items():
+        if name not in old_by_name:
+            result.entries.append(
+                ScenarioComparison(
+                    benchmark=new.benchmark,
+                    scenario=name,
+                    status=ADDED,
+                    new_p50_ms=new_scenario.p50_ms,
+                )
+            )
+    return result
+
+
+def compare_many(
+    old_reports: Sequence[BenchReport],
+    new_reports: Sequence[BenchReport],
+    tolerance: float = 0.25,
+    use_calibration: bool = True,
+    min_p50_ms: float = 1.0,
+) -> ComparisonReport:
+    """Compare two report collections matched by benchmark name.
+
+    Benchmarks present on only one side are reported as whole-benchmark
+    ``added``/``removed`` entries (not failures); matched benchmarks are
+    compared scenario by scenario with :func:`compare`.
+    """
+    merged = ComparisonReport(tolerance=tolerance, normalised=False)
+    old_by_name = {report.benchmark: report for report in old_reports}
+    new_by_name = {report.benchmark: report for report in new_reports}
+    for name in sorted(set(old_by_name) | set(new_by_name)):
+        old = old_by_name.get(name)
+        new = new_by_name.get(name)
+        if old is None or new is None:
+            merged.entries.append(
+                ScenarioComparison(
+                    benchmark=name,
+                    scenario="*",
+                    status=ADDED if old is None else REMOVED,
+                )
+            )
+            continue
+        partial = compare(
+            old,
+            new,
+            tolerance=tolerance,
+            use_calibration=use_calibration,
+            min_p50_ms=min_p50_ms,
+        )
+        merged.normalised = merged.normalised or partial.normalised
+        merged.entries.extend(partial.entries)
+    return merged

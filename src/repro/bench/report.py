@@ -1,0 +1,309 @@
+"""The canonical ``BENCH_<name>.json`` report schema.
+
+Every benchmark run produces one report per benchmark:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/1",
+      "benchmark": "micro_stream_update",
+      "tier": "tiny",
+      "seed": 2019,
+      "created_unix": 1753600000.0,
+      "environment": {"python": "...", "platform": "...", "cpu_count": 8,
+                       "numpy": "...", "calibration_ms": 18.4},
+      "checks_passed": true,
+      "scenarios": [
+        {"name": "batched", "params": {"dataset": "aminer-small"},
+         "warmup": 1, "repeat": 3, "samples_ms": [.., ..],
+         "p50_ms": 101.2, "p95_ms": 104.9, "mean_ms": 102.0,
+         "min_ms": 100.8, "max_ms": 105.1,
+         "units": 6000, "throughput_per_sec": 59288.5,
+         "speedup_vs_baseline": 1.71, "metrics": {}}
+      ]
+    }
+
+``environment.calibration_ms`` is the runtime of a fixed pure-Python/numpy
+reference workload measured in the same process; :mod:`repro.bench.compare`
+uses the ratio of two reports' calibrations to normalise latencies across
+machines, which is what makes a committed baseline usable as a CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+SCHEMA_VERSION = "repro-bench/1"
+
+#: Required keys (and their types) of a report dict.
+_REPORT_FIELDS: Mapping[str, type] = {
+    "schema": str,
+    "benchmark": str,
+    "tier": str,
+    "seed": int,
+    "created_unix": float,
+    "environment": dict,
+    "checks_passed": bool,
+    "scenarios": list,
+}
+
+_SCENARIO_FIELDS: Mapping[str, type] = {
+    "name": str,
+    "params": dict,
+    "warmup": int,
+    "repeat": int,
+    "samples_ms": list,
+    "p50_ms": float,
+    "p95_ms": float,
+    "mean_ms": float,
+    "min_ms": float,
+    "max_ms": float,
+    "units": int,
+    "throughput_per_sec": float,
+    "metrics": dict,
+}
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of a non-empty sample list."""
+    if not samples:
+        raise ValueError("percentile of an empty sample list")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (len(ordered) - 1) * fraction
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+
+
+@dataclass
+class ScenarioResult:
+    """Measurements of one scenario."""
+
+    name: str
+    params: Dict[str, Any]
+    warmup: int
+    repeat: int
+    samples_ms: List[float]
+    units: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+    speedup_vs_baseline: Optional[float] = None
+
+    @property
+    def p50_ms(self) -> float:
+        """Median sample in milliseconds."""
+        return percentile(self.samples_ms, 0.5)
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile sample in milliseconds."""
+        return percentile(self.samples_ms, 0.95)
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean sample in milliseconds."""
+        return float(sum(self.samples_ms) / len(self.samples_ms))
+
+    @property
+    def throughput_per_sec(self) -> float:
+        """Work units per second at the median latency."""
+        p50 = self.p50_ms
+        if p50 <= 0.0:
+            return 0.0
+        return self.units / (p50 / 1000.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-serialisable form."""
+        return {
+            "name": self.name,
+            "params": dict(self.params),
+            "warmup": self.warmup,
+            "repeat": self.repeat,
+            "samples_ms": [float(sample) for sample in self.samples_ms],
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "mean_ms": self.mean_ms,
+            "min_ms": float(min(self.samples_ms)),
+            "max_ms": float(max(self.samples_ms)),
+            "units": int(self.units),
+            "throughput_per_sec": self.throughput_per_sec,
+            "speedup_vs_baseline": self.speedup_vs_baseline,
+            "metrics": {key: float(value) for key, value in self.metrics.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
+        """Rebuild a scenario result from its JSON form."""
+        return cls(
+            name=data["name"],
+            params=dict(data["params"]),
+            warmup=int(data["warmup"]),
+            repeat=int(data["repeat"]),
+            samples_ms=[float(sample) for sample in data["samples_ms"]],
+            units=int(data["units"]),
+            metrics=dict(data.get("metrics", {})),
+            speedup_vs_baseline=data.get("speedup_vs_baseline"),
+        )
+
+
+@dataclass
+class BenchReport:
+    """One benchmark's results for one tier, in canonical form."""
+
+    benchmark: str
+    tier: str
+    seed: int
+    created_unix: float
+    environment: Dict[str, Any]
+    scenarios: List[ScenarioResult]
+    checks_passed: bool = True
+    check_error: Optional[str] = None
+
+    def scenario(self, name: str) -> ScenarioResult:
+        """Look up a scenario result by name (KeyError when absent)."""
+        for result in self.scenarios:
+            if result.name == name:
+                return result
+        raise KeyError(f"no scenario {name!r} in report {self.benchmark!r}")
+
+    @property
+    def calibration_ms(self) -> Optional[float]:
+        """The environment's calibration runtime, when captured."""
+        value = self.environment.get("calibration_ms")
+        return float(value) if value is not None else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-serialisable form (schema ``repro-bench/1``)."""
+        data: Dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "benchmark": self.benchmark,
+            "tier": self.tier,
+            "seed": int(self.seed),
+            "created_unix": float(self.created_unix),
+            "environment": dict(self.environment),
+            "checks_passed": bool(self.checks_passed),
+            "scenarios": [scenario.to_dict() for scenario in self.scenarios],
+        }
+        if self.check_error is not None:
+            data["check_error"] = self.check_error
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchReport":
+        """Rebuild a report from its JSON form (validates first)."""
+        validate_report_dict(data)
+        return cls(
+            benchmark=data["benchmark"],
+            tier=data["tier"],
+            seed=int(data["seed"]),
+            created_unix=float(data["created_unix"]),
+            environment=dict(data["environment"]),
+            scenarios=[ScenarioResult.from_dict(entry) for entry in data["scenarios"]],
+            checks_passed=bool(data["checks_passed"]),
+            check_error=data.get("check_error"),
+        )
+
+    # -- persistence -----------------------------------------------------------
+
+    def path_in(self, directory: Path) -> Path:
+        """The canonical file path of this report under ``directory``."""
+        return Path(directory) / f"BENCH_{self.benchmark}.json"
+
+    def save(self, directory: Path) -> Path:
+        """Write ``BENCH_<name>.json`` under ``directory`` and return the path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_in(directory)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Path) -> "BenchReport":
+        """Read and validate a report file."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_dict(data)
+
+    def summary(self) -> str:
+        """A compact human-readable table of the report."""
+        lines = [
+            f"{self.benchmark} [{self.tier}] seed={self.seed} "
+            f"checks={'ok' if self.checks_passed else 'FAILED'}",
+            f"  {'scenario':<24} {'p50_ms':>10} {'p95_ms':>10} "
+            f"{'units':>8} {'units/s':>12} {'speedup':>8}",
+        ]
+        for scenario in self.scenarios:
+            speedup = (
+                f"{scenario.speedup_vs_baseline:.2f}x"
+                if scenario.speedup_vs_baseline is not None
+                else "-"
+            )
+            lines.append(
+                f"  {scenario.name:<24} {scenario.p50_ms:>10.3f} "
+                f"{scenario.p95_ms:>10.3f} {scenario.units:>8} "
+                f"{scenario.throughput_per_sec:>12.1f} {speedup:>8}"
+            )
+        return "\n".join(lines)
+
+
+def validate_report_dict(data: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``data`` is a schema-valid report dict."""
+    if not isinstance(data, Mapping):
+        raise ValueError("report must be a JSON object")
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema {data.get('schema')!r}, expected {SCHEMA_VERSION!r}"
+        )
+    for key, expected in _REPORT_FIELDS.items():
+        if key not in data:
+            raise ValueError(f"report is missing required key {key!r}")
+        value = data[key]
+        if expected is float and isinstance(value, int):
+            continue
+        if not isinstance(value, expected):
+            raise ValueError(
+                f"report key {key!r} has type {type(value).__name__}, "
+                f"expected {expected.__name__}"
+            )
+    if not data["scenarios"]:
+        raise ValueError("report has no scenarios")
+    seen = set()
+    for entry in data["scenarios"]:
+        if not isinstance(entry, Mapping):
+            raise ValueError("scenario entries must be JSON objects")
+        for key, expected in _SCENARIO_FIELDS.items():
+            if key not in entry:
+                raise ValueError(f"scenario is missing required key {key!r}")
+            value = entry[key]
+            if expected is float and isinstance(value, int):
+                continue
+            if not isinstance(value, expected):
+                raise ValueError(
+                    f"scenario key {key!r} has type {type(value).__name__}, "
+                    f"expected {expected.__name__}"
+                )
+        if not entry["samples_ms"]:
+            raise ValueError(f"scenario {entry['name']!r} has no samples")
+        if entry["name"] in seen:
+            raise ValueError(f"duplicate scenario {entry['name']!r}")
+        seen.add(entry["name"])
+        speedup = entry.get("speedup_vs_baseline")
+        if speedup is not None and not isinstance(speedup, (int, float)):
+            raise ValueError("speedup_vs_baseline must be a number or null")
+
+
+def load_reports(path: Path) -> Tuple[BenchReport, ...]:
+    """Load one report file or every ``BENCH_*.json`` in a directory."""
+    path = Path(path)
+    if path.is_dir():
+        return tuple(
+            BenchReport.load(file) for file in sorted(path.glob("BENCH_*.json"))
+        )
+    return (BenchReport.load(path),)

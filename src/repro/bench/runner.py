@@ -1,0 +1,152 @@
+"""Benchmark execution: monotonic timing, environment capture, reports.
+
+:func:`run_spec` executes every scenario of one tier of a
+:class:`~repro.bench.spec.BenchSpec`: the scenario's measured callable is
+built once (untimed), warmed up, then timed ``repeat`` times with
+``time.perf_counter``.  The samples, work units and derived statistics go
+into a :class:`~repro.bench.report.BenchReport`; the spec's check runs
+afterwards and flips ``checks_passed`` on assertion failure rather than
+aborting the run (CI still fails through the exit code, but the JSON
+trajectory is always written).
+
+The captured environment includes a **calibration** figure: the runtime of
+a fixed pure-Python + numpy reference workload.  Two reports' calibrations
+let :func:`repro.bench.compare.compare` normalise away most of the raw
+speed difference between the machine that committed a baseline and the CI
+runner evaluating against it.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.bench.report import BenchReport, ScenarioResult
+from repro.bench.spec import BenchSpec, Outcome
+
+
+def calibration_workload() -> float:
+    """A fixed reference workload; returns a value so it cannot be elided.
+
+    Mixes dict-heavy pure Python with small-array numpy, mirroring the mix
+    the real benchmarks exercise.
+    """
+    accumulator = 0.0
+    table: Dict[int, float] = {}
+    for index in range(20_000):
+        key = (index * 2654435761) % 4096
+        table[key] = table.get(key, 0.0) + index * 1e-6
+    accumulator += sum(table.values())
+    values = np.arange(1.0, 2049.0)
+    for _ in range(50):
+        accumulator += float(np.log(values).sum())
+    return accumulator
+
+
+def measure_calibration(rounds: int = 3) -> float:
+    """Best-of-``rounds`` runtime of the calibration workload, in ms."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        calibration_workload()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def capture_environment(calibrate: bool = True) -> Dict[str, Any]:
+    """Machine/interpreter metadata recorded in every report."""
+    environment: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": np.__version__,
+    }
+    if calibrate:
+        environment["calibration_ms"] = measure_calibration()
+    return environment
+
+
+def _coerce_outcome(result: Any) -> Outcome:
+    """Normalise a measured callable's return value into an Outcome."""
+    if isinstance(result, Outcome):
+        return result
+    if isinstance(result, int):
+        return Outcome(units=result)
+    return Outcome()
+
+
+def run_spec(
+    spec: BenchSpec,
+    tier: str = "tiny",
+    seed: int = 2019,
+    environment: Optional[Mapping[str, Any]] = None,
+) -> Tuple[BenchReport, Dict[str, Any]]:
+    """Execute one tier of a spec.
+
+    Returns ``(report, values)`` where ``values`` maps scenario names to
+    the last :attr:`Outcome.value` of each scenario (for the spec check and
+    for artefact rendering; never serialised).
+    """
+    policy = spec.tier(tier)
+    env = dict(environment) if environment is not None else capture_environment()
+
+    results = []
+    values: Dict[str, Any] = {}
+    artefacts: Dict[str, str] = {}
+    for scenario in policy.scenarios:
+        measured = spec.setup(dict(scenario.params), seed)
+        for _ in range(policy.warmup):
+            measured()
+        samples_ms = []
+        outcome = Outcome()
+        for _ in range(policy.repeat):
+            start = time.perf_counter()
+            raw = measured()
+            elapsed = time.perf_counter() - start
+            samples_ms.append(elapsed * 1000.0)
+            outcome = _coerce_outcome(raw)
+        values[scenario.name] = outcome.value
+        if outcome.artefact is not None:
+            artefacts[scenario.name] = outcome.artefact
+        results.append(
+            ScenarioResult(
+                name=scenario.name,
+                params=dict(scenario.params),
+                warmup=policy.warmup,
+                repeat=policy.repeat,
+                samples_ms=samples_ms,
+                units=outcome.units,
+                metrics=dict(outcome.metrics),
+            )
+        )
+
+    if spec.baseline is not None:
+        baseline = next(result for result in results if result.name == spec.baseline)
+        for result in results:
+            if result.name != spec.baseline and result.p50_ms > 0.0:
+                result.speedup_vs_baseline = baseline.p50_ms / result.p50_ms
+
+    report = BenchReport(
+        benchmark=spec.name,
+        tier=tier,
+        seed=seed,
+        created_unix=time.time(),
+        environment=env,
+        scenarios=results,
+    )
+    if spec.check is not None:
+        try:
+            spec.check(values, report)
+        except AssertionError as failure:
+            report.checks_passed = False
+            report.check_error = str(failure) or failure.__class__.__name__
+    # Stash rendered artefacts on the values map under a reserved key so the
+    # CLI can persist them without re-running scenarios.
+    values["__artefacts__"] = artefacts
+    return report, values

@@ -12,7 +12,10 @@ without writing Python:
 * ``repro-ksir serve`` — replay a stream while continuously maintaining N
   registered standing queries and print the service metrics report;
 * ``repro-ksir experiment`` — regenerate one of the paper's tables or figures
-  with reduced, CLI-friendly settings.
+  with reduced, CLI-friendly settings;
+* ``repro-ksir bench`` — run/list/compare the registered benchmarks: every
+  run writes canonical ``BENCH_<name>.json`` reports and ``bench compare``
+  classifies regressions against a baseline directory (the CI perf gate).
 
 Every subcommand is a thin wrapper over the public library API, so the CLI
 doubles as executable documentation.
@@ -177,6 +180,47 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--queries", type=int, default=5,
                             help="queries per sweep point")
     experiment.add_argument("--seed", type=int, default=2019)
+
+    bench = subparsers.add_parser(
+        "bench", help="run, list or compare the registered benchmarks"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_list = bench_sub.add_parser("list", help="list registered benchmarks")
+    bench_list.add_argument("--tag", action="append", default=None,
+                            help="only benchmarks carrying this tag (repeatable)")
+
+    bench_run = bench_sub.add_parser(
+        "run", help="execute benchmarks and write BENCH_<name>.json reports"
+    )
+    bench_run.add_argument("names", nargs="*",
+                           help="benchmark names (default: every registered one)")
+    bench_run.add_argument("--tier", default="tiny", choices=["tiny", "full"],
+                           help="size tier: tiny for CI smoke runs, full for "
+                                "real measurements")
+    bench_run.add_argument("--tag", action="append", default=None,
+                           help="only benchmarks carrying this tag (repeatable); "
+                                "'micro' selects the CI perf-smoke subset")
+    bench_run.add_argument("--seed", type=int, default=2019)
+    bench_run.add_argument("--output-dir", type=Path,
+                           default=Path("benchmarks/results"),
+                           help="where reports and rendered artefacts are written")
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="classify regressions between two report sets"
+    )
+    bench_compare.add_argument("baseline", type=Path,
+                               help="baseline BENCH_*.json file or directory")
+    bench_compare.add_argument("candidate", type=Path,
+                               help="candidate BENCH_*.json file or directory")
+    bench_compare.add_argument("--tolerance", type=float, default=0.25,
+                               help="allowed latency-ratio slack (0.25 = 25%%)")
+    bench_compare.add_argument("--raw", action="store_true",
+                               help="compare raw milliseconds instead of "
+                                    "calibration-normalised latencies")
+    bench_compare.add_argument("--min-p50-ms", type=float, default=1.0,
+                               help="scenarios faster than this on both sides "
+                                    "are never classified (timer noise)")
 
     return parser
 
@@ -375,6 +419,65 @@ def run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_bench(args: argparse.Namespace) -> int:
+    from repro.bench import compare_many, iter_specs, load_reports
+    from repro.bench.runner import capture_environment, run_spec
+    from repro.bench.scripts import write_outputs
+
+    if args.bench_command == "list":
+        specs = iter_specs(tags=args.tag or ())
+        for spec in specs:
+            tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+            scenarios = {
+                tier: len(policy.scenarios) for tier, policy in sorted(spec.tiers.items())
+            }
+            sizes = " ".join(f"{tier}:{count}" for tier, count in scenarios.items())
+            _print(f"{spec.name:<24} {sizes:<14}{tags}\n    {spec.description}")
+        _print(f"{len(specs)} benchmark(s) registered")
+        return 0
+
+    if args.bench_command == "run":
+        specs = iter_specs(names=args.names, tags=args.tag or ())
+        if not specs:
+            _print("error: no benchmarks match the selection")
+            return 2
+        environment = capture_environment()
+        failures = 0
+        for spec in specs:
+            report, values = run_spec(
+                spec, tier=args.tier, seed=args.seed, environment=environment
+            )
+            path = write_outputs(report, values, args.output_dir)
+            _print(report.summary())
+            _print(f"[saved to {path}]")
+            if not report.checks_passed:
+                _print(f"CHECK FAILED ({spec.name}): {report.check_error}")
+                failures += 1
+        return 1 if failures else 0
+
+    if args.bench_command == "compare":
+        for path in (args.baseline, args.candidate):
+            if not path.exists():
+                _print(f"error: {path} does not exist")
+                return 2
+        old_reports = load_reports(args.baseline)
+        new_reports = load_reports(args.candidate)
+        if not old_reports or not new_reports:
+            _print("error: no BENCH_*.json reports found on one side")
+            return 2
+        result = compare_many(
+            old_reports,
+            new_reports,
+            tolerance=args.tolerance,
+            use_calibration=not args.raw,
+            min_p50_ms=args.min_p50_ms,
+        )
+        _print(result.render())
+        return 1 if result.has_regressions else 0
+
+    raise ValueError(f"unknown bench command {args.bench_command!r}")
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -385,6 +488,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "query": run_query,
     "serve": run_serve,
     "experiment": run_experiment,
+    "bench": run_bench,
 }
 
 

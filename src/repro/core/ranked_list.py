@@ -26,13 +26,14 @@ The set is bounded by the number of topics, so consumers that never drain it
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.scoring import ElementProfile, ScoringConfig
 from repro.utils.sorted_list import DescendingSortedList
-from repro.utils.timing import TimingStats
+from repro.utils.timing import StopWatch, TimingStats
 
 
 class RankedListIndex:
@@ -197,6 +198,87 @@ class RankedListIndex:
                 if ranked.get(element_id) is not None:
                     ranked.discard(element_id)
                     self._dirty_topics.add(topic)
+
+    def bulk_update(
+        self,
+        inserts: Sequence[Tuple[ElementProfile, int]] = (),
+        refreshes: Sequence[Tuple[ElementProfile, Mapping[int, ElementProfile], int]] = (),
+        removes: Sequence[int] = (),
+    ) -> None:
+        """Apply a bucket's worth of maintenance in one grouped pass.
+
+        ``inserts`` are ``(profile, activity_time)`` pairs of newly arrived
+        elements (scored with no followers, like :meth:`insert`);
+        ``refreshes`` are ``(profile, follower_profiles, activity_time)``
+        triples re-scored like :meth:`refresh`; ``removes`` are expired
+        element ids.  Removals are applied first, then the insert/refresh
+        scores are grouped **per topic** and loaded into each ranked list
+        with one :meth:`DescendingSortedList.bulk_insert` merge instead of
+        one bisect-insertion per tuple.  When the same element appears as
+        both an insert and a refresh, the refresh score wins (matching the
+        sequential insert-then-refresh outcome).  Activity times combine via
+        ``max`` with any stored value, which is what the sequential
+        discipline converges to over a bucket.
+
+        The update timer keeps its per-element meaning (Figure 14): the
+        bucket-level span is split evenly across the applied operations, so
+        one sample is recorded per insert/refresh/remove, exactly as many
+        as the sequential path would record.
+        """
+        watch = StopWatch()
+        watch.start()
+
+        if removes:
+            for element_id in removes:
+                self._last_activity.pop(element_id, None)
+            for topic, ranked in enumerate(self._lists):
+                if ranked.bulk_discard(removes):
+                    self._dirty_topics.add(topic)
+
+        lambda_weight = self._config.lambda_weight
+        influence_weight = self._config.influence_weight
+        last_activity = self._last_activity
+        # topic -> {element_id: score}; later stores supersede earlier
+        # ones per element, matching the sequential apply order.
+        per_topic: Dict[int, Dict[int, float]] = defaultdict(dict)
+        for profile, activity_time in inserts:
+            element_id = profile.element_id
+            time = profile.timestamp if activity_time is None else activity_time
+            previous = last_activity.get(element_id)
+            last_activity[element_id] = time if previous is None else max(previous, time)
+            for topic, semantic in profile.semantic_scores.items():
+                per_topic[topic][element_id] = lambda_weight * semantic
+        for profile, followers, activity_time in refreshes:
+            element_id = profile.element_id
+            time = profile.timestamp if activity_time is None else activity_time
+            previous = last_activity.get(element_id)
+            last_activity[element_id] = time if previous is None else max(previous, time)
+            probabilities = profile.topic_probabilities
+            # Follower-major accumulation of Σ p_i(follower): followers
+            # are sparse over topics, so walking each follower's topic
+            # map once beats one pass over all followers per topic.
+            # Adding an exact 0.0 is the identity, so skipping absent
+            # topics reproduces _rescore's sums bit-for-bit.
+            sums = dict.fromkeys(probabilities, 0.0)
+            for follower in followers.values():
+                for topic, probability in follower.topic_probabilities.items():
+                    if topic in sums:
+                        sums[topic] += probability
+            for topic, semantic in profile.semantic_scores.items():
+                per_topic[topic][element_id] = lambda_weight * semantic + (
+                    influence_weight * (probabilities[topic] * sums[topic])
+                )
+
+        dirty = self._dirty_topics
+        for topic, entries in per_topic.items():
+            self._lists[topic].bulk_insert(entries.items())
+            dirty.add(topic)
+
+        elapsed = watch.stop()
+        operations = len(inserts) + len(refreshes) + len(removes)
+        if operations:
+            per_operation_ms = (elapsed * 1000.0) / operations
+            self._update_timer.samples_ms.extend([per_operation_ms] * operations)
 
     def insert_scores(
         self,

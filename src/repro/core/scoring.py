@@ -23,6 +23,7 @@ alongside for tests and for the effectiveness metrics.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -129,6 +130,11 @@ class ProfileBuilder:
     def __init__(self, topic_model: TopicModel, config: ScoringConfig) -> None:
         self._model = topic_model
         self._config = config
+        # word -> vocabulary id, shared by every build_many call.  Only
+        # in-vocabulary words are cached, so the map is bounded by the
+        # vocabulary size even on open-ended streams full of one-off
+        # out-of-vocabulary tokens.
+        self._word_id_cache: Dict[str, int] = {}
 
     @property
     def config(self) -> ScoringConfig:
@@ -192,6 +198,174 @@ class ProfileBuilder:
             semantic_scores=semantic_scores,
             references=element.references,
         )
+
+    def build_many(self, elements: Sequence[SocialElement]) -> List[ElementProfile]:
+        """Profile a whole bucket of elements through the bulk fast path.
+
+        This is the batched counterpart of :meth:`build` used by the
+        stream-ingestion fast path.  All ``(topic, word)`` weight entries of
+        the bucket are gathered into flat arrays, so the ``σ_i(w, e)``
+        weights of every element are produced by a single vectorised numpy
+        expression (one gather, one log) instead of one Python
+        ``word_weight`` call per entry; word-id lookups are memoised across
+        the bucket.  The produced profiles agree with :meth:`build` exactly
+        (same operation order per weight), and topic/word orderings are
+        preserved.
+        """
+        elements = list(elements)
+        if not elements:
+            return []
+
+        model = self._model
+        num_topics = model.num_topics
+        matrix = model.topic_word_matrix
+        vocabulary = model.vocabulary
+        threshold = self._config.topic_threshold
+        word_id_cache = self._word_id_cache
+
+        for element in elements:
+            if element.topic_distribution is None:
+                raise ValueError(
+                    f"element {element.element_id!r} has no topic distribution; "
+                    "run topic inference before profiling"
+                )
+        try:
+            distributions = np.stack(
+                [
+                    np.asarray(element.topic_distribution, dtype=float)
+                    for element in elements
+                ]
+            )
+        except ValueError as error:
+            raise ValueError(
+                f"inconsistent topic-distribution shapes in bucket: {error}"
+            ) from None
+        if distributions.shape[1] != num_topics:
+            raise ValueError(
+                f"bucket topic distributions have {distributions.shape[1]} topics, "
+                f"expected {num_topics}"
+            )
+
+        # In-vocabulary word ids and frequencies per element (order
+        # preserved), flattened as they are collected so the numpy arrays
+        # below are built from plain lists in one conversion each.
+        word_lists: List[List[int]] = []
+        word_count_list: List[int] = []
+        word_offset_list: List[int] = []
+        flat_words: List[int] = []
+        flat_frequencies: List[float] = []
+        offset = 0
+        for element in elements:
+            word_ids: List[int] = []
+            word_offset_list.append(offset)
+            for word, frequency in Counter(element.tokens).items():
+                word_id = word_id_cache.get(word)
+                if word_id is None:
+                    word_id = vocabulary.get_id(word)
+                    if word_id is None:
+                        continue
+                    word_id_cache[word] = word_id
+                word_ids.append(word_id)
+                flat_frequencies.append(float(frequency))
+            flat_words.extend(word_ids)
+            word_lists.append(word_ids)
+            word_count_list.append(len(word_ids))
+            offset += len(word_ids)
+
+        # One (element, topic) pair per above-threshold probability, in
+        # element-major / topic-ascending order (matching :meth:`build`).
+        pair_elements, pair_topics = np.nonzero(distributions > threshold)
+        pair_probabilities = distributions[pair_elements, pair_topics]
+        word_counts = np.asarray(word_count_list, dtype=np.intp)
+        word_offsets = np.asarray(word_offset_list, dtype=np.intp)
+        pair_counts = word_counts[pair_elements]
+        total_entries = int(pair_counts.sum())
+
+        weight_values: List[float] = []
+        all_positive = False
+        positive_counts: List[int] = []
+        if total_entries:
+            all_words = np.asarray(flat_words, dtype=np.intp)
+            all_frequencies = np.asarray(flat_frequencies, dtype=float)
+            # For each (element, topic) pair, gather that element's word slice:
+            # starts[i] repeated count[i] times plus an intra-slice ramp.
+            starts = np.repeat(word_offsets[pair_elements], pair_counts)
+            ramp = np.arange(total_entries) - np.repeat(
+                np.cumsum(pair_counts) - pair_counts, pair_counts
+            )
+            entry_index = starts + ramp
+            entry_words = all_words[entry_index]
+            joint = matrix[np.repeat(pair_topics, pair_counts), entry_words] * np.repeat(
+                pair_probabilities, pair_counts
+            )
+            positive = joint > 0.0
+            if positive.all():
+                weights = -all_frequencies[entry_index] * joint * np.log(joint)
+            else:
+                logs = np.zeros_like(joint)
+                np.log(joint, out=logs, where=positive)
+                weights = np.where(
+                    positive, -all_frequencies[entry_index] * joint * logs, 0.0
+                )
+            weight_positive = weights > 0.0
+            all_positive = bool(weight_positive.all())
+            if not all_positive:
+                # Positive-weight count per (element, topic) pair, so the
+                # reassembly loop below can take a C-speed dict(zip(...))
+                # fast path whenever a pair has no zero weights to filter
+                # out.  (reduceat needs non-empty segments; empty stay 0.)
+                pair_starts = np.cumsum(pair_counts) - pair_counts
+                nonempty = pair_counts > 0
+                counts = np.zeros(len(pair_counts), dtype=np.intp)
+                if nonempty.any():
+                    counts[nonempty] = np.add.reduceat(
+                        weight_positive.astype(np.intp), pair_starts[nonempty]
+                    )
+                positive_counts = counts.tolist()
+            weight_values = weights.tolist()
+
+        # Reassemble per-element sparse maps from the flat weight array.
+        topic_probability_maps: List[Dict[int, float]] = [{} for _ in elements]
+        word_weight_maps: List[Dict[int, Dict[int, float]]] = [{} for _ in elements]
+        semantic_score_maps: List[Dict[int, float]] = [{} for _ in elements]
+        cursor = 0
+        for pair_index, (element_index, topic, probability, count) in enumerate(
+            zip(
+                pair_elements.tolist(),
+                pair_topics.tolist(),
+                pair_probabilities.tolist(),
+                pair_counts.tolist(),
+            )
+        ):
+            word_ids = word_lists[element_index]
+            if count and (all_positive or positive_counts[pair_index] == count):
+                values = weight_values[cursor : cursor + count]
+                entries = dict(zip(word_ids, values))
+                total = float(sum(values))
+            else:
+                entries = {}
+                total = 0.0
+                for offset in range(count):
+                    weight = weight_values[cursor + offset]
+                    if weight > 0.0:
+                        entries[word_ids[offset]] = weight
+                        total += weight
+            cursor += count
+            topic_probability_maps[element_index][topic] = probability
+            word_weight_maps[element_index][topic] = entries
+            semantic_score_maps[element_index][topic] = total
+
+        return [
+            ElementProfile(
+                element_id=element.element_id,
+                timestamp=element.timestamp,
+                topic_probabilities=topic_probability_maps[index],
+                word_weights=word_weight_maps[index],
+                semantic_scores=semantic_score_maps[index],
+                references=element.references,
+            )
+            for index, element in enumerate(elements)
+        ]
 
 
 class ScoringContext:

@@ -20,7 +20,7 @@ order is deterministic.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 
 class DescendingSortedList:
@@ -64,6 +64,52 @@ class DescendingSortedList:
     def update(self, key: Hashable, score: float) -> None:
         """Change the score of an existing key (inserting when absent)."""
         self.insert(key, score)
+
+    def bulk_insert(self, items: Iterable[Tuple[Hashable, float]]) -> None:
+        """Insert many ``(key, score)`` pairs at once (last score wins per key).
+
+        Replaces any previous entries of the given keys.  For batches that
+        are large relative to the list this stages the new entries, drops the
+        superseded ones in a single filtering pass and merges two sorted runs
+        — ``O(n + m log m)`` instead of ``m`` bisect-insertions at ``O(n)``
+        each.  Small batches fall back to plain :meth:`insert`.
+        """
+        staged: Dict[Hashable, float] = {key: float(score) for key, score in items}
+        if not staged:
+            return
+        if len(staged) < 8 or len(staged) * 4 < len(self._entries):
+            for key, score in staged.items():
+                self.insert(key, score)
+            return
+        superseded = {key for key in staged if key in self._scores}
+        if superseded:
+            self._entries = [
+                entry for entry in self._entries if entry[1] not in superseded
+            ]
+        entries = self._entries
+        entries.extend((-score, key) for key, score in staged.items())
+        # Timsort merges the existing sorted run and the appended batch at C
+        # speed, which beats a Python-level two-way merge.
+        entries.sort()
+        self._scores.update(staged)
+
+    def bulk_discard(self, keys: Iterable[Hashable]) -> List[Hashable]:
+        """Remove every present key of ``keys``; returns the ones removed.
+
+        Duplicates in ``keys`` are tolerated (removed once).
+        """
+        present = list(dict.fromkeys(key for key in keys if key in self._scores))
+        if not present:
+            return present
+        if len(present) < 8 or len(present) * 16 < len(self._entries):
+            for key in present:
+                self.remove(key)
+            return present
+        drop = set(present)
+        self._entries = [entry for entry in self._entries if entry[1] not in drop]
+        for key in present:
+            del self._scores[key]
+        return present
 
     def remove(self, key: Hashable) -> None:
         """Remove ``key``; raises ``KeyError`` when absent."""

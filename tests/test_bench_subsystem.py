@@ -1,0 +1,332 @@
+"""Tests of the ``repro.bench`` subsystem.
+
+Covers :class:`BenchSpec` registration and validation, runner execution
+with a synthetic (dataset-free) spec, the ``BENCH_<name>.json`` schema
+round-trip and validation, and the ``compare()`` classification of
+regressions, improvements and within-tolerance changes — including the
+calibration-based cross-machine normalisation and the timer-noise floor.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchReport,
+    BenchSpec,
+    Outcome,
+    Scenario,
+    ScenarioResult,
+    TierPolicy,
+    compare,
+    compare_many,
+    get_spec,
+    iter_specs,
+    run_spec,
+    spec_names,
+    validate_report_dict,
+)
+from repro.bench.compare import ADDED, IMPROVEMENT, REGRESSION, REMOVED, WITHIN_TOLERANCE
+from repro.bench.report import percentile
+from repro.bench.spec import register, unregister
+
+
+def _trivial_spec(name: str, check=None, baseline=None) -> BenchSpec:
+    """A dataset-free spec: the measured callable just counts invocations."""
+
+    def setup(params, seed):
+        state = {"calls": 0}
+
+        def measured():
+            state["calls"] += 1
+            return Outcome(
+                units=params.get("units", 10),
+                value=state["calls"],
+                metrics={"calls": float(state["calls"])},
+                artefact=f"artefact of {params.get('label', 'x')}",
+            )
+
+        return measured
+
+    tier = TierPolicy(
+        scenarios=(
+            Scenario("fast", {"units": 10, "label": "fast"}),
+            Scenario("slow", {"units": 10, "label": "slow"}),
+        ),
+        warmup=1,
+        repeat=3,
+    )
+    return BenchSpec(
+        name=name,
+        description="synthetic test spec",
+        setup=setup,
+        tiers={"tiny": tier, "full": tier},
+        baseline=baseline,
+        check=check,
+        tags=("synthetic",),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Spec registration and validation
+# ---------------------------------------------------------------------------
+
+
+class TestSpecRegistry:
+    def test_register_and_lookup(self):
+        spec = _trivial_spec("synthetic_lookup")
+        register(spec)
+        try:
+            assert get_spec("synthetic_lookup") is spec
+            assert "synthetic_lookup" in spec_names()
+            assert spec in iter_specs(tags=("synthetic",))
+        finally:
+            unregister("synthetic_lookup")
+
+    def test_duplicate_registration_rejected(self):
+        spec = _trivial_spec("synthetic_dup")
+        register(spec)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register(_trivial_spec("synthetic_dup"))
+        finally:
+            unregister("synthetic_dup")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="no_such_benchmark"):
+            get_spec("no_such_benchmark")
+
+    def test_missing_tier_rejected(self):
+        tier = TierPolicy(scenarios=(Scenario("only", {}),))
+        with pytest.raises(ValueError, match="missing tier"):
+            BenchSpec(name="bad", description="", setup=lambda p, s: lambda: None,
+                      tiers={"tiny": tier})
+
+    def test_unknown_baseline_rejected(self):
+        tier = TierPolicy(scenarios=(Scenario("only", {}),))
+        with pytest.raises(ValueError, match="baseline"):
+            BenchSpec(name="bad", description="", setup=lambda p, s: lambda: None,
+                      tiers={"tiny": tier, "full": tier}, baseline="absent")
+
+    def test_duplicate_scenarios_rejected(self):
+        tier = TierPolicy(scenarios=(Scenario("dup", {}), Scenario("dup", {})))
+        with pytest.raises(ValueError, match="duplicate"):
+            BenchSpec(name="bad", description="", setup=lambda p, s: lambda: None,
+                      tiers={"tiny": tier, "full": tier})
+
+    def test_builtin_suite_is_registered(self):
+        names = spec_names()
+        assert "micro_stream_update" in names
+        assert "micro_query_latency" in names
+        assert len(names) >= 17
+        micro = iter_specs(tags=("micro",))
+        assert {spec.name for spec in micro} == {
+            "micro_stream_update", "micro_query_latency",
+        }
+
+
+# ---------------------------------------------------------------------------
+# Runner behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestRunner:
+    def test_run_spec_produces_valid_report(self, tmp_path):
+        spec = _trivial_spec("synthetic_run", baseline="fast")
+        report, values = run_spec(spec, tier="tiny", seed=7,
+                                  environment={"calibration_ms": 10.0})
+        assert report.benchmark == "synthetic_run"
+        assert report.tier == "tiny"
+        assert report.seed == 7
+        assert report.checks_passed
+        assert [s.name for s in report.scenarios] == ["fast", "slow"]
+        for scenario in report.scenarios:
+            # warmup=1 + repeat=3: the measured callable ran four times and
+            # three samples were recorded.
+            assert len(scenario.samples_ms) == 3
+            assert scenario.units == 10
+            assert scenario.metrics["calls"] == 4.0
+        # values carries the unserialised check payloads and artefacts.
+        assert values["fast"] == 4
+        assert values["__artefacts__"]["slow"] == "artefact of slow"
+        # the baseline scenario itself gets no speedup figure.
+        assert report.scenario("fast").speedup_vs_baseline is None
+        assert report.scenario("slow").speedup_vs_baseline is not None
+        # round-trips through disk, validating on the way in.
+        path = report.save(tmp_path)
+        assert path.name == "BENCH_synthetic_run.json"
+        loaded = BenchReport.load(path)
+        assert loaded.to_dict() == report.to_dict()
+
+    def test_failing_check_marks_report(self):
+        def check(values, report):
+            raise AssertionError("synthetic failure")
+
+        spec = _trivial_spec("synthetic_fail", check=check)
+        report, _values = run_spec(spec, tier="tiny",
+                                   environment={"calibration_ms": 10.0})
+        assert not report.checks_passed
+        assert "synthetic failure" in (report.check_error or "")
+        # the failure is persisted in the JSON form too.
+        data = report.to_dict()
+        assert data["checks_passed"] is False
+        assert data["check_error"] == "synthetic failure"
+
+
+# ---------------------------------------------------------------------------
+# Report schema
+# ---------------------------------------------------------------------------
+
+
+def _report(name="bench", p50s=(100.0,), calibration=None, tier="tiny") -> BenchReport:
+    scenarios = [
+        ScenarioResult(
+            name=f"s{i}",
+            params={},
+            warmup=0,
+            repeat=1,
+            samples_ms=[p50],
+            units=100,
+        )
+        for i, p50 in enumerate(p50s)
+    ]
+    environment = {"python": "3.x"}
+    if calibration is not None:
+        environment["calibration_ms"] = calibration
+    return BenchReport(
+        benchmark=name, tier=tier, seed=1, created_unix=0.0,
+        environment=environment, scenarios=scenarios,
+    )
+
+
+class TestReportSchema:
+    def test_percentiles(self):
+        assert percentile([4.0, 1.0, 3.0, 2.0], 0.5) == 2.5
+        assert percentile([1.0], 0.95) == 1.0
+        samples = [float(v) for v in range(1, 101)]
+        assert percentile(samples, 0.95) == pytest.approx(95.05)
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_scenario_statistics(self):
+        scenario = ScenarioResult(
+            name="s", params={}, warmup=0, repeat=4,
+            samples_ms=[10.0, 20.0, 30.0, 40.0], units=50,
+        )
+        assert scenario.p50_ms == 25.0
+        assert scenario.mean_ms == 25.0
+        # 50 units at 25 ms median -> 2000 units/sec.
+        assert scenario.throughput_per_sec == pytest.approx(2000.0)
+
+    def test_validation_rejects_malformed_documents(self):
+        good = _report().to_dict()
+        validate_report_dict(good)
+
+        bad = dict(good, schema="repro-bench/999")
+        with pytest.raises(ValueError, match="schema"):
+            validate_report_dict(bad)
+
+        bad = {key: value for key, value in good.items() if key != "environment"}
+        with pytest.raises(ValueError, match="environment"):
+            validate_report_dict(bad)
+
+        bad = dict(good, scenarios=[])
+        with pytest.raises(ValueError, match="no scenarios"):
+            validate_report_dict(bad)
+
+        scenario = dict(good["scenarios"][0])
+        del scenario["p50_ms"]
+        with pytest.raises(ValueError, match="p50_ms"):
+            validate_report_dict(dict(good, scenarios=[scenario]))
+
+        twice = [dict(good["scenarios"][0]), dict(good["scenarios"][0])]
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_report_dict(dict(good, scenarios=twice))
+
+    def test_json_round_trip_preserves_everything(self, tmp_path):
+        report = _report(p50s=(12.5, 80.0), calibration=22.0)
+        report.scenarios[1].speedup_vs_baseline = 1.75
+        report.scenarios[1].metrics = {"extra": 3.5}
+        path = report.save(tmp_path)
+        raw = json.loads(path.read_text())
+        assert raw["schema"] == "repro-bench/1"
+        loaded = BenchReport.load(path)
+        assert loaded.to_dict() == report.to_dict()
+        assert loaded.scenario("s1").speedup_vs_baseline == 1.75
+        assert loaded.scenario("s1").metrics == {"extra": 3.5}
+        assert loaded.calibration_ms == 22.0
+
+
+# ---------------------------------------------------------------------------
+# Comparison / regression gating
+# ---------------------------------------------------------------------------
+
+
+class TestCompare:
+    def test_classification(self):
+        old = _report(p50s=(100.0, 100.0, 100.0))
+        new = _report(p50s=(210.0, 101.0, 60.0))
+        result = compare(old, new, tolerance=0.25)
+        by_name = {entry.scenario: entry for entry in result.entries}
+        assert by_name["s0"].status == REGRESSION  # 2.1x slower
+        assert by_name["s1"].status == WITHIN_TOLERANCE
+        assert by_name["s2"].status == IMPROVEMENT
+        assert result.has_regressions
+        assert len(result.regressions) == 1
+
+    def test_injected_2x_slowdown_is_a_regression(self):
+        old = _report(p50s=(50.0,))
+        new = _report(p50s=(100.0,))
+        result = compare(old, new, tolerance=0.25)
+        assert result.entries[0].status == REGRESSION
+        assert result.entries[0].ratio == pytest.approx(2.0)
+
+    def test_calibration_normalisation_forgives_slower_machines(self):
+        # The candidate machine is uniformly 2x slower (calibration 2x):
+        # identical relative performance must not be flagged.
+        old = _report(p50s=(100.0,), calibration=20.0)
+        new = _report(p50s=(200.0,), calibration=40.0)
+        result = compare(old, new, tolerance=0.25)
+        assert result.normalised
+        assert result.entries[0].status == WITHIN_TOLERANCE
+        assert result.entries[0].ratio == pytest.approx(1.0)
+        # ... but a genuine regression on the slower machine still trips.
+        new = _report(p50s=(400.0,), calibration=40.0)
+        assert compare(old, new, tolerance=0.25).has_regressions
+        # raw mode ignores the calibration.
+        raw = compare(old, _report(p50s=(200.0,), calibration=40.0),
+                      tolerance=0.25, use_calibration=False)
+        assert not raw.normalised
+        assert raw.entries[0].status == REGRESSION
+
+    def test_noise_floor_suppresses_microsecond_scenarios(self):
+        old = _report(p50s=(0.2,))
+        new = _report(p50s=(0.6,))  # 3x "slower" but sub-millisecond
+        result = compare(old, new, tolerance=0.25, min_p50_ms=1.0)
+        assert result.entries[0].status == WITHIN_TOLERANCE
+
+    def test_added_and_removed_scenarios(self):
+        old = _report(p50s=(100.0, 100.0))
+        new = _report(p50s=(100.0,))
+        statuses = {entry.scenario: entry.status
+                    for entry in compare(old, new).entries}
+        assert statuses["s1"] == REMOVED
+        statuses = {entry.scenario: entry.status
+                    for entry in compare(new, old).entries}
+        assert statuses["s1"] == ADDED
+        # neither direction is a regression by itself.
+        assert not compare(old, new).has_regressions
+
+    def test_compare_many_matches_by_benchmark(self):
+        old = [_report("a", p50s=(100.0,)), _report("b", p50s=(100.0,))]
+        new = [_report("a", p50s=(300.0,)), _report("c", p50s=(10.0,))]
+        result = compare_many(old, new, tolerance=0.25)
+        statuses = {(e.benchmark, e.scenario): e.status for e in result.entries}
+        assert statuses[("a", "s0")] == REGRESSION
+        assert statuses[("b", "*")] == REMOVED
+        assert statuses[("c", "*")] == ADDED
+        assert result.has_regressions
+        rendered = result.render()
+        assert "regression" in rendered

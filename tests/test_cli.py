@@ -158,3 +158,96 @@ class TestServeCommand:
         output = capsys.readouterr().out
         assert "naive maintenance" in output
         assert "re-eval ratio 1.000" in output
+
+
+class TestBenchCommands:
+    def test_bench_parser(self):
+        args = build_parser().parse_args(
+            ["bench", "run", "micro_query_latency", "--tier", "tiny", "--tag", "micro"]
+        )
+        assert args.command == "bench"
+        assert args.bench_command == "run"
+        assert args.names == ["micro_query_latency"]
+        assert args.tag == ["micro"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "run", "--tier", "huge"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "micro_stream_update" in output
+        assert "benchmark(s) registered" in output
+
+    def test_bench_list_tag_filter(self, capsys):
+        assert main(["bench", "list", "--tag", "micro"]) == 0
+        output = capsys.readouterr().out
+        assert "micro_stream_update" in output
+        assert "fig7_epsilon_time" not in output
+
+    def test_bench_run_writes_schema_valid_reports(self, tmp_path, capsys):
+        import json
+
+        from repro.bench import validate_report_dict
+
+        exit_code = main(
+            ["bench", "run", "micro_query_latency", "--tier", "tiny",
+             "--output-dir", str(tmp_path), "--seed", "7"]
+        )
+        assert exit_code == 0
+        path = tmp_path / "BENCH_micro_query_latency.json"
+        assert path.exists()
+        data = json.loads(path.read_text())
+        validate_report_dict(data)
+        assert data["tier"] == "tiny"
+        assert data["seed"] == 7
+        assert {entry["name"] for entry in data["scenarios"]} == {
+            "topk", "mttd", "mtts", "celf", "sieve",
+        }
+        output = capsys.readouterr().out
+        assert "micro_query_latency" in output
+
+    def test_bench_run_unknown_name(self, capsys):
+        with pytest.raises(KeyError):
+            main(["bench", "run", "nope"])
+
+    def test_bench_run_empty_selection(self, capsys):
+        assert main(["bench", "run", "--tag", "no-such-tag"]) == 2
+
+    def test_bench_compare_gates_on_injected_slowdown(self, tmp_path, capsys):
+        import copy
+        import json
+
+        assert main(
+            ["bench", "run", "micro_query_latency", "--tier", "tiny",
+             "--output-dir", str(tmp_path / "base")]
+        ) == 0
+        capsys.readouterr()
+        # identical reports: no regression, exit 0.
+        assert main(
+            ["bench", "compare", str(tmp_path / "base"), str(tmp_path / "base")]
+        ) == 0
+        assert "no regressions" in capsys.readouterr().out
+        # inject a 2x slowdown into every scenario: exit 1.
+        slow_dir = tmp_path / "slow"
+        slow_dir.mkdir()
+        data = json.loads(
+            (tmp_path / "base" / "BENCH_micro_query_latency.json").read_text()
+        )
+        slow = copy.deepcopy(data)
+        for scenario in slow["scenarios"]:
+            scenario["samples_ms"] = [s * 2 for s in scenario["samples_ms"]]
+            for key in ("p50_ms", "p95_ms", "mean_ms", "min_ms", "max_ms"):
+                scenario[key] *= 2
+        (slow_dir / "BENCH_micro_query_latency.json").write_text(json.dumps(slow))
+        assert main(
+            ["bench", "compare", str(tmp_path / "base"), str(slow_dir),
+             "--tolerance", "0.25", "--min-p50-ms", "0.0"]
+        ) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_bench_compare_missing_path(self, tmp_path, capsys):
+        assert main(
+            ["bench", "compare", str(tmp_path / "absent"), str(tmp_path / "absent")]
+        ) == 2
