@@ -24,13 +24,12 @@ Run with:  python examples/academic_citation_monitor.py
 from __future__ import annotations
 
 from repro import (
-    KSIRProcessor,
-    KSIRQuery,
+    EngineConfig,
+    KSIREngine,
     ProcessorConfig,
     ScoringConfig,
     SyntheticStreamGenerator,
     TopicInferencer,
-    infer_query_vector,
 )
 from repro.core.element import SocialElement
 from repro.core.stream import SocialStream
@@ -84,8 +83,9 @@ def main() -> None:
         scoring=ScoringConfig(lambda_weight=0.5, eta=4.0),
     )
     inferencer = TopicInferencer(model, alpha=0.05, sparsity_threshold=0.05)
-    processor = KSIRProcessor(model, config, inferencer=inferencer)
-    processor.process_stream(strip_ground_truth(dataset.stream))
+    engine = KSIREngine(model, EngineConfig(processor=config), inferencer=inferencer)
+    engine.process_stream(strip_ground_truth(dataset.stream))
+    processor = engine.backend.processor  # window internals, for display
     print(
         f"    {processor.active_count} active papers in the last "
         f"{config.window_length // 3600}h window"
@@ -99,9 +99,7 @@ def main() -> None:
         for topic in (0, 1)
     }
     for survey_name, keywords in surveys.items():
-        vector = infer_query_vector(model, keywords, inferencer=inferencer)
-        query = KSIRQuery(k=5, vector=vector, keywords=tuple(keywords))
-        result = processor.query(query, algorithm="mttd", epsilon=0.1)
+        result = engine.query_keywords(keywords, k=5, algorithm="mttd", epsilon=0.1)
         print(
             f"\n  Survey '{survey_name}' (keywords: {', '.join(keywords)}) — "
             f"score {result.score:.3f}, {result.elapsed_ms:.1f} ms"

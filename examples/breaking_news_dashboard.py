@@ -22,6 +22,8 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro import (
+    EngineConfig,
+    KSIREngine,
     KSIRProcessor,
     ProcessorConfig,
     ScoringConfig,
@@ -60,13 +62,16 @@ def main() -> None:
         bucket_length=REFRESH_INTERVAL,
         scoring=ScoringConfig(lambda_weight=0.5, eta=2.0),
     )
-    processor = KSIRProcessor(dataset.topic_model, config)
+    engine = KSIREngine(dataset.topic_model, EngineConfig(processor=config))
+    # The dashboard reads window internals for display; they live one layer
+    # below the facade, on the local backend's processor.
+    processor = engine.backend.processor
     topic_names = {topic: dataset.topic_names[topic] for topic in TRACKED_TOPICS}
     print("Tracked topics: " + ", ".join(f"{t} ({name})" for t, name in topic_names.items()))
 
     refreshes = 0
     for bucket in dataset.stream.buckets(config.bucket_length):
-        processor.process_bucket(bucket.elements, bucket.end_time)
+        engine.ingest_bucket(bucket.elements, bucket.end_time)
         if processor.active_count == 0:
             continue
         refreshes += 1

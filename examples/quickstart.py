@@ -5,9 +5,10 @@ This is the smallest end-to-end tour of the library:
 
 1. generate a synthetic Twitter-like stream (the stand-in for the paper's
    crawls) together with its topic-model oracle;
-2. replay the stream through the :class:`repro.KSIRProcessor`, which
+2. replay the stream through the :class:`repro.KSIREngine` facade, which
    maintains the sliding window, the active set and the per-topic ranked
-   lists;
+   lists (the ``local`` execution backend — swap one config field for a
+   sharded cluster or a standing-query service);
 3. issue a keyword query, which is converted into a query vector over the
    topic space (the paper's query-by-keyword transformation);
 4. answer it with MTTD (the paper's best algorithm) and compare against the
@@ -19,7 +20,9 @@ Run with:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import (
-    KSIRProcessor,
+    EngineConfig,
+    KSIREngine,
+    LocalBackend,
     ProcessorConfig,
     ScoringConfig,
     SyntheticStreamGenerator,
@@ -40,20 +43,26 @@ def main() -> None:
         f"{int(stats['num_topics'])} topics"
     )
 
-    # ------------------------------------------------------------- processor
-    print("\n=== 2. Replaying the stream through the k-SIR processor ===")
-    config = ProcessorConfig(
-        window_length=24 * 3600,          # T = 24 hours, the paper's default
-        bucket_length=15 * 60,            # L = 15 minutes
-        scoring=ScoringConfig(lambda_weight=0.5, eta=1.5),
+    # ---------------------------------------------------------------- engine
+    print("\n=== 2. Replaying the stream through the k-SIR engine ===")
+    config = EngineConfig(
+        backend="local",                      # or "sharded" / "service"
+        processor=ProcessorConfig(
+            window_length=24 * 3600,          # T = 24 hours, the paper's default
+            bucket_length=15 * 60,            # L = 15 minutes
+            scoring=ScoringConfig(lambda_weight=0.5, eta=1.5),
+        ),
     )
-    processor = KSIRProcessor(dataset.topic_model, config)
-    processor.process_stream(dataset.stream)
+    engine = KSIREngine(dataset.topic_model, config)
+    engine.process_stream(dataset.stream)
     print(
-        f"    processed {processor.elements_processed} elements in "
-        f"{processor.buckets_processed} buckets; "
-        f"{processor.active_count} active elements in the current window"
+        f"    processed {engine.elements_processed} elements in "
+        f"{engine.buckets_processed} buckets; "
+        f"{engine.active_count} active elements in the current window"
     )
+    backend = engine.backend
+    assert isinstance(backend, LocalBackend)  # the layer below the facade
+    processor = backend.processor
     print(
         f"    ranked-list maintenance: "
         f"{processor.update_timer.mean_ms:.3f} ms per element on average"
@@ -68,14 +77,17 @@ def main() -> None:
 
     print("\n=== 4. Answering with MTTD, CELF and Top-k Representative ===")
     for algorithm in ("mttd", "celf", "topk"):
-        result = processor.query(query, algorithm=algorithm, epsilon=0.1)
+        result = engine.query(query, algorithm=algorithm, epsilon=0.1)
         print(f"\n    [{algorithm}] {result.summary()}")
         for element in processor.result_elements(result):
             words = " ".join(element.tokens[:8])
             followers = processor.window.follower_count(element.element_id)
             print(f"        e{element.element_id:<6} ({followers:>3} refs in window)  {words}")
 
-    print("\nDone.  See examples/breaking_news_dashboard.py for a streaming scenario.")
+    print(
+        "\nDone.  See examples/checkpoint_restore.py for warm restarts and "
+        "examples/sharded_serving.py for sharded + standing-query serving."
+    )
 
 
 if __name__ == "__main__":

@@ -1,34 +1,38 @@
 #!/usr/bin/env python3
-"""Sharded serving: the same standing queries, scaled across shard partitions.
+"""Sharded serving through the unified facade: one engine, N shards.
 
-This example walks through the ``repro.cluster`` layer end to end:
+This example walks the ``repro.api`` facade across every execution
+backend:
 
-1. the stream is partitioned across 4 shards (``load-balanced`` strategy),
-   with followers routed to their parents' shards so influence scores stay
-   exact;
-2. an ad-hoc k-SIR query is answered by scatter-gather — each shard exports
-   a bounded candidate pool, the coordinator runs the final submodular
-   selection over the merged union — and the answer is checked against a
-   single-node processor, element for element;
-3. the same ``ServiceEngine`` used for single-node serving runs its standing
-   queries transparently on the cluster (``backend=`` seam);
-4. ``verify_equivalence`` replays the stream on both execution paths and
-   proves the transparency contract on this dataset.
+1. the same :class:`repro.KSIREngine` replays a stream on the ``local``
+   and the ``sharded`` backends — switching is one field in
+   :class:`repro.EngineConfig`;
+2. an ad-hoc k-SIR query is answered by scatter-gather on the sharded
+   engine and checked against the local engine, element for element;
+3. the ``service`` backend runs standing queries over the same shard
+   partitions, transparently;
+4. the sharded engine is checkpointed mid-stream with ``engine.save`` and
+   resumed with ``KSIREngine.load`` — the warm-restarted engine finishes
+   the stream and answers exactly like the uninterrupted one;
+5. ``verify_equivalence`` proves the sharding transparency contract on
+   this dataset.
 
 Run with:  python examples/sharded_serving.py
 """
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import replace
+from pathlib import Path
 
 from repro import (
     ClusterConfig,
-    ClusterCoordinator,
-    KSIRProcessor,
+    EngineConfig,
+    KSIREngine,
     ProcessorConfig,
     ScoringConfig,
-    ServiceEngine,
+    ServiceConfig,
     SyntheticStreamGenerator,
     verify_equivalence,
 )
@@ -43,80 +47,96 @@ PROFILE = replace(
     duration=12 * 3600,
 )
 
-CONFIG = ProcessorConfig(
-    window_length=4 * 3600,
-    bucket_length=900,
-    scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
-)
-
 NUM_SHARDS = 4
+
+CONFIG = EngineConfig(
+    backend="sharded",
+    processor=ProcessorConfig(
+        window_length=4 * 3600,
+        bucket_length=900,
+        scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
+    ),
+    cluster=ClusterConfig(num_shards=NUM_SHARDS, partitioner="load-balanced"),
+    service=ServiceConfig(max_workers=2),
+)
 
 
 def main() -> None:
     dataset = SyntheticStreamGenerator(PROFILE, seed=23).generate()
 
-    # -- 1. replay the stream through the cluster --------------------------------
-    coordinator = ClusterCoordinator(
-        dataset.topic_model,
-        CONFIG,
-        cluster=ClusterConfig(num_shards=NUM_SHARDS, partitioner="load-balanced"),
-    )
-    coordinator.process_stream(dataset.stream)
+    # -- 1. one engine, two backends ----------------------------------------------
+    sharded = KSIREngine(dataset.topic_model, CONFIG)
+    sharded.process_stream(dataset.stream)
     print(
-        f"ingested {coordinator.elements_processed} elements across "
-        f"{coordinator.num_shards} shards; {coordinator.active_count} active"
+        f"ingested {sharded.elements_processed} elements across "
+        f"{CONFIG.cluster.num_shards} shards; {sharded.active_count} active"
     )
-    for stat in coordinator.shard_stats():
+    for stat in sharded.stats()["shards"]:
         print(
-            f"  shard {stat.shard_id}: {stat.home_elements} home + "
-            f"{stat.foreign_elements} foreign replicas, "
-            f"{stat.active_home} active home elements"
+            f"  shard {stat['shard_id']}: {stat['home_elements']} home + "
+            f"{stat['foreign_elements']} foreign replicas, "
+            f"{stat['active_home']} active home elements"
         )
 
-    # -- 2. scatter-gather query, checked against a single node -------------------
-    single = KSIRProcessor(dataset.topic_model, CONFIG)
-    single.process_stream(dataset.stream)
+    local = KSIREngine(dataset.topic_model, CONFIG.with_backend("local"))
+    local.process_stream(dataset.stream)
 
+    # -- 2. scatter-gather query, checked against the local engine ----------------
     query = dataset.make_query(k=5, keywords=["goal", "league", "champions"])
-    sharded = coordinator.query(query, algorithm="mttd", epsilon=0.1)
-    reference = single.query(query, algorithm="mttd", epsilon=0.1)
-    print(f"\nscatter-gather: {sharded.summary()}")
+    answer = sharded.query(query, algorithm="mttd", epsilon=0.1)
+    reference = local.query(query, algorithm="mttd", epsilon=0.1)
+    print(f"\nscatter-gather: {answer.summary()}")
     print(
-        f"  merged {sharded.extras['merged_candidates']:.0f} candidates "
-        f"(budget {sharded.extras['candidate_budget']:.0f}/shard) from "
-        f"{sharded.extras['shards']:.0f} shards"
+        f"  merged {answer.extras['merged_candidates']:.0f} candidates "
+        f"(budget {answer.extras['candidate_budget']:.0f}/shard) from "
+        f"{answer.extras['shards']:.0f} shards"
     )
-    assert set(sharded.element_ids) == set(reference.element_ids)
-    assert abs(sharded.score - reference.score) <= 1e-9
-    print("  matches the single-node answer exactly.")
+    assert set(answer.element_ids) == set(reference.element_ids)
+    assert abs(answer.score - reference.score) <= 1e-9
+    print("  matches the local answer exactly.")
+    local.close()
 
-    # -- 3. standing queries on the cluster, via the same ServiceEngine -----------
-    # The backend seam: hand the engine a coordinator instead of a processor
-    # and the standing-query loop runs over N shards transparently.
-    serving_coordinator = ClusterCoordinator(
-        dataset.topic_model,
-        CONFIG,
-        cluster=ClusterConfig(num_shards=NUM_SHARDS, partitioner="load-balanced"),
-    )
-    with serving_coordinator, ServiceEngine(serving_coordinator, max_workers=2) as engine:
+    # -- 3. standing queries over the shards, same facade -------------------------
+    with KSIREngine(dataset.topic_model, CONFIG.with_backend("service")) as serving:
         for topic in range(0, 12, 2):
-            engine.register(dataset.make_query(k=4, topic=topic), algorithm="mttd")
-        engine.serve_stream(dataset.stream)
-        print(f"\n{engine.report()}")
+            serving.register(dataset.make_query(k=4, topic=topic), algorithm="mttd")
+        serving.process_stream(dataset.stream)
+        print(f"\n{serving.report()}")
 
-    # -- 4. the transparency contract, verified -----------------------------------
+    # -- 4. checkpoint mid-stream, restore, finish --------------------------------
+    buckets = list(dataset.stream.buckets(CONFIG.processor.bucket_length))
+    half = len(buckets) // 2
+    partial = KSIREngine(dataset.topic_model, CONFIG)
+    for bucket in buckets[:half]:
+        partial.ingest_bucket(bucket.elements, bucket.end_time)
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = partial.save(Path(tmp) / "ksir-checkpoint")
+        partial.close()
+        resumed = KSIREngine.load(checkpoint)
+        for bucket in buckets[half:]:
+            resumed.ingest_bucket(bucket.elements, bucket.end_time)
+        warm = resumed.query(query, algorithm="mttd", epsilon=0.1)
+        assert set(warm.element_ids) == set(answer.element_ids)
+        assert abs(warm.score - answer.score) <= 1e-9
+        print(
+            f"\ncheckpointed at bucket {half}, resumed, finished the stream: "
+            "warm-restart answer matches the uninterrupted run."
+        )
+        resumed.close()
+
+    # -- 5. the transparency contract, verified -----------------------------------
     report = verify_equivalence(
         dataset.stream,
         dataset.topic_model,
         queries=[dataset.make_query(k=4, topic=topic) for topic in range(3)],
-        config=CONFIG,
+        config=CONFIG.processor,
         cluster=ClusterConfig(num_shards=NUM_SHARDS, backend="serial"),
         algorithms=("mttd", "greedy"),
     )
     print(f"\n{report.summary()}")
     assert report.matched
 
-    coordinator.close()
+    sharded.close()
 
 
 if __name__ == "__main__":

@@ -24,10 +24,11 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro import (
-    KSIRProcessor,
+    EngineConfig,
+    KSIREngine,
     ProcessorConfig,
     ScoringConfig,
-    ServiceEngine,
+    ServiceConfig,
     SyntheticStreamGenerator,
 )
 from repro.datasets.profiles import get_profile
@@ -50,16 +51,17 @@ NUM_MONITORS = 30
 
 def main() -> None:
     dataset = SyntheticStreamGenerator(PROFILE, seed=11).generate()
-    processor = KSIRProcessor(
-        dataset.topic_model,
-        ProcessorConfig(
+    config = EngineConfig(
+        backend="service",
+        processor=ProcessorConfig(
             window_length=4 * 3600,
             bucket_length=900,
             scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
         ),
+        service=ServiceConfig(max_workers=4),
     )
 
-    with ServiceEngine(processor, max_workers=4) as engine:
+    with KSIREngine(dataset.topic_model, config) as engine:
         # A population of topic monitors with mixed per-query options.
         for user in range(NUM_MONITORS):
             topic = user % PROFILE.num_topics
@@ -83,7 +85,7 @@ def main() -> None:
             ttl_buckets=8,
         )
 
-        engine.serve_stream(dataset.stream)
+        engine.process_stream(dataset.stream)
 
         print(engine.report())
         print()
@@ -98,7 +100,8 @@ def main() -> None:
                 f"algorithm={result.algorithm} stale={standing_result.staleness_buckets} "
                 f"buckets (evaluated {standing_result.evaluations}x)"
             )
-        assert "breaking-soccer" not in engine.registry, "TTL query should have aged out"
+        registry = engine.service_engine.registry
+        assert "breaking-soccer" not in registry, "TTL query should have aged out"
         print("\nbreaking-soccer aged out of the registry after its TTL, as configured.")
 
 

@@ -11,18 +11,36 @@ Quickstart
 ----------
 
 >>> from repro import (
-...     KSIRProcessor, ProcessorConfig, ScoringConfig, SyntheticStreamGenerator,
+...     EngineConfig, KSIREngine, ProcessorConfig, SyntheticStreamGenerator,
 ... )
 >>> generator = SyntheticStreamGenerator.from_profile("twitter-small", seed=7)
 >>> dataset = generator.generate()
->>> processor = KSIRProcessor(dataset.topic_model, ProcessorConfig(
-...     window_length=6 * 3600, bucket_length=900))
->>> processor.process_stream(dataset.stream)
->>> result = processor.query(dataset.make_query(k=5, keywords=["music"]))
+>>> engine = KSIREngine(dataset.topic_model, EngineConfig(
+...     processor=ProcessorConfig(window_length=6 * 3600, bucket_length=900)))
+>>> engine.process_stream(dataset.stream)
+>>> result = engine.query(dataset.make_query(k=5, keywords=["music"]))
 >>> len(result) <= 5
 True
+
+The same engine runs sharded (``EngineConfig(backend="sharded")``) or as
+a standing-query service (``backend="service"``), and can be persisted
+mid-stream with ``engine.save(path)`` / ``KSIREngine.load(path)``.
 """
 
+from repro.api import (
+    CheckpointError,
+    EngineConfig,
+    ExecutionBackend,
+    InferenceConfig,
+    KSIREngine,
+    LocalBackend,
+    ServiceBackend,
+    ServiceConfig,
+    ShardedBackend,
+    backend_names,
+    create_backend,
+    register_backend,
+)
 from repro.cluster import (
     ClusterConfig,
     ClusterCoordinator,
@@ -70,8 +88,20 @@ __all__ = [
     "ActiveWindow",
     "BitermTopicModel",
     "CELF",
+    "CheckpointError",
     "ClusterConfig",
     "ClusterCoordinator",
+    "EngineConfig",
+    "ExecutionBackend",
+    "InferenceConfig",
+    "KSIREngine",
+    "LocalBackend",
+    "ServiceBackend",
+    "ServiceConfig",
+    "ShardedBackend",
+    "backend_names",
+    "create_backend",
+    "register_backend",
     "DATASET_PROFILES",
     "DatasetProfile",
     "GreedySelection",

@@ -1,0 +1,159 @@
+"""The versioned on-disk checkpoint format of :class:`~repro.api.engine.KSIREngine`.
+
+A checkpoint is a directory:
+
+* ``MANIFEST.json`` — format marker, format version, the engine
+  configuration (:meth:`~repro.api.config.EngineConfig.to_dict`), the
+  backend name and the library version that wrote it;
+* ``topic_model.npz`` — the topic-model oracle (reloadable via
+  :meth:`~repro.topics.model.MatrixTopicModel.load`);
+* ``state.json`` — the execution backend's ``state_dict``: active window
+  (elements included), ranked lists verbatim, stream counters, and — for
+  service engines — the standing-query registry and cached results.
+
+The manifest is validated before any state is touched: an unknown format
+marker or a newer format version fails with a clear error instead of a
+half-restored engine.  This module only knows about files; constructing
+the restored engine lives in :meth:`KSIREngine.load`, which keeps the two
+modules import-cycle-free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.api.config import EngineConfig
+from repro.topics.model import MatrixTopicModel, TopicModel
+
+#: Format marker stored in every manifest.
+CHECKPOINT_FORMAT = "ksir-engine-checkpoint"
+
+#: Current checkpoint format version.  Readers accept any version up to
+#: this one; writers always emit the current version.
+CHECKPOINT_VERSION = 1
+
+MANIFEST_FILE = "MANIFEST.json"
+MODEL_FILE = "topic_model.npz"
+STATE_FILE = "state.json"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint directory is missing, malformed or incompatible."""
+
+
+@dataclass(frozen=True)
+class CheckpointPayload:
+    """Everything read back from a checkpoint directory."""
+
+    version: int
+    backend: str
+    config: EngineConfig
+    topic_model: MatrixTopicModel
+    state: Dict[str, Any]
+    library_version: str
+
+
+def _json_default(value: object) -> object:
+    """Coerce numpy scalars that may hide inside state dictionaries."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        coerced: object = item()
+        return coerced
+    raise TypeError(f"{type(value).__name__} is not JSON serialisable")
+
+
+def _library_version() -> str:
+    try:  # Imported lazily: repro/__init__ imports this package.
+        from repro import __version__
+
+        return str(__version__)
+    except Exception:  # pragma: no cover - only during partial imports
+        return "unknown"
+
+
+def write_checkpoint(
+    path: Union[str, Path],
+    backend_name: str,
+    config: EngineConfig,
+    topic_model: TopicModel,
+    state: Dict[str, Any],
+) -> Path:
+    """Write a checkpoint directory; returns the directory path.
+
+    Safe to overwrite an existing checkpoint in place (the single-writer
+    case): any stale manifest is removed *before* the data files are
+    rewritten, and the new manifest lands last via an atomic rename — so
+    a crash mid-save leaves a directory that fails validation rather
+    than one that validates against mismatched state.
+    """
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest_path = directory / MANIFEST_FILE
+    # Invalidate any previous checkpoint at this path first: a torn
+    # rewrite must never leave an old manifest validating new state.
+    manifest_path.unlink(missing_ok=True)
+    topic_model.save(directory / MODEL_FILE)
+    with open(directory / STATE_FILE, "w", encoding="utf-8") as handle:
+        json.dump(state, handle, default=_json_default)
+    manifest = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "backend": backend_name,
+        "config": config.to_dict(),
+        "library_version": _library_version(),
+    }
+    scratch = directory / (MANIFEST_FILE + ".tmp")
+    with open(scratch, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    os.replace(scratch, manifest_path)
+    return directory
+
+
+def read_checkpoint(path: Union[str, Path]) -> CheckpointPayload:
+    """Read and validate a checkpoint directory."""
+    directory = Path(path)
+    manifest_path = directory / MANIFEST_FILE
+    if not manifest_path.exists():
+        raise CheckpointError(
+            f"{directory} is not a k-SIR checkpoint (missing {MANIFEST_FILE})"
+        )
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"{manifest_path} is corrupt: {error}") from error
+    if manifest.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{directory} has format marker {manifest.get('format')!r}, "
+            f"expected {CHECKPOINT_FORMAT!r}"
+        )
+    version = int(manifest.get("version", 0))
+    if not 1 <= version <= CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint format version {version} is not supported "
+            f"(this library reads versions 1..{CHECKPOINT_VERSION})"
+        )
+    for required in (MODEL_FILE, STATE_FILE):
+        if not (directory / required).exists():
+            raise CheckpointError(f"{directory} is missing {required}")
+    config = EngineConfig.from_dict(manifest["config"])
+    topic_model = MatrixTopicModel.load(directory / MODEL_FILE)
+    try:
+        with open(directory / STATE_FILE, "r", encoding="utf-8") as handle:
+            state = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"{directory / STATE_FILE} is corrupt: {error}"
+        ) from error
+    return CheckpointPayload(
+        version=version,
+        backend=str(manifest["backend"]),
+        config=config,
+        topic_model=topic_model,
+        state=state,
+        library_version=str(manifest.get("library_version", "unknown")),
+    )

@@ -23,8 +23,9 @@ from typing import Any, Callable, Mapping, Tuple
 
 import numpy as np
 
+from repro.api import EngineConfig, KSIREngine, LocalBackend, ServiceConfig
 from repro.bench.spec import BenchSpec, Outcome, Scenario, TierPolicy, register
-from repro.core.processor import KSIRProcessor, ProcessorConfig
+from repro.core.processor import ProcessorConfig
 from repro.core.scoring import ScoringConfig
 from repro.datasets.profiles import get_profile
 from repro.datasets.synthetic import SyntheticStreamGenerator
@@ -64,22 +65,31 @@ def _stream_update_setup(params: Mapping[str, Any], seed: int) -> Callable[[], O
         params["dataset"], seed, params.get("max_buckets", 0)
     )
     config = replace(config, batched_ingest=params["batched"])
+    engine_config = EngineConfig(processor=config)
     elements = sum(len(bucket) for bucket in buckets)
 
     def measured() -> Outcome:
-        processor = KSIRProcessor(dataset.topic_model, config)
+        engine = KSIREngine(dataset.topic_model, engine_config)
         for bucket in buckets:
-            processor.process_bucket(bucket.elements, bucket.end_time)
-        return Outcome(units=elements, value=processor)
+            engine.ingest_bucket(bucket.elements, bucket.end_time)
+        return Outcome(units=elements, value=engine)
 
     return measured
+
+
+def _engine_ranked_lists(engine: KSIREngine):
+    """The single-node ranked-list index behind a facade engine."""
+    backend = engine.backend
+    assert isinstance(backend, LocalBackend)
+    return backend.processor.ranked_lists
 
 
 def _stream_update_check(values: Mapping[str, Any], report: Any) -> None:
     sequential = values["sequential"]
     batched = values["batched"]
     # The two paths must leave identical ranked lists (scores within 1e-9).
-    index_a, index_b = sequential.ranked_lists, batched.ranked_lists
+    index_a = _engine_ranked_lists(sequential)
+    index_b = _engine_ranked_lists(batched)
     assert index_a.num_topics == index_b.num_topics
     for topic in range(index_a.num_topics):
         items_a = dict(index_a.items(topic))
@@ -206,28 +216,30 @@ def _service_dataset(num_elements: int, num_topics: int, seed: int):
 
 
 def _service_setup(params: Mapping[str, Any], seed: int) -> Callable[[], Outcome]:
-    from repro.service import ServiceEngine
-
     dataset = _service_dataset(params["elements"], params["topics"], seed)
-    config = ProcessorConfig(
-        window_length=6 * 3600,
-        bucket_length=450,
-        scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
+    engine_config = EngineConfig(
+        backend="service",
+        processor=ProcessorConfig(
+            window_length=6 * 3600,
+            bucket_length=450,
+            scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
+        ),
+        service=ServiceConfig(max_workers=1, incremental=params["incremental"]),
     )
-    incremental = params["incremental"]
     num_queries = params["queries"]
 
     def measured() -> Outcome:
-        processor = KSIRProcessor(dataset.topic_model, config)
-        with ServiceEngine(processor, incremental=incremental, max_workers=1) as engine:
+        with KSIREngine(dataset.topic_model, engine_config) as engine:
             for index in range(num_queries):
                 engine.register(
                     dataset.make_query(k=5, topic=index % params["topics"]),
                     algorithm="mttd",
                     epsilon=0.1,
                 )
-            engine.serve_stream(dataset.stream)
-            metrics = engine.metrics
+            engine.process_stream(dataset.stream)
+            service = engine.service_engine
+            assert service is not None
+            metrics = service.metrics
         return Outcome(
             units=metrics.opportunities,
             value=metrics,
@@ -308,7 +320,7 @@ def _cluster_dataset(tiny: bool, seed: int):
 
 
 def _cluster_setup(params: Mapping[str, Any], seed: int) -> Callable[[], Outcome]:
-    from repro.cluster import ClusterConfig, ClusterCoordinator
+    from repro.cluster import ClusterConfig
 
     dataset, queries = _cluster_dataset(params["tiny"], seed)
     config = ProcessorConfig(
@@ -321,24 +333,27 @@ def _cluster_setup(params: Mapping[str, Any], seed: int) -> Callable[[], Outcome
 
     def measured() -> Outcome:
         if num_shards <= 1:
-            backend = KSIRProcessor(dataset.topic_model, config)
-            backend.process_stream(dataset.stream)
-            busy = backend.ingest_timer.total_ms / 1000.0
-            aggregate = backend.elements_processed / max(1e-9, busy)
-            routed = backend.elements_processed
+            engine = KSIREngine(dataset.topic_model, EngineConfig(processor=config))
+            engine.process_stream(dataset.stream)
+            backend = engine.backend
+            assert isinstance(backend, LocalBackend)
+            busy = backend.processor.ingest_timer.total_ms / 1000.0
+            aggregate = engine.elements_processed / max(1e-9, busy)
+            routed = engine.elements_processed
             first = tuple(
-                sorted(backend.query(queries[0], algorithm="mttd", epsilon=0.1).element_ids)
+                sorted(engine.query(queries[0], algorithm="mttd", epsilon=0.1).element_ids)
             )
             for query in queries[1:]:
-                backend.query(query, algorithm="mttd", epsilon=0.1)
+                engine.query(query, algorithm="mttd", epsilon=0.1)
         else:
-            with ClusterCoordinator(
-                dataset.topic_model,
-                config,
+            cluster_config = EngineConfig(
+                backend="sharded",
+                processor=config,
                 cluster=ClusterConfig(num_shards=num_shards, backend="serial"),
-            ) as coordinator:
+            )
+            with KSIREngine(dataset.topic_model, cluster_config) as coordinator:
                 coordinator.process_stream(dataset.stream)
-                stats = coordinator.shard_stats()
+                stats = coordinator.backend.coordinator.shard_stats()
                 busy = sum(stat.ingest_seconds for stat in stats)
                 aggregate = sum(
                     stat.home_elements / max(1e-9, stat.ingest_seconds) for stat in stats

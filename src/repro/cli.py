@@ -28,11 +28,8 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
-from repro.cluster import BACKEND_CHOICES, ClusterConfig, ClusterCoordinator
+from repro.api import EngineConfig, KSIREngine, LocalBackend
 from repro.core.algorithms import ALGORITHM_REGISTRY
-from repro.core.processor import KSIRProcessor, ProcessorConfig
-from repro.core.query import KSIRQuery
-from repro.core.scoring import ScoringConfig
 from repro.datasets.loaders import load_stream_jsonl, save_stream_jsonl
 from repro.datasets.profiles import profile_names
 from repro.datasets.synthetic import SyntheticStreamGenerator
@@ -40,8 +37,6 @@ from repro.evaluation.workload import WorkloadGenerator
 from repro.experiments import figures as figure_experiments
 from repro.experiments import tables as table_experiments
 from repro.experiments.config import EffectivenessConfig, EfficiencyConfig
-from repro.service import ServiceEngine
-from repro.topics.inference import TopicInferencer, infer_query_vector
 from repro.topics.model import MatrixTopicModel
 
 #: Experiments runnable from the CLI, mapped to zero-argument-ish callables.
@@ -72,36 +67,6 @@ def _canonical_algorithm_names() -> tuple:
 #: Algorithm names accepted by ``query``/``serve`` (derived from the
 #: registry, so newly registered algorithms appear automatically).
 ALGORITHM_CHOICES = _canonical_algorithm_names()
-
-
-def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
-    """The shared ``--backend``/``--shards`` execution-layer options."""
-    parser.add_argument("--backend", default="single", choices=["single", "cluster"],
-                        help="execution backend: one processor or a sharded cluster")
-    parser.add_argument("--shards", type=int, default=4,
-                        help="number of shards (cluster backend only)")
-    parser.add_argument("--partitioner", default="hash",
-                        choices=["hash", "round-robin", "load-balanced"],
-                        help="element partitioning strategy (cluster backend only)")
-    parser.add_argument("--fanout", default="thread", choices=list(BACKEND_CHOICES),
-                        help="cluster fan-out executor (thread pool, serial, "
-                             "or one process per shard)")
-
-
-def _make_execution_backend(args: argparse.Namespace, topic_model, config, inferencer):
-    """Build the processor or cluster coordinator the subcommand runs on."""
-    if args.backend == "cluster":
-        return ClusterCoordinator(
-            topic_model,
-            config,
-            cluster=ClusterConfig(
-                num_shards=args.shards,
-                partitioner=args.partitioner,
-                backend=args.fanout,
-            ),
-            inferencer=inferencer,
-        )
-    return KSIRProcessor(topic_model, config, inferencer=inferencer)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -136,12 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--k", type=int, default=10)
     query.add_argument("--algorithm", default="mttd", choices=ALGORITHM_CHOICES)
     query.add_argument("--epsilon", type=float, default=0.1)
-    query.add_argument("--window-hours", type=int, default=24)
-    query.add_argument("--bucket-minutes", type=int, default=15)
-    query.add_argument("--lambda-weight", type=float, default=0.5)
-    query.add_argument("--eta", type=float, default=1.5)
     query.add_argument("--seed", type=int, default=2019)
-    _add_execution_arguments(query)
+    # Engine options (--backend/--shards/... and --window-hours/...) come
+    # from one shared helper, so subcommands cannot drift apart.
+    EngineConfig.add_arguments(query)
 
     serve = subparsers.add_parser(
         "serve", help="replay a stream while maintaining standing k-SIR queries"
@@ -155,21 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--mode", default="topical",
                        choices=["topical", "frequency", "uniform"],
                        help="standing-query keyword sampling mode")
-    serve.add_argument("--window-hours", type=int, default=24)
-    serve.add_argument("--bucket-minutes", type=int, default=15)
-    serve.add_argument("--lambda-weight", type=float, default=0.5)
-    serve.add_argument("--eta", type=float, default=1.5)
-    serve.add_argument("--workers", type=int, default=4,
-                       help="evaluator thread-pool size")
     serve.add_argument("--ttl-buckets", type=int, default=None,
                        help="drop standing queries after this many buckets")
-    serve.add_argument("--naive", action="store_true",
-                       help="re-run every standing query on every bucket "
-                            "(disables incremental maintenance)")
     serve.add_argument("--top", type=int, default=3,
                        help="standing results to print after the replay")
     serve.add_argument("--seed", type=int, default=2019)
-    _add_execution_arguments(serve)
+    EngineConfig.add_arguments(serve, service=True)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures"
@@ -282,38 +236,34 @@ def run_query(args: argparse.Namespace) -> int:
             return 2
         stream = load_stream_jsonl(args.stream)
         model = MatrixTopicModel.load(args.model)
-        inferencer = TopicInferencer(model, alpha=0.05, sparsity_threshold=0.05)
     else:
         dataset = SyntheticStreamGenerator.from_profile(args.profile, seed=args.seed).generate()
         stream = dataset.stream
         model = dataset.topic_model
-        inferencer = dataset.inferencer
 
-    config = ProcessorConfig(
-        window_length=args.window_hours * 3600,
-        bucket_length=args.bucket_minutes * 60,
-        scoring=ScoringConfig(lambda_weight=args.lambda_weight, eta=args.eta),
-    )
-    backend = _make_execution_backend(args, model, config, inferencer)
-    try:
-        backend.process_stream(stream)
+    # Both input paths share the engine's inference settings (from
+    # EngineConfig.from_args), so stream-file and profile runs infer
+    # query vectors identically.
+    config = EngineConfig.from_args(args)
+    with KSIREngine(model, config) as engine:
+        engine.process_stream(stream)
+        cluster = engine.config.cluster
         where = (
-            f" across {backend.num_shards} shards"
-            if isinstance(backend, ClusterCoordinator)
-            else ""
+            f" across {cluster.num_shards} shards" if engine.config.is_sharded else ""
         )
         _print(
-            f"replayed {backend.elements_processed} elements{where}; "
-            f"{backend.active_count} active at time {backend.current_time}"
+            f"replayed {engine.elements_processed} elements{where}; "
+            f"{engine.active_count} active at time {engine.current_time}"
         )
 
-        vector = infer_query_vector(model, args.keywords, inferencer=inferencer)
-        query = KSIRQuery(k=args.k, vector=vector, keywords=tuple(args.keywords))
-        result = backend.query(query, algorithm=args.algorithm, epsilon=args.epsilon)
+        result = engine.query_keywords(
+            args.keywords, k=args.k, algorithm=args.algorithm, epsilon=args.epsilon
+        )
         _print(result.summary())
         elements_by_id = {element.element_id: element for element in stream}
-        if isinstance(backend, KSIRProcessor):
-            follower_count = backend.window.follower_count
+        backend = engine.backend
+        if isinstance(backend, LocalBackend):
+            follower_count = backend.processor.window.follower_count
         else:
             # Shard windows are not exposed here; show the stream-wide
             # in-degree instead (one pass, shared by every result line).
@@ -328,57 +278,41 @@ def run_query(args: argparse.Namespace) -> int:
                 f"  e{element_id} ({follower_count(element_id)} refs): "
                 + " ".join(element.tokens[:10])
             )
-    finally:
-        if isinstance(backend, ClusterCoordinator):
-            backend.close()
     return 0
 
 
 def run_serve(args: argparse.Namespace) -> int:
     dataset = SyntheticStreamGenerator.from_profile(args.profile, seed=args.seed).generate()
-    config = ProcessorConfig(
-        window_length=args.window_hours * 3600,
-        bucket_length=args.bucket_minutes * 60,
-        scoring=ScoringConfig(lambda_weight=args.lambda_weight, eta=args.eta),
-    )
-    backend = _make_execution_backend(
-        args, dataset.topic_model, config, dataset.inferencer
-    )
+    config = EngineConfig.from_args(args, service=True)
     generator = WorkloadGenerator(
         dataset, k=args.k, mode=args.mode, seed=args.seed + 17
     )
-    try:
-        with ServiceEngine(
-            backend,
-            max_workers=args.workers,
-            incremental=not args.naive,
-        ) as engine:
-            for _ in range(args.queries):
-                engine.register(
-                    generator.generate_query(),
-                    algorithm=args.algorithm,
-                    epsilon=args.epsilon,
-                    ttl_buckets=args.ttl_buckets,
-                )
-            engine.serve_stream(dataset.stream)
-            _print(engine.report())
+    with KSIREngine(dataset.topic_model, config) as engine:
+        for _ in range(args.queries):
+            engine.register(
+                generator.generate_query(),
+                algorithm=args.algorithm,
+                epsilon=args.epsilon,
+                ttl_buckets=args.ttl_buckets,
+            )
+        engine.process_stream(dataset.stream)
+        _print(engine.report())
 
-            shown = 0
-            for query_id, standing_result in engine.results().items():
-                if shown >= max(0, args.top):
-                    break
-                standing = engine.registry.get(query_id)
-                keywords = " ".join(standing.query.keywords) or "<no keywords>"
-                result = standing_result.result
-                _print(
-                    f"  {query_id} [{keywords}]: |S|={len(result)} "
-                    f"score={result.score:.4f} stale={standing_result.staleness_buckets} "
-                    f"buckets, evaluated {standing_result.evaluations}x"
-                )
-                shown += 1
-    finally:
-        if isinstance(backend, ClusterCoordinator):
-            backend.close()
+        service = engine.service_engine
+        assert service is not None  # the service backend always has one
+        shown = 0
+        for query_id, standing_result in engine.results().items():
+            if shown >= max(0, args.top):
+                break
+            standing = service.registry.get(query_id)
+            keywords = " ".join(standing.query.keywords) or "<no keywords>"
+            result = standing_result.result
+            _print(
+                f"  {query_id} [{keywords}]: |S|={len(result)} "
+                f"score={result.score:.4f} stale={standing_result.staleness_buckets} "
+                f"buckets, evaluated {standing_result.evaluations}x"
+            )
+            shown += 1
     return 0
 
 

@@ -41,7 +41,7 @@ from __future__ import annotations
 import math
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -49,7 +49,7 @@ from repro.core.algorithms import KSIRAlgorithm
 from repro.core.element import SocialElement
 from repro.core.processor import ProcessorConfig
 from repro.core.query import KSIRQuery, QueryResult
-from repro.core.scoring import KSIRObjective
+from repro.core.scoring import ElementProfile, KSIRObjective, ScoringContext
 from repro.core.stream import SocialStream, replay_stream
 from repro.cluster.merge import merge_candidate_pools
 from repro.cluster.partition import RoutedBucket, ShardPlanner
@@ -405,6 +405,84 @@ class ClusterCoordinator:
             active_elements=self.active_count,
             extras=extras,
         )
+
+    def snapshot(self) -> ScoringContext:
+        """A frozen scoring snapshot of the whole cluster's active window.
+
+        Each element's profile and follower view are taken from its *home*
+        shard (which sees the complete follower set, because every follower
+        is routed there), so the merged context equals the one a single
+        node would build over the same stream.  Requires in-process shard
+        workers; the process fan-out keeps its windows in worker processes
+        and does not support global snapshots.
+        """
+        workers = self.workers
+        if not workers:
+            raise RuntimeError(
+                "global snapshots are not available on the process fan-out "
+                "backend (shard windows live in worker processes)"
+            )
+        profiles: Dict[int, ElementProfile] = {}
+        followers: Dict[int, Tuple[int, ...]] = {}
+        for worker in workers:
+            processor = worker.processor
+            window = processor.window
+            for element_id in window.active_ids():
+                if not processor.is_home(element_id):
+                    continue
+                profiles[element_id] = processor.profile(element_id)
+                followers[element_id] = window.followers_of(element_id)
+        return ScoringContext(
+            profiles=profiles,
+            followers=followers,
+            config=self._config.scoring,
+            time=self._current_time,
+        )
+
+    # -- checkpoint state --------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable snapshot of the whole cluster.
+
+        Serialises the coordinator counters, the planner (ownership table
+        plus strategy state) and every in-process shard worker.  The
+        process fan-out backend is not checkpointable: its shard state
+        lives in worker processes.
+        """
+        workers = self.workers
+        if not workers:
+            raise RuntimeError(
+                "checkpointing is not available on the process fan-out backend"
+            )
+        return {
+            "buckets_processed": self._buckets_processed,
+            "elements_processed": self._elements_processed,
+            "current_time": self._current_time,
+            "planner": self._planner.state_dict(),
+            "workers": [worker.state_dict() for worker in workers],
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this coordinator."""
+        workers = self.workers
+        if not workers:
+            raise RuntimeError(
+                "checkpoint restore is not available on the process fan-out backend"
+            )
+        shard_states = state["workers"]
+        if len(shard_states) != len(workers):
+            raise ValueError(
+                f"checkpoint holds {len(shard_states)} shards, the coordinator "
+                f"is configured for {len(workers)}"
+            )
+        self._buckets_processed = int(state["buckets_processed"])
+        self._elements_processed = int(state["elements_processed"])
+        current_time = state["current_time"]
+        self._current_time = None if current_time is None else int(current_time)
+        self._active_cache = None
+        self._planner.restore_state(state["planner"])
+        for worker, shard_state in zip(workers, shard_states):
+            worker.restore_state(shard_state)
 
     # -- lifecycle ----------------------------------------------------------------------
 

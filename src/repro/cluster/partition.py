@@ -24,7 +24,7 @@ Three :class:`PartitionStrategy` implementations are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.element import SocialElement
 from repro.utils.validation import require_positive
@@ -45,6 +45,13 @@ class PartitionStrategy:
     def assign(self, element: SocialElement, num_shards: int) -> int:
         """The home shard (``0 .. num_shards-1``) of a new element."""
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serialisable strategy state (empty for stateless strategies)."""
+        return {}
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot (no-op for stateless ones)."""
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -84,6 +91,12 @@ class RoundRobinPartitioner(PartitionStrategy):
         self._next += 1
         return shard
 
+    def state_dict(self) -> Dict[str, object]:
+        return {"next": self._next}
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        self._next = int(state.get("next", 0))
+
 
 class LoadBalancedPartitioner(PartitionStrategy):
     """Assign each element to the least-loaded shard by observed mass.
@@ -111,6 +124,12 @@ class LoadBalancedPartitioner(PartitionStrategy):
     def loads(self) -> Tuple[float, ...]:
         """The accumulated per-shard load masses."""
         return tuple(self._loads)
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"loads": list(self._loads)}
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        self._loads = [float(load) for load in state.get("loads", ())]
 
 
 PARTITIONER_REGISTRY = {
@@ -255,6 +274,36 @@ class ShardPlanner:
             self._owners.pop(element_id, None)
             del self._last_activity[element_id]
         return len(stale)
+
+    # -- checkpoint state -------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable snapshot of ownership and strategy state."""
+        return {
+            "num_shards": self._num_shards,
+            "strategy": self._strategy.name,
+            "strategy_state": self._strategy.state_dict(),
+            "owners": sorted(self._owners.items()),
+            "last_activity": sorted(self._last_activity.items()),
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this planner."""
+        if int(state["num_shards"]) != self._num_shards:
+            raise ValueError(
+                f"checkpoint was taken with {state['num_shards']} shards, the "
+                f"planner is configured for {self._num_shards}"
+            )
+        if str(state["strategy"]) != self._strategy.name:
+            raise ValueError(
+                f"checkpoint used partitioner {state['strategy']!r}, the planner "
+                f"is configured with {self._strategy.name!r}"
+            )
+        self._strategy.restore_state(state["strategy_state"])
+        self._owners = {int(eid): int(shard) for eid, shard in state["owners"]}
+        self._last_activity = {
+            int(eid): int(time) for eid, time in state["last_activity"]
+        }
 
     def route_bucket(
         self, elements: Sequence[SocialElement], with_owners: bool = False

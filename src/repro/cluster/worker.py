@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from repro.core.processor import KSIRProcessor, ProcessorConfig
 from repro.core.scoring import ElementProfile
 from repro.topics.inference import TopicInferencer
 from repro.topics.model import TopicModel
+from repro.utils.deprecation import library_managed_construction
 
 
 @dataclass(frozen=True)
@@ -92,9 +93,10 @@ class ShardWorker:
         home_filter: Optional[Callable[[int], bool]] = None,
     ) -> None:
         self._shard_id = int(shard_id)
-        self._processor = KSIRProcessor(
-            topic_model, config, inferencer=inferencer, home_filter=home_filter
-        )
+        with library_managed_construction():
+            self._processor = KSIRProcessor(
+                topic_model, config, inferencer=inferencer, home_filter=home_filter
+            )
         self._home_ingested = 0
         self._foreign_ingested = 0
         self._exports = 0
@@ -159,6 +161,32 @@ class ShardWorker:
     def take_dirty_topics(self) -> Tuple[int, ...]:
         """Drain the shard's dirty-topic set (see RankedListIndex)."""
         return self._processor.ranked_lists.take_dirty_topics()
+
+    # -- checkpoint state -------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable snapshot of the shard (processor + counters)."""
+        return {
+            "shard_id": self._shard_id,
+            "home_ingested": self._home_ingested,
+            "foreign_ingested": self._foreign_ingested,
+            "exports": self._exports,
+            "exported_candidates": self._exported_candidates,
+            "processor": self._processor.state_dict(),
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this worker."""
+        if int(state["shard_id"]) != self._shard_id:
+            raise ValueError(
+                f"checkpoint shard {state['shard_id']} restored onto shard "
+                f"{self._shard_id}"
+            )
+        self._home_ingested = int(state["home_ingested"])
+        self._foreign_ingested = int(state["foreign_ingested"])
+        self._exports = int(state["exports"])
+        self._exported_candidates = int(state["exported_candidates"])
+        self._processor.restore_state(state["processor"])
 
     # -- gather: candidate export -----------------------------------------------------
 

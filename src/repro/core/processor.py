@@ -15,7 +15,7 @@ The :class:`KSIRProcessor` ties everything together:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.core.stream import SocialStream, replay_stream
 from repro.core.window import ActiveWindow
 from repro.topics.inference import TopicInferencer
 from repro.topics.model import TopicModel
+from repro.utils.deprecation import warn_deprecated_construction
 from repro.utils.timing import StopWatch, TimingStats
 from repro.utils.validation import require_positive
 
@@ -106,6 +107,10 @@ class KSIRProcessor:
         inferencer: Optional[TopicInferencer] = None,
         home_filter: Optional[Callable[[int], bool]] = None,
     ) -> None:
+        warn_deprecated_construction(
+            "Constructing KSIRProcessor directly",
+            'repro.api.KSIREngine(topic_model, EngineConfig(backend="local"))',
+        )
         self._model = topic_model
         self._config = config or ProcessorConfig()
         self._inferencer = inferencer or TopicInferencer(topic_model)
@@ -484,3 +489,42 @@ class KSIRProcessor:
     def result_elements(self, result: QueryResult) -> Sequence[SocialElement]:
         """Materialise the :class:`SocialElement` objects of a query result."""
         return tuple(self._window.get(element_id) for element_id in result.element_ids)
+
+    # -- checkpoint state --------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable snapshot sufficient to resume ingest mid-stream.
+
+        Captures the active window (elements included — they carry their
+        inferred topic distributions) and the ranked lists verbatim, plus
+        the stream counters.  Element profiles are *not* serialised: they
+        are a pure function of the archived elements, the topic model and
+        the scoring configuration, so :meth:`restore_state` rebuilds them
+        bit-exactly through the profile builder.  Timing statistics are
+        ephemeral measurement state and start fresh after a restore.
+        """
+        return {
+            "elements_processed": self._elements_processed,
+            "buckets_processed": self._buckets_processed,
+            "window": self._window.state_dict(),
+            "ranked_lists": self._index.state_dict(),
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this processor.
+
+        The processor must have been constructed with an equivalent
+        configuration and topic model (the checkpoint layer persists both
+        alongside the state).  Home filters are intentionally *not* part of
+        the state: a sharded restore re-installs them at construction.
+        """
+        self._elements_processed = int(state["elements_processed"])
+        self._buckets_processed = int(state["buckets_processed"])
+        self._window.restore_state(state["window"])
+        self._index.restore_state(state["ranked_lists"])
+        self._snapshot_cache = None
+        active = [self._window.get(eid) for eid in sorted(self._window.active_ids())]
+        self._profiles = {
+            element.element_id: profile
+            for element, profile in zip(active, self._builder.build_many(active))
+        }

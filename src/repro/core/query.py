@@ -82,6 +82,26 @@ class KSIRQuery:
         """Indices of topics with positive interest (``d`` of them)."""
         return tuple(int(i) for i in np.nonzero(self.vector > 0.0)[0])
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable dictionary (used by the checkpoint layer)."""
+        return {
+            "k": self.k,
+            "vector": [float(value) for value in self.vector],
+            "time": self.time,
+            "keywords": list(self.keywords),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "KSIRQuery":
+        """Inverse of :meth:`to_dict`."""
+        time = payload.get("time")
+        return cls(
+            k=int(payload["k"]),
+            vector=np.asarray(payload["vector"], dtype=float),
+            time=None if time is None else int(time),
+            keywords=tuple(str(word) for word in payload.get("keywords", ())),
+        )
+
 
 @dataclass
 class QueryResult:
@@ -136,4 +156,45 @@ class QueryResult:
             f"{self.algorithm}: |S|={len(self.element_ids)} score={self.score:.4f} "
             f"time={self.elapsed_ms:.2f}ms evaluated={self.evaluated_elements}"
             f"/{self.active_elements}"
+        )
+
+    def copy(self) -> "QueryResult":
+        """An independent copy (own ``extras`` dict).
+
+        The serving layer hands result objects across its cache boundary
+        through here, so callers can never mutate cached state.
+        """
+        return QueryResult(
+            element_ids=self.element_ids,
+            score=self.score,
+            algorithm=self.algorithm,
+            elapsed_ms=self.elapsed_ms,
+            evaluated_elements=self.evaluated_elements,
+            active_elements=self.active_elements,
+            extras=dict(self.extras),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable dictionary (used by the checkpoint layer)."""
+        return {
+            "element_ids": list(self.element_ids),
+            "score": float(self.score),
+            "algorithm": self.algorithm,
+            "elapsed_ms": float(self.elapsed_ms),
+            "evaluated_elements": int(self.evaluated_elements),
+            "active_elements": int(self.active_elements),
+            "extras": {str(key): float(value) for key, value in self.extras.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "QueryResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            element_ids=tuple(int(eid) for eid in payload["element_ids"]),
+            score=float(payload["score"]),
+            algorithm=str(payload["algorithm"]),
+            elapsed_ms=float(payload.get("elapsed_ms", 0.0)),
+            evaluated_elements=int(payload.get("evaluated_elements", 0)),
+            active_elements=int(payload.get("active_elements", 0)),
+            extras=dict(payload.get("extras", {})),
         )

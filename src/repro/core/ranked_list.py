@@ -308,6 +308,51 @@ class RankedListIndex:
             ranked.clear()
         self._last_activity.clear()
 
+    # -- checkpoint state -------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable snapshot of every stored tuple.
+
+        Scores are persisted verbatim (one entry per element: its activity
+        time plus its ``topic → δ_i(e)`` map) rather than re-derived from
+        profiles at restore time, so a restored index is bit-identical to
+        the saved one.  The dirty-topic set is saved too, because it is the
+        serving layer's incremental-scheduling state.
+        """
+        entries = []
+        for element_id in sorted(self._last_activity):
+            scores = self.scores_of(element_id)
+            entries.append(
+                [
+                    element_id,
+                    self._last_activity[element_id],
+                    sorted(scores.items()),
+                ]
+            )
+        return {
+            "num_topics": self._num_topics,
+            "entries": entries,
+            "dirty_topics": sorted(self._dirty_topics),
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Replace the index contents with a :meth:`state_dict` snapshot."""
+        if int(state["num_topics"]) != self._num_topics:
+            raise ValueError(
+                f"checkpoint has {state['num_topics']} topics, the index is "
+                f"configured for {self._num_topics}"
+            )
+        self.clear()
+        for element_id, activity_time, scores in state["entries"]:
+            self.insert_scores(
+                int(element_id),
+                {int(topic): float(score) for topic, score in scores},
+                activity_time=int(activity_time),
+            )
+        # insert_scores marked everything dirty; restore the saved set so
+        # the serving layer's scheduler resumes exactly where it left off.
+        self._dirty_topics = {int(topic) for topic in state["dirty_topics"]}
+
     # -- traversal ----------------------------------------------------------------------------
 
     def traversal(self, query_vector: np.ndarray) -> "RankedListTraversal":

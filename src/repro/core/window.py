@@ -14,7 +14,7 @@ the window.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.core.element import SocialElement
 
@@ -238,6 +238,64 @@ class ActiveWindow:
     def window_count(self) -> int:
         """``|W_t|``."""
         return len(self._window_members)
+
+    # -- checkpoint state --------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable snapshot of the full window state.
+
+        The archive is the superset of every live element (actives are
+        always archived first), so elements are serialised once, from the
+        archive, and the active/window/member structure is stored as id
+        lists.  Integer-keyed maps are stored as pair lists because JSON
+        object keys are strings.  :meth:`restore_state` is the inverse.
+        """
+        return {
+            "window_length": self._window_length,
+            "archive_horizon": self._archive_horizon,
+            "current_time": self._current_time,
+            "archive": [element.to_dict() for element in self._archive.values()],
+            "active_ids": sorted(self._elements),
+            "window_member_ids": sorted(self._window_members),
+            "last_activity": sorted(self._last_activity.items()),
+            "followers": [
+                [element_id, sorted(follower_ids)]
+                for element_id, follower_ids in sorted(self._followers.items())
+            ],
+            "touched_by_expiry": sorted(self._touched_by_expiry),
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Replace the window contents with a :meth:`state_dict` snapshot.
+
+        The receiving window must have been constructed with the same
+        ``window_length`` (the expiry semantics depend on it); a mismatch
+        raises ``ValueError`` instead of silently changing behaviour.
+        """
+        if int(state["window_length"]) != self._window_length:
+            raise ValueError(
+                f"checkpoint window_length {state['window_length']} does not match "
+                f"the configured window_length {self._window_length}"
+            )
+        archive = {
+            int(payload["element_id"]): SocialElement.from_dict(payload)
+            for payload in state["archive"]
+        }
+        current_time = state["current_time"]
+        self._current_time = None if current_time is None else int(current_time)
+        self._archive = archive
+        self._elements = {int(eid): archive[int(eid)] for eid in state["active_ids"]}
+        self._window_members = {
+            int(eid): archive[int(eid)] for eid in state["window_member_ids"]
+        }
+        self._last_activity = {
+            int(eid): int(time) for eid, time in state["last_activity"]
+        }
+        self._followers = {
+            int(eid): {int(fid) for fid in follower_ids}
+            for eid, follower_ids in state["followers"]
+        }
+        self._touched_by_expiry = {int(eid) for eid in state["touched_by_expiry"]}
 
     def validate(self) -> bool:
         """Check internal invariants (used by property-based tests)."""

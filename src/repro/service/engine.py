@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, Optional, Sequence, Union
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.core.algorithms import KSIRAlgorithm
@@ -43,6 +43,7 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.registry import QueryRegistry, StandingQuery
 from repro.service.scheduler import IncrementalScheduler, SchedulePlan
 from repro.service.snapshot_cache import SnapshotCache
+from repro.utils.deprecation import warn_deprecated_construction
 from repro.utils.timing import StopWatch
 
 
@@ -81,6 +82,30 @@ class StandingResult:
         """Whether the answer reflects the latest ingested bucket."""
         return self.staleness_buckets == 0
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable dictionary (used by the checkpoint layer)."""
+        return {
+            "query_id": self.query_id,
+            "result": self.result.to_dict(),
+            "evaluated_at_bucket": self.evaluated_at_bucket,
+            "evaluated_at_time": self.evaluated_at_time,
+            "evaluations": self.evaluations,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "StandingResult":
+        """Inverse of :meth:`to_dict` (staleness is recomputed on access)."""
+        evaluated_at_time = payload.get("evaluated_at_time")
+        return cls(
+            query_id=str(payload["query_id"]),
+            result=QueryResult.from_dict(payload["result"]),
+            evaluated_at_bucket=int(payload["evaluated_at_bucket"]),
+            evaluated_at_time=(
+                None if evaluated_at_time is None else int(evaluated_at_time)
+            ),
+            evaluations=int(payload.get("evaluations", 1)),
+        )
+
 
 class ServiceEngine:
     """Maintains many standing k-SIR queries over one shared sliding window."""
@@ -93,6 +118,10 @@ class ServiceEngine:
         max_workers: int = 4,
         incremental: bool = True,
     ) -> None:
+        warn_deprecated_construction(
+            "Constructing ServiceEngine directly",
+            'repro.api.KSIREngine(topic_model, EngineConfig(backend="service"))',
+        )
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         self._backend = backend
@@ -269,12 +298,22 @@ class ServiceEngine:
     # -- result access -------------------------------------------------------------------
 
     def result(self, query_id: str) -> Optional[StandingResult]:
-        """The cached answer of one standing query, with current staleness."""
+        """The cached answer of one standing query, with current staleness.
+
+        The returned record carries a *defensive copy* of the cached
+        :class:`~repro.core.query.QueryResult`: callers may mutate the
+        result they receive (e.g. annotate ``extras``) without corrupting
+        the engine's internal standing-result state.
+        """
         stored = self._results.get(query_id)
         if stored is None:
             return None
         staleness = self._backend.buckets_processed - stored.evaluated_at_bucket
-        return replace(stored, staleness_buckets=max(0, staleness))
+        return replace(
+            stored,
+            result=stored.result.copy(),
+            staleness_buckets=max(0, staleness),
+        )
 
     def results(self) -> Dict[str, StandingResult]:
         """Cached answers of every standing query that has been evaluated."""
@@ -382,6 +421,51 @@ class ServiceEngine:
             active_elements=context.active_count,
             extras=dict(outcome.extras),
         )
+
+    # -- checkpoint state --------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable snapshot of the serving state.
+
+        Covers the execution backend (processor or cluster), the
+        standing-query registry, the cached standing results and the
+        pending (never-evaluated) set.  Service metrics are measurement
+        state and restart from zero after a restore; solver instances are
+        re-resolved from the restored standing queries.
+        """
+        self._require_open()
+        return {
+            "incremental": self._incremental,
+            "backend": self._backend.state_dict(),
+            "registry": self._registry.state_dict(),
+            "results": [
+                stored.to_dict()
+                for _, stored in sorted(self._results.items())
+            ],
+            "pending": sorted(self._pending),
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this engine."""
+        self._require_open()
+        self._backend.restore_state(state["backend"])
+        self._registry.restore_state(state["registry"])
+        self._snapshot_cache_reset()
+        self._metrics = ServiceMetrics()
+        self._results = {}
+        self._solvers = {}
+        self._pending = {str(query_id) for query_id in state["pending"]}
+        for standing in self._registry:
+            self._solvers[standing.query_id] = self._resolve_standing(standing)
+        for payload in state["results"]:
+            stored = StandingResult.from_dict(payload)
+            if stored.query_id in self._registry:
+                self._results[stored.query_id] = stored
+
+    def _snapshot_cache_reset(self) -> None:
+        """Re-create the snapshot cache after the backend state changed."""
+        if not self._is_cluster:
+            self._snapshots = SnapshotCache(self._backend)
 
     # -- lifecycle ---------------------------------------------------------------------------
 

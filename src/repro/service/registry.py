@@ -12,7 +12,7 @@ proportional to the dirty topics rather than to the registry size.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
 
 from repro.core.query import KSIRQuery
 from repro.utils.validation import require_positive
@@ -71,6 +71,32 @@ class StandingQuery:
         if self.ttl_buckets is None:
             return False
         return bucket > self.registered_at_bucket + self.ttl_buckets
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable dictionary (used by the checkpoint layer)."""
+        return {
+            "query_id": self.query_id,
+            "query": self.query.to_dict(),
+            "algorithm": self.algorithm,
+            "epsilon": self.epsilon,
+            "ttl_buckets": self.ttl_buckets,
+            "registered_at_bucket": self.registered_at_bucket,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "StandingQuery":
+        """Inverse of :meth:`to_dict`."""
+        algorithm = payload.get("algorithm")
+        epsilon = payload.get("epsilon")
+        ttl_buckets = payload.get("ttl_buckets")
+        return cls(
+            query_id=str(payload["query_id"]),
+            query=KSIRQuery.from_dict(payload["query"]),
+            algorithm=None if algorithm is None else str(algorithm),
+            epsilon=None if epsilon is None else float(epsilon),
+            ttl_buckets=None if ttl_buckets is None else int(ttl_buckets),
+            registered_at_bucket=int(payload.get("registered_at_bucket", 0)),
+        )
 
 
 class QueryRegistry:
@@ -139,6 +165,26 @@ class QueryRegistry:
         for standing in expired:
             self.unregister(standing.query_id)
         return expired
+
+    # -- checkpoint state ---------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable snapshot of the registry (order preserved)."""
+        return {
+            "counter": self._counter,
+            "queries": [standing.to_dict() for standing in self._queries.values()],
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this registry."""
+        self._queries.clear()
+        self._by_topic.clear()
+        self._counter = int(state.get("counter", 0))
+        for payload in state["queries"]:
+            standing = StandingQuery.from_dict(payload)
+            self._queries[standing.query_id] = standing
+            for topic in standing.topics:
+                self._by_topic.setdefault(topic, set()).add(standing.query_id)
 
     # -- lookups -----------------------------------------------------------------------------
 

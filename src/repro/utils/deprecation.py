@@ -1,0 +1,61 @@
+"""Deprecation shims for the pre-facade construction surface.
+
+PR 4 introduced :class:`repro.api.KSIREngine` as the single public entry
+point; constructing :class:`~repro.core.processor.KSIRProcessor` or
+:class:`~repro.service.engine.ServiceEngine` directly still works but is
+deprecated.  The library itself builds those objects all the time (shard
+workers, execution-backend adapters, the experiment harness), so the
+warning must only fire for *user* construction: internal call sites wrap
+their constructions in :func:`library_managed_construction`, which
+suppresses the warning for the dynamic extent of the ``with`` block.
+
+A :class:`contextvars.ContextVar` carries the suppression depth, so the
+guard is re-entrant and safe under the thread pools the cluster and
+service layers use (each thread sees its own context).
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+_SUPPRESSION_DEPTH: ContextVar[int] = ContextVar(
+    "repro_library_managed_construction", default=0
+)
+
+
+@contextmanager
+def library_managed_construction() -> Iterator[None]:
+    """Suppress deprecated-construction warnings for internal call sites."""
+    token = _SUPPRESSION_DEPTH.set(_SUPPRESSION_DEPTH.get() + 1)
+    try:
+        yield
+    finally:
+        _SUPPRESSION_DEPTH.reset(token)
+
+
+def construction_warnings_suppressed() -> bool:
+    """Whether the caller is inside :func:`library_managed_construction`."""
+    return _SUPPRESSION_DEPTH.get() > 0
+
+
+def warn_deprecated_construction(
+    old: str, replacement: str, stacklevel: int = 3
+) -> None:
+    """Emit a :class:`DeprecationWarning` unless the library built the object.
+
+    ``old`` names the deprecated entry point, ``replacement`` the facade
+    call that supersedes it.  ``stacklevel`` defaults to 3 so the warning
+    points at the user's construction site (caller → ``__init__`` → here).
+    """
+    if construction_warnings_suppressed():
+        return
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} instead "
+        "(the old construction path keeps working and stays equivalent, "
+        "but new code should go through the repro.api facade)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -171,6 +171,48 @@ def paper_processor(paper_topic_model, paper_elements) -> KSIRProcessor:
 
 
 # ---------------------------------------------------------------------------
+# Random-instance helpers (shared by the api/cluster equivalence suites)
+# ---------------------------------------------------------------------------
+
+
+def build_reference_stream(
+    seed: int, num_elements: int, num_topics: int, vocab_size: int
+) -> Tuple[MatrixTopicModel, List[SocialElement]]:
+    """A random topic model plus a stream with backward references.
+
+    Elements arrive one per time unit with ground-truth topic vectors and
+    up to three references to earlier elements, so sliding-window expiry,
+    follower loss and parent re-activation all trigger on short windows.
+    """
+    rng = np.random.default_rng(seed)
+    vocabulary = Vocabulary([f"w{i}" for i in range(vocab_size)])
+    topic_word = rng.dirichlet(np.full(vocab_size, 0.3), size=num_topics)
+    model = MatrixTopicModel(vocabulary, topic_word, normalize=True)
+
+    elements: List[SocialElement] = []
+    for element_id in range(num_elements):
+        length = int(rng.integers(2, 6))
+        tokens = tuple(f"w{int(i)}" for i in rng.integers(0, vocab_size, size=length))
+        distribution = rng.dirichlet(np.full(num_topics, 0.3))
+        num_refs = int(rng.integers(0, min(3, element_id + 1))) if element_id else 0
+        references = (
+            tuple(int(r) for r in rng.choice(element_id, size=num_refs, replace=False))
+            if num_refs
+            else ()
+        )
+        elements.append(
+            SocialElement(
+                element_id=element_id,
+                timestamp=element_id + 1,
+                tokens=tokens,
+                references=references,
+                topic_distribution=distribution,
+            )
+        )
+    return model, elements
+
+
+# ---------------------------------------------------------------------------
 # Synthetic dataset fixtures (shared; generation is cached per session)
 # ---------------------------------------------------------------------------
 

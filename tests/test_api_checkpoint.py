@@ -1,0 +1,277 @@
+"""Checkpoint/restore tests: save → load → continue == uninterrupted run."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    EngineConfig,
+    KSIREngine,
+    LocalBackend,
+    ServiceBackend,
+    ServiceConfig,
+    ShardedBackend,
+    read_checkpoint,
+)
+from repro.cluster import ClusterConfig
+from repro.core.processor import ProcessorConfig
+from repro.core.query import KSIRQuery
+from repro.core.scoring import ScoringConfig
+
+from tests.conftest import build_reference_stream
+
+NUM_BUCKETS = 20
+BUCKET_LENGTH = 2
+
+
+def build_stream(seed: int, num_topics: int = 4, vocab_size: int = 18):
+    """A random stream spanning exactly NUM_BUCKETS buckets."""
+    return build_reference_stream(
+        seed, NUM_BUCKETS * BUCKET_LENGTH, num_topics, vocab_size
+    )
+
+
+def buckets_of(elements):
+    buckets = []
+    for start in range(0, len(elements), BUCKET_LENGTH):
+        members = elements[start : start + BUCKET_LENGTH]
+        buckets.append((members, members[-1].timestamp))
+    return buckets
+
+
+PROCESSOR = ProcessorConfig(
+    window_length=NUM_BUCKETS,  # half the stream span: expiry triggers
+    bucket_length=BUCKET_LENGTH,
+    scoring=ScoringConfig(lambda_weight=0.5, eta=2.0),
+)
+
+CONFIGS = {
+    "local": EngineConfig(processor=PROCESSOR),
+    "sharded": EngineConfig(
+        backend="sharded",
+        processor=PROCESSOR,
+        cluster=ClusterConfig(num_shards=3, backend="serial", partitioner="load-balanced"),
+    ),
+    "service": EngineConfig(
+        backend="service", processor=PROCESSOR, service=ServiceConfig(max_workers=1)
+    ),
+    "service-sharded": EngineConfig(
+        backend="service",
+        processor=PROCESSOR,
+        cluster=ClusterConfig(num_shards=2, backend="serial"),
+        service=ServiceConfig(max_workers=1),
+    ),
+}
+
+
+def ranked_list_states(engine: KSIREngine):
+    """Every ranked-list index behind an engine, as {topic: {id: score}} maps."""
+    backend = engine.backend
+    if isinstance(backend, ServiceBackend):
+        substrate = backend.engine.backend
+        processors = (
+            [worker.processor for worker in substrate.workers]
+            if hasattr(substrate, "workers")
+            else [substrate]
+        )
+    elif isinstance(backend, ShardedBackend):
+        processors = [worker.processor for worker in backend.coordinator.workers]
+    else:
+        assert isinstance(backend, LocalBackend)
+        processors = [backend.processor]
+    states = []
+    for processor in processors:
+        index = processor.ranked_lists
+        states.append(
+            {
+                topic: dict(index.items(topic))
+                for topic in range(index.num_topics)
+            }
+        )
+    return states
+
+
+def assert_ranked_lists_close(a, b, tolerance=1e-9):
+    assert len(a) == len(b)
+    for state_a, state_b in zip(a, b):
+        assert state_a.keys() == state_b.keys()
+        for topic in state_a:
+            assert state_a[topic].keys() == state_b[topic].keys(), f"topic {topic}"
+            for element_id, score in state_a[topic].items():
+                assert abs(score - state_b[topic][element_id]) <= tolerance
+
+
+def make_engine(model, config: EngineConfig, query: KSIRQuery) -> KSIREngine:
+    engine = KSIREngine(model, config)
+    if config.backend == "service":
+        engine.register(query, query_id="standing", algorithm="mttd", epsilon=0.2)
+        engine.register(query, query_id="short-lived", ttl_buckets=4)
+    return engine
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_save_load_continue_matches_uninterrupted(name, tmp_path):
+    config = CONFIGS[name]
+    model, elements = build_stream(seed=29)
+    buckets = buckets_of(elements)
+    query = KSIRQuery(k=4, vector=np.array([0.5, 0.5, 0.0, 0.0]))
+
+    uninterrupted = make_engine(model, config, query)
+    for members, end_time in buckets:
+        uninterrupted.ingest_bucket(members, end_time)
+
+    first = make_engine(model, config, query)
+    for members, end_time in buckets[: NUM_BUCKETS // 2]:
+        first.ingest_bucket(members, end_time)
+    path = first.save(tmp_path / "ckpt")
+    first.close()
+
+    resumed = KSIREngine.load(path)
+    assert resumed.backend_name == config.backend
+    assert resumed.buckets_processed == NUM_BUCKETS // 2
+    for members, end_time in buckets[NUM_BUCKETS // 2 :]:
+        resumed.ingest_bucket(members, end_time)
+
+    # Counters and windows line up.
+    assert resumed.elements_processed == uninterrupted.elements_processed
+    assert resumed.buckets_processed == uninterrupted.buckets_processed
+    assert resumed.active_count == uninterrupted.active_count
+    assert resumed.current_time == uninterrupted.current_time
+
+    # Ranked-list scores within 1e-9 of the uninterrupted run.
+    assert_ranked_lists_close(
+        ranked_list_states(resumed), ranked_list_states(uninterrupted)
+    )
+
+    # Query answers agree.
+    for algorithm in ("mttd", "greedy"):
+        a = uninterrupted.query(query, algorithm=algorithm, epsilon=0.2)
+        b = resumed.query(query, algorithm=algorithm, epsilon=0.2)
+        assert a.element_ids == b.element_ids
+        assert abs(a.score - b.score) <= 1e-9
+
+    # Standing-query state survived (service backends only).
+    if config.backend == "service":
+        ours, theirs = resumed.results(), uninterrupted.results()
+        assert ours.keys() == theirs.keys()
+        for query_id in theirs:
+            assert ours[query_id].result.element_ids == theirs[query_id].result.element_ids
+            assert abs(ours[query_id].result.score - theirs[query_id].result.score) <= 1e-9
+            assert ours[query_id].evaluations == theirs[query_id].evaluations
+        # The TTL query was registered before the checkpoint and must keep
+        # its countdown across the restore.
+        service = resumed.service_engine
+        assert "short-lived" not in service.registry
+
+    uninterrupted.close()
+    resumed.close()
+
+
+def test_checkpoint_is_versioned_on_disk(tmp_path):
+    model, elements = build_stream(seed=5)
+    engine = KSIREngine(model, CONFIGS["local"])
+    for members, end_time in buckets_of(elements)[:4]:
+        engine.ingest_bucket(members, end_time)
+    path = engine.save(tmp_path / "ckpt")
+    manifest = json.loads((path / "MANIFEST.json").read_text())
+    assert manifest["format"] == CHECKPOINT_FORMAT
+    assert manifest["version"] == 1
+    assert manifest["backend"] == "local"
+    payload = read_checkpoint(path)
+    assert payload.config == CONFIGS["local"]
+
+
+def test_missing_checkpoint_rejected(tmp_path):
+    with pytest.raises(CheckpointError, match="not a k-SIR checkpoint"):
+        read_checkpoint(tmp_path / "nowhere")
+
+
+def test_foreign_format_rejected(tmp_path):
+    directory = tmp_path / "ckpt"
+    directory.mkdir()
+    (directory / "MANIFEST.json").write_text(json.dumps({"format": "something-else"}))
+    with pytest.raises(CheckpointError, match="format marker"):
+        read_checkpoint(directory)
+
+
+def test_corrupt_state_file_rejected(tmp_path):
+    model, elements = build_stream(seed=5)
+    engine = KSIREngine(model, CONFIGS["local"])
+    members, end_time = buckets_of(elements)[0]
+    engine.ingest_bucket(members, end_time)
+    path = engine.save(tmp_path / "ckpt")
+    # A torn write mid-state.json must fail validation, not half-restore.
+    (path / "state.json").write_text('{"processor": {"elements')
+    with pytest.raises(CheckpointError, match="corrupt"):
+        KSIREngine.load(path)
+
+
+def test_overwrite_invalidates_before_rewriting(tmp_path):
+    model, elements = build_stream(seed=5)
+    engine = KSIREngine(model, CONFIGS["local"])
+    buckets = buckets_of(elements)
+    engine.ingest_bucket(*buckets[0])
+    path = engine.save(tmp_path / "ckpt")
+    engine.ingest_bucket(*buckets[1])
+    again = engine.save(tmp_path / "ckpt")  # overwrite in place
+    assert again == path
+    restored = KSIREngine.load(path)
+    assert restored.buckets_processed == 2
+
+
+def test_newer_version_rejected(tmp_path):
+    model, elements = build_stream(seed=5)
+    engine = KSIREngine(model, CONFIGS["local"])
+    members, end_time = buckets_of(elements)[0]
+    engine.ingest_bucket(members, end_time)
+    path = engine.save(tmp_path / "ckpt")
+    manifest = json.loads((path / "MANIFEST.json").read_text())
+    manifest["version"] = 99
+    (path / "MANIFEST.json").write_text(json.dumps(manifest))
+    with pytest.raises(CheckpointError, match="version 99"):
+        KSIREngine.load(path)
+
+
+def test_backend_mismatch_rejected(tmp_path):
+    model, elements = build_stream(seed=5)
+    engine = KSIREngine(model, CONFIGS["local"])
+    members, end_time = buckets_of(elements)[0]
+    engine.ingest_bucket(members, end_time)
+    path = engine.save(tmp_path / "ckpt")
+    with pytest.raises(CheckpointError, match="backend"):
+        KSIREngine.load(path, config=CONFIGS["sharded"])
+
+
+def test_window_length_mismatch_rejected(tmp_path):
+    model, elements = build_stream(seed=5)
+    engine = KSIREngine(model, CONFIGS["local"])
+    members, end_time = buckets_of(elements)[0]
+    engine.ingest_bucket(members, end_time)
+    path = engine.save(tmp_path / "ckpt")
+    from dataclasses import replace
+
+    smaller = EngineConfig(
+        processor=replace(PROCESSOR, window_length=NUM_BUCKETS * 4)
+    )
+    with pytest.raises(ValueError, match="window_length"):
+        KSIREngine.load(path, config=smaller)
+
+
+def test_process_fanout_cannot_checkpoint():
+    model, _ = build_stream(seed=5)
+    config = EngineConfig(
+        backend="sharded",
+        processor=PROCESSOR,
+        cluster=ClusterConfig(num_shards=2, backend="process"),
+    )
+    engine = KSIREngine(model, config)
+    try:
+        with pytest.raises(RuntimeError, match="process fan-out"):
+            engine.save("/tmp/unused-checkpoint")
+    finally:
+        engine.close()

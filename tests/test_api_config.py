@@ -1,0 +1,178 @@
+"""Tests for the composable EngineConfig of the repro.api facade."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.api import (
+    BACKEND_ALIASES,
+    EngineConfig,
+    InferenceConfig,
+    ServiceConfig,
+    canonical_backend_name,
+)
+from repro.cluster import ClusterConfig
+from repro.core.processor import ProcessorConfig
+from repro.core.scoring import ScoringConfig
+
+
+class TestBackendNames:
+    def test_canonical_names_resolve_to_themselves(self):
+        for name in ("local", "sharded", "service"):
+            assert canonical_backend_name(name) == name
+
+    def test_cli_aliases(self):
+        assert canonical_backend_name("single") == "local"
+        assert canonical_backend_name("cluster") == "sharded"
+        assert canonical_backend_name("  Cluster ") == "sharded"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            canonical_backend_name("quantum")
+
+    def test_alias_table_covers_canonical_names(self):
+        assert set(BACKEND_ALIASES.values()) == {"local", "sharded", "service"}
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.backend == "local"
+        assert config.cluster is None
+        assert config.service == ServiceConfig()
+        assert config.inference is None
+        assert not config.is_sharded
+
+    def test_sharded_backend_gets_default_cluster(self):
+        config = EngineConfig(backend="cluster")
+        assert config.backend == "sharded"
+        assert config.cluster == ClusterConfig()
+        assert config.is_sharded
+
+    def test_with_backend(self):
+        config = EngineConfig(backend="sharded")
+        serving = config.with_backend("service")
+        assert serving.backend == "service"
+        assert serving.cluster == config.cluster  # still sharded underneath
+        assert serving.is_sharded
+
+    def test_round_trip_defaults(self):
+        config = EngineConfig()
+        assert EngineConfig.from_dict(config.to_dict()) == config
+
+    def test_round_trip_full(self):
+        config = EngineConfig(
+            backend="service",
+            processor=ProcessorConfig(
+                window_length=7200,
+                bucket_length=600,
+                scoring=ScoringConfig(lambda_weight=0.3, eta=4.0, topic_threshold=1e-3),
+                default_algorithm="celf",
+                default_epsilon=0.2,
+                batched_ingest=False,
+            ),
+            cluster=ClusterConfig(
+                num_shards=3,
+                partitioner="load-balanced",
+                backend="serial",
+                candidate_budget=64,
+                budget_scale=2.0,
+                max_workers=2,
+            ),
+            service=ServiceConfig(max_workers=7, incremental=False),
+            inference=InferenceConfig(alpha=0.05, sparsity_threshold=0.05),
+        )
+        payload = config.to_dict()
+        assert EngineConfig.from_dict(payload) == config
+
+    def test_dict_is_json_compatible(self):
+        import json
+
+        payload = json.loads(json.dumps(EngineConfig(backend="sharded").to_dict()))
+        assert EngineConfig.from_dict(payload) == EngineConfig(backend="sharded")
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine keys"):
+            EngineConfig.from_dict({"backnd": "local"})
+        with pytest.raises(ValueError, match="unknown processor keys"):
+            EngineConfig.from_dict({"processor": {"window": 10}})
+        with pytest.raises(ValueError, match="unknown scoring keys"):
+            EngineConfig.from_dict({"processor": {"scoring": {"lambda": 0.5}}})
+        with pytest.raises(ValueError, match="unknown cluster keys"):
+            EngineConfig.from_dict({"cluster": {"shards": 4}})
+        with pytest.raises(ValueError, match="unknown service keys"):
+            EngineConfig.from_dict({"service": {"threads": 4}})
+        with pytest.raises(ValueError, match="unknown inference keys"):
+            EngineConfig.from_dict({"inference": {"a": 1.0}})
+
+
+class TestValidation:
+    def test_service_config_requires_workers(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(max_workers=0)
+
+    def test_inference_config_validates(self):
+        with pytest.raises(ValueError):
+            InferenceConfig(method="magic")
+        with pytest.raises(ValueError):
+            InferenceConfig(iterations=0)
+        with pytest.raises(ValueError):
+            InferenceConfig(sparsity_threshold=1.5)
+
+
+def parse(extra, service=False):
+    parser = argparse.ArgumentParser()
+    EngineConfig.add_arguments(parser, service=service)
+    return parser.parse_args(extra)
+
+
+class TestFromArgs:
+    def test_defaults_build_local_engine(self):
+        config = EngineConfig.from_args(parse([]))
+        assert config.backend == "local"
+        assert config.cluster is None
+        assert config.processor.window_length == 24 * 3600
+        assert config.processor.bucket_length == 15 * 60
+        assert config.processor.scoring.eta == 1.5
+
+    def test_cluster_flags_build_sharded_engine(self):
+        config = EngineConfig.from_args(
+            parse(
+                [
+                    "--backend", "cluster", "--shards", "6",
+                    "--partitioner", "round-robin", "--fanout", "serial",
+                    "--window-hours", "3", "--bucket-minutes", "30",
+                    "--lambda-weight", "0.7", "--eta", "2.0",
+                ]
+            )
+        )
+        assert config.backend == "sharded"
+        assert config.cluster == ClusterConfig(
+            num_shards=6, partitioner="round-robin", backend="serial"
+        )
+        assert config.processor.window_length == 3 * 3600
+        assert config.processor.bucket_length == 30 * 60
+        assert config.processor.scoring.lambda_weight == 0.7
+        assert config.processor.scoring.eta == 2.0
+
+    def test_service_mode_wraps_any_backend(self):
+        config = EngineConfig.from_args(
+            parse(["--workers", "2", "--naive"], service=True), service=True
+        )
+        assert config.backend == "service"
+        assert config.cluster is None
+        assert config.service == ServiceConfig(max_workers=2, incremental=False)
+
+        sharded = EngineConfig.from_args(
+            parse(["--backend", "cluster"], service=True), service=True
+        )
+        assert sharded.backend == "service"
+        assert sharded.cluster is not None
+
+    def test_from_args_defaults_to_query_inference(self):
+        config = EngineConfig.from_args(parse([]))
+        assert config.inference == InferenceConfig(alpha=0.05, sparsity_threshold=0.05)
+        bare = EngineConfig.from_args(parse([]), inference=None)
+        assert bare.inference is None

@@ -177,6 +177,22 @@ class TestServiceEngineBasics:
             engine.ingest_bucket([], end_time=9)
             assert set(engine.results()) == {"a", "b"}
 
+    def test_results_are_defensive_copies(self):
+        with paper_engine() as engine:
+            engine.register(make_query(0.5, 0.5), query_id="guarded")
+            replay_paper(engine)
+            handed_out = engine.result("guarded")
+            assert handed_out is not None
+            # Mutating the returned QueryResult must not corrupt the cache.
+            handed_out.result.extras["tampered"] = 1.0
+            handed_out.result.score = -123.0
+            fresh = engine.result("guarded")
+            assert "tampered" not in fresh.result.extras
+            assert fresh.result.score != -123.0
+            # results() hands out copies too.
+            engine.results()["guarded"].result.extras["tampered"] = 1.0
+            assert "tampered" not in engine.result("guarded").result.extras
+
     def test_unregister_drops_cached_result(self):
         with paper_engine() as engine:
             engine.register(make_query(0.5, 0.5), query_id="gone")
