@@ -64,6 +64,7 @@ from repro.core.ranked_list import RankedListIndex
 from repro.core.scoring import KSIRObjective, ScoringConfig, ScoringContext
 from repro.core.stream import SocialStream
 from repro.core.window import ActiveWindow
+from repro.store import ColumnarWindow, ElementStore, StateView
 from repro.datasets.profiles import DATASET_PROFILES, DatasetProfile
 from repro.datasets.synthetic import SyntheticDataset, SyntheticStreamGenerator
 from repro.service import (
@@ -91,6 +92,9 @@ __all__ = [
     "CheckpointError",
     "ClusterConfig",
     "ClusterCoordinator",
+    "ColumnarWindow",
+    "ElementStore",
+    "StateView",
     "EngineConfig",
     "ExecutionBackend",
     "InferenceConfig",

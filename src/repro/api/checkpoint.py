@@ -9,7 +9,21 @@ A checkpoint is a directory:
   :meth:`~repro.topics.model.MatrixTopicModel.load`);
 * ``state.json`` — the execution backend's ``state_dict``: active window
   (elements included), ranked lists verbatim, stream counters, and — for
-  service engines — the standing-query registry and cached results.
+  service engines — the standing-query registry and cached results;
+* ``state_arrays.npz`` (format v2, columnar state store) — the store's
+  numeric state columns (id vectors, activity pairs, follower CSR slices,
+  ranked-list score arrays) as raw NumPy arrays.
+
+**Format v2.**  A v1 checkpoint serialises every tuple through JSON.  The
+columnar state store instead emits its numeric state as arrays inside the
+``state_dict``; the writer extracts every array leaf into
+``state_arrays.npz`` (uncompressed, so each member is the raw ``.npy``
+buffer) and leaves a ``{"__ndarray__": key}`` reference in ``state.json``.
+The reader maps the references back onto the npz members, materialising
+each array straight from its buffer — no JSON number parsing on the hot
+restore path.  v1 checkpoints (pure JSON) remain fully loadable: the
+layer-wise ``restore_state`` implementations accept both shapes through
+:mod:`repro.store.codec`.
 
 The manifest is validated before any state is touched: an unknown format
 marker or a newer format version fails with a clear error instead of a
@@ -26,6 +40,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Union
 
+import numpy as np
+
 from repro.api.config import EngineConfig
 from repro.topics.model import MatrixTopicModel, TopicModel
 
@@ -34,11 +50,15 @@ CHECKPOINT_FORMAT = "ksir-engine-checkpoint"
 
 #: Current checkpoint format version.  Readers accept any version up to
 #: this one; writers always emit the current version.
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 MANIFEST_FILE = "MANIFEST.json"
 MODEL_FILE = "topic_model.npz"
 STATE_FILE = "state.json"
+ARRAYS_FILE = "state_arrays.npz"
+
+#: JSON marker referencing a member of ``state_arrays.npz``.
+ARRAY_REF_KEY = "__ndarray__"
 
 
 class CheckpointError(RuntimeError):
@@ -64,6 +84,42 @@ def _json_default(value: object) -> object:
         coerced: object = item()
         return coerced
     raise TypeError(f"{type(value).__name__} is not JSON serialisable")
+
+
+def _extract_arrays(
+    node: Any, arrays: Dict[str, "np.ndarray"], path: str
+) -> Any:
+    """Replace every array leaf with an npz reference, collecting arrays.
+
+    Keys are derived from the state-dict path (slashes joined), which
+    keeps the npz members self-describing for debugging.
+    """
+    if isinstance(node, np.ndarray):
+        key = f"a{len(arrays)}:{path}"
+        arrays[key] = node
+        return {ARRAY_REF_KEY: key}
+    if isinstance(node, dict):
+        return {
+            str(key): _extract_arrays(value, arrays, f"{path}/{key}")
+            for key, value in node.items()
+        }
+    if isinstance(node, (list, tuple)):
+        return [
+            _extract_arrays(value, arrays, f"{path}/{index}")
+            for index, value in enumerate(node)
+        ]
+    return node
+
+
+def _inflate_arrays(node: Any, arrays: "np.lib.npyio.NpzFile") -> Any:
+    """Inverse of :func:`_extract_arrays`: resolve npz references."""
+    if isinstance(node, dict):
+        if set(node.keys()) == {ARRAY_REF_KEY}:
+            return arrays[str(node[ARRAY_REF_KEY])]
+        return {key: _inflate_arrays(value, arrays) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_inflate_arrays(value, arrays) for value in node]
+    return node
 
 
 def _library_version() -> str:
@@ -97,6 +153,15 @@ def write_checkpoint(
     # rewrite must never leave an old manifest validating new state.
     manifest_path.unlink(missing_ok=True)
     topic_model.save(directory / MODEL_FILE)
+    arrays: Dict[str, "np.ndarray"] = {}
+    state = _extract_arrays(state, arrays, "")
+    arrays_path = directory / ARRAYS_FILE
+    if arrays:
+        np.savez(arrays_path, **arrays)
+    else:
+        # A previous columnar checkpoint at this path must not leave a
+        # stale arrays member behind an object-store rewrite.
+        arrays_path.unlink(missing_ok=True)
     with open(directory / STATE_FILE, "w", encoding="utf-8") as handle:
         json.dump(state, handle, default=_json_default)
     manifest = {
@@ -149,6 +214,13 @@ def read_checkpoint(path: Union[str, Path]) -> CheckpointPayload:
         raise CheckpointError(
             f"{directory / STATE_FILE} is corrupt: {error}"
         ) from error
+    arrays_path = directory / ARRAYS_FILE
+    if arrays_path.exists():
+        try:
+            with np.load(arrays_path, allow_pickle=False) as arrays:
+                state = _inflate_arrays(state, arrays)
+        except (ValueError, KeyError, OSError) as error:
+            raise CheckpointError(f"{arrays_path} is corrupt: {error}") from error
     return CheckpointPayload(
         version=version,
         backend=str(manifest["backend"]),

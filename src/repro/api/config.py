@@ -20,6 +20,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from repro.cluster.coordinator import BACKEND_CHOICES, ClusterConfig
 from repro.core.processor import ProcessorConfig
 from repro.core.scoring import ScoringConfig
+from repro.store import STORE_CHOICES
 from repro.topics.inference import TopicInferencer
 from repro.topics.model import TopicModel
 
@@ -172,6 +173,8 @@ def _processor_to_dict(config: ProcessorConfig) -> Dict[str, Any]:
         "default_algorithm": config.default_algorithm,
         "default_epsilon": config.default_epsilon,
         "batched_ingest": config.batched_ingest,
+        "store": config.store,
+        "archive_windows": config.archive_windows,
     }
 
 
@@ -185,6 +188,8 @@ def _processor_from_dict(payload: Mapping[str, Any]) -> ProcessorConfig:
             "default_algorithm",
             "default_epsilon",
             "batched_ingest",
+            "store",
+            "archive_windows",
         ),
         "processor",
     )
@@ -198,6 +203,8 @@ def _processor_from_dict(payload: Mapping[str, Any]) -> ProcessorConfig:
         ),
         default_epsilon=float(payload.get("default_epsilon", defaults.default_epsilon)),
         batched_ingest=bool(payload.get("batched_ingest", defaults.batched_ingest)),
+        store=str(payload.get("store", defaults.store)),
+        archive_windows=int(payload.get("archive_windows", defaults.archive_windows)),
     )
 
 
@@ -369,6 +376,19 @@ class EngineConfig:
         parser.add_argument("--bucket-minutes", type=int, default=15)
         parser.add_argument("--lambda-weight", type=float, default=0.5)
         parser.add_argument("--eta", type=float, default=1.5)
+        parser.add_argument(
+            "--store",
+            default="columnar",
+            choices=list(STORE_CHOICES),
+            help="window state representation: contiguous NumPy arrays "
+            "(default) or the legacy per-element objects",
+        )
+        parser.add_argument(
+            "--archive-windows",
+            type=int,
+            default=8,
+            help="archive retention horizon in window lengths",
+        )
         if service:
             parser.add_argument(
                 "--workers", type=int, default=4, help="evaluator thread-pool size"
@@ -401,6 +421,8 @@ class EngineConfig:
                 lambda_weight=float(getattr(args, "lambda_weight", 0.5)),
                 eta=float(getattr(args, "eta", 1.5)),
             ),
+            store=str(getattr(args, "store", "columnar")),
+            archive_windows=int(getattr(args, "archive_windows", 8)),
         )
         cluster: Optional[ClusterConfig] = None
         backend = canonical_backend_name(str(getattr(args, "backend", "single")))

@@ -427,11 +427,14 @@ class ClusterCoordinator:
         for worker in workers:
             processor = worker.processor
             window = processor.window
+            # One bulk follower slice per shard (CSR export on the
+            # columnar store) instead of one adjacency call per element.
+            shard_followers = window.followers_snapshot()
             for element_id in window.active_ids():
                 if not processor.is_home(element_id):
                     continue
                 profiles[element_id] = processor.profile(element_id)
-                followers[element_id] = window.followers_of(element_id)
+                followers[element_id] = shard_followers.get(element_id, ())
         return ScoringContext(
             profiles=profiles,
             followers=followers,

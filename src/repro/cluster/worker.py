@@ -193,7 +193,14 @@ class ShardWorker:
     def export_candidates(
         self, query_vector: np.ndarray, budget: Optional[int] = None
     ) -> CandidatePool:
-        """Export the shard's top candidates for one query vector."""
+        """Export the shard's top candidates for one query vector.
+
+        On the columnar state store the candidates' follower views come
+        out of one CSR array slice over the store's adjacency
+        (:meth:`repro.store.ElementStore.followers_csr`) instead of one
+        window call per candidate; the object store keeps the historical
+        per-element walk.  Both export identical pools.
+        """
         index = self._processor.ranked_lists
         window = self._processor.window
         candidate_ids = tuple(index.top_candidates(query_vector, budget))
@@ -202,13 +209,22 @@ class ShardWorker:
         activity: Dict[int, int] = {}
         followers: Dict[int, Tuple[int, ...]] = {}
         profiles: Dict[int, ElementProfile] = {}
+        store = self._processor.store
+        if store is not None and candidate_ids:
+            rows = store.rows_of(candidate_ids)
+            indptr, follower_flat = store.followers_csr(rows)
+            flat = follower_flat.tolist()
+            for position, element_id in enumerate(candidate_ids):
+                start, stop = int(indptr[position]), int(indptr[position + 1])
+                followers[element_id] = tuple(flat[start:stop])
+        else:
+            for element_id in candidate_ids:
+                followers[element_id] = window.followers_of(element_id)
         for element_id in candidate_ids:
             scores[element_id] = index.scores_of(element_id)
             activity[element_id] = index.last_activity(element_id)
             profiles[element_id] = self._processor.profile(element_id)
-            follower_ids = window.followers_of(element_id)
-            followers[element_id] = follower_ids
-            for follower_id in follower_ids:
+            for follower_id in followers[element_id]:
                 if follower_id not in profiles:
                     profiles[follower_id] = self._processor.profile(follower_id)
 

@@ -32,6 +32,7 @@ from repro.core.scoring import (
 )
 from repro.core.stream import SocialStream, replay_stream
 from repro.core.window import ActiveWindow
+from repro.store import STORE_CHOICES, ColumnarWindow, ElementStore, StateView
 from repro.topics.inference import TopicInferencer
 from repro.topics.model import TopicModel
 from repro.utils.deprecation import warn_deprecated_construction
@@ -64,6 +65,18 @@ class ProcessorConfig:
         and per-topic grouped ranked-list maintenance.  The element-by-
         element path is kept for comparison benchmarks and equivalence
         tests; both produce the same ranked-list contents.
+    store:
+        The state-store representation: ``"columnar"`` (the default) keeps
+        the hot window state — timestamps, last activity, membership,
+        follower adjacency and the topic-profile matrix — on contiguous
+        NumPy arrays (:class:`repro.store.ElementStore`), enabling
+        vectorised expiry scans and one-matrix-op score recomputation;
+        ``"objects"`` keeps the historical dict/set representation for one
+        release.  Both produce query results equal within 1e-9.
+    archive_windows:
+        How many window lengths of recently seen elements the archive
+        retains for reference re-activation (the active-window archive
+        horizon is ``archive_windows × window_length``).
     """
 
     window_length: int = 24 * 3600
@@ -72,12 +85,20 @@ class ProcessorConfig:
     default_algorithm: str = "mttd"
     default_epsilon: float = 0.1
     batched_ingest: bool = True
+    store: str = "columnar"
+    archive_windows: int = 8
 
     def __post_init__(self) -> None:
         require_positive(self.window_length, "window_length")
         require_positive(self.bucket_length, "bucket_length")
         if self.bucket_length > self.window_length:
             raise ValueError("bucket_length must not exceed window_length")
+        if self.store not in STORE_CHOICES:
+            raise ValueError(
+                f"unknown store {self.store!r}; available: "
+                + ", ".join(STORE_CHOICES)
+            )
+        require_positive(self.archive_windows, "archive_windows")
 
     def resolve_algorithm(
         self,
@@ -123,8 +144,27 @@ class KSIRProcessor:
         # is home (the single-node behaviour).
         self._home_filter = home_filter
         self._builder = ProfileBuilder(topic_model, self._config.scoring)
-        self._window = ActiveWindow(self._config.window_length)
-        self._index = RankedListIndex(topic_model.num_topics, self._config.scoring)
+        # The window state lives behind the StateView protocol: the
+        # columnar store keeps it on contiguous arrays, the objects store
+        # keeps the historical dict/set representation.  Everything below
+        # (ranked lists, snapshots, export) only sees the protocol.
+        self._window: StateView
+        if self._config.store == "columnar":
+            self._store: Optional[ElementStore] = ElementStore(topic_model.num_topics)
+            self._window = ColumnarWindow(
+                self._config.window_length,
+                archive_windows=self._config.archive_windows,
+                store=self._store,
+            )
+        else:
+            self._store = None
+            self._window = ActiveWindow(
+                self._config.window_length,
+                archive_windows=self._config.archive_windows,
+            )
+        self._index = RankedListIndex(
+            topic_model.num_topics, self._config.scoring, epoch_sink=self._store
+        )
         self._profiles: Dict[int, ElementProfile] = {}
         self._elements_processed = 0
         self._buckets_processed = 0
@@ -147,9 +187,14 @@ class KSIRProcessor:
         return self._model
 
     @property
-    def window(self) -> ActiveWindow:
+    def window(self) -> StateView:
         """The live active window (read-mostly; mutate via the processor)."""
         return self._window
+
+    @property
+    def store(self) -> Optional[ElementStore]:
+        """The columnar state store (None on the ``objects`` store)."""
+        return self._store
 
     @property
     def ranked_lists(self) -> RankedListIndex:
@@ -237,11 +282,21 @@ class KSIRProcessor:
                         self._inferencer.infer(prepared.tokens)
                     )
                 profile = self._builder.build(prepared)
-                self._profiles[prepared.element_id] = profile
-
                 touched_parents = self._window.insert(prepared)
+                self._register_profile(prepared.element_id, profile)
                 if self.is_home(prepared.element_id):
                     self._index.insert(profile, activity_time=prepared.timestamp)
+                    if self._window.follower_count(prepared.element_id):
+                        # A re-post of an element that already has in-window
+                        # followers: the fresh tuples must keep the influence
+                        # component, not reset to the semantic-only score.
+                        self._index.refresh(
+                            profile,
+                            self._follower_profiles(prepared.element_id),
+                            activity_time=self._window.last_activity(
+                                prepared.element_id
+                            ),
+                        )
                 for parent_id in touched_parents:
                     if not self.is_home(parent_id):
                         # A foreign parent's ranked-list tuples live on its
@@ -259,7 +314,7 @@ class KSIRProcessor:
                                 self._inferencer.infer(parent_element.tokens)
                             )
                         parent_profile = self._builder.build(parent_element)
-                        self._profiles[parent_id] = parent_profile
+                        self._register_profile(parent_id, parent_profile)
                         self._index.insert(
                             parent_profile, activity_time=prepared.timestamp
                         )
@@ -323,16 +378,36 @@ class KSIRProcessor:
 
             home_filter = self._home_filter
             profile_map = self._profiles
-            window_insert = self._window.insert
+            store = self._store
             inserts = []
             touched: Dict[int, int] = {}
-            for element, profile in zip(prepared, profiles):
+            if store is not None:
+                # Columnar: one bulk row allocation for the bucket, one
+                # fancy-indexed write for the bucket's profile rows.
+                window = self._window
+                assert isinstance(window, ColumnarWindow)
+                touched_lists, rows = window.insert_many(prepared)
+                store.set_profiles_bulk(
+                    rows, [profile.topic_probabilities for profile in profiles]
+                )
+            else:
+                window_insert = self._window.insert
+                touched_lists = [window_insert(element) for element in prepared]
+            for element, profile, touched_parents in zip(
+                prepared, profiles, touched_lists
+            ):
                 element_id = element.element_id
                 timestamp = element.timestamp
                 profile_map[element_id] = profile
-                touched_parents = window_insert(element)
                 if home_filter is None or home_filter(element_id):
                     inserts.append((profile, timestamp))
+                    if self._window.follower_count(element_id):
+                        # Re-posted element with live followers: schedule a
+                        # refresh so its tuples keep the influence component
+                        # (mirrors the sequential path's insert-then-refresh).
+                        previous = touched.get(element_id)
+                        if previous is None or previous < timestamp:
+                            touched[element_id] = timestamp
                 for parent_id in touched_parents:
                     if home_filter is not None and not home_filter(parent_id):
                         continue
@@ -356,19 +431,29 @@ class KSIRProcessor:
                 for parent_id, parent_profile in zip(
                     missing, self._builder.build_many(missing_elements)
                 ):
-                    self._profiles[parent_id] = parent_profile
+                    self._register_profile(parent_id, parent_profile)
 
-            followers_of = self._window.followers_of
-            profile_get = profile_map.get
-            refreshes = []
-            for parent_id, time in touched.items():
-                followers = {}
-                for follower_id in followers_of(parent_id):
-                    follower_profile = profile_get(follower_id)
-                    if follower_profile is not None:
-                        followers[follower_id] = follower_profile
-                refreshes.append((profile_map[parent_id], followers, time))
-            self._index.bulk_update(inserts=inserts, refreshes=refreshes)
+            if self._store is not None:
+                # Columnar fast path: influence sums of every touched
+                # parent come out of one gather + reduceat over the
+                # store's profile matrix instead of per-follower dict
+                # accumulation.
+                self._index.bulk_update(
+                    inserts=inserts,
+                    scored_refreshes=self._columnar_refresh_entries(touched),
+                )
+            else:
+                followers_of = self._window.followers_of
+                profile_get = profile_map.get
+                refreshes = []
+                for parent_id, time in touched.items():
+                    followers = {}
+                    for follower_id in followers_of(parent_id):
+                        follower_profile = profile_get(follower_id)
+                        if follower_profile is not None:
+                            followers[follower_id] = follower_profile
+                    refreshes.append((profile_map[parent_id], followers, time))
+                self._index.bulk_update(inserts=inserts, refreshes=refreshes)
 
             removed = self._window.advance_to(end_time)
             removes = []
@@ -376,22 +461,33 @@ class KSIRProcessor:
                 profile_map.pop(element_id, None)
                 if home_filter is None or home_filter(element_id):
                     removes.append(element_id)
-            expiry_refreshes = []
-            for element_id in self._window.take_touched_by_expiry():
-                if home_filter is not None and not home_filter(element_id):
-                    continue
-                profile = profile_get(element_id)
-                if profile is None:
-                    continue
-                expiry_refreshes.append(
-                    (
-                        profile,
-                        self._follower_profiles(element_id),
-                        self._window.last_activity(element_id),
+            expiry_touched = {
+                element_id: self._window.last_activity(element_id)
+                for element_id in self._window.take_touched_by_expiry()
+                if (home_filter is None or home_filter(element_id))
+                and element_id in profile_map
+            }
+            if self._store is not None:
+                if removes or expiry_touched:
+                    self._index.bulk_update(
+                        scored_refreshes=self._columnar_refresh_entries(expiry_touched),
+                        removes=removes,
                     )
-                )
-            if removes or expiry_refreshes:
-                self._index.bulk_update(refreshes=expiry_refreshes, removes=removes)
+            else:
+                profile_get = profile_map.get
+                expiry_refreshes = []
+                for element_id, activity in expiry_touched.items():
+                    expiry_refreshes.append(
+                        (
+                            profile_map[element_id],
+                            self._follower_profiles(element_id),
+                            activity,
+                        )
+                    )
+                if removes or expiry_refreshes:
+                    self._index.bulk_update(
+                        refreshes=expiry_refreshes, removes=removes
+                    )
             self._buckets_processed += 1
 
     def process_stream(
@@ -411,6 +507,58 @@ class KSIRProcessor:
                 followers[follower_id] = profile
         return followers
 
+    def _register_profile(self, element_id: int, profile: ElementProfile) -> None:
+        """Cache a profile and mirror its probabilities into the store."""
+        self._profiles[element_id] = profile
+        store = self._store
+        if store is not None:
+            row = store.get_row(element_id)
+            if row is not None:
+                store.set_profile(row, profile.topic_probabilities)
+
+    def _columnar_refresh_entries(
+        self, touched: Mapping[int, int]
+    ) -> list:
+        """Batched ``δ_i`` recomputation over the store's profile matrix.
+
+        For every touched parent, the per-topic follower-probability sums
+        ``Σ_{e ∈ I_t(parent)} p_i(e)`` come out of one gather +
+        ``reduceat`` over the store's ``P[rows, z]`` matrix; the sparse
+        per-topic score maps are then assembled in the same topic order
+        the object path uses, so scores agree within float re-association
+        noise (≤ 1e-9 on realistic windows).  Returns
+        ``(element_id, topic → δ_i(e), activity_time)`` triples for
+        :meth:`RankedListIndex.bulk_update`'s ``scored_refreshes``.
+        """
+        if not touched:
+            return []
+        store = self._store
+        assert store is not None
+        parent_ids = list(touched)
+        rows = store.rows_of(parent_ids)
+        indices, counts = store.followers_concat(rows)
+        sums = np.zeros((len(parent_ids), store.num_topics), dtype=np.float64)
+        if indices.size:
+            gathered = store.profile_matrix[indices]
+            starts = np.cumsum(counts) - counts
+            nonempty = counts > 0
+            sums[nonempty] = np.add.reduceat(gathered, starts[nonempty], axis=0)
+        scoring = self._config.scoring
+        lambda_weight = scoring.lambda_weight
+        influence_weight = scoring.influence_weight
+        entries = []
+        for position, parent_id in enumerate(parent_ids):
+            profile = self._profiles[parent_id]
+            row_sums = sums[position]
+            probabilities = profile.topic_probabilities
+            scores = {
+                topic: lambda_weight * semantic
+                + influence_weight * (probabilities[topic] * float(row_sums[topic]))
+                for topic, semantic in profile.semantic_scores.items()
+            }
+            entries.append((parent_id, scores, touched[parent_id]))
+        return entries
+
     # -- query processing ----------------------------------------------------------------------
 
     def snapshot(self) -> ScoringContext:
@@ -429,11 +577,12 @@ class KSIRProcessor:
         return context
 
     def _build_snapshot(self) -> ScoringContext:
-        """Materialise a fresh scoring snapshot (bypasses the cache)."""
-        followers = {
-            element_id: self._window.followers_of(element_id)
-            for element_id in self._window.active_ids()
-        }
+        """Materialise a fresh scoring snapshot (bypasses the cache).
+
+        The follower view comes from the window's bulk snapshot (one CSR
+        slice on the columnar store) instead of one call per element.
+        """
+        followers = self._window.followers_snapshot()
         profiles = {
             element_id: self._profiles[element_id]
             for element_id in self._window.active_ids()
@@ -507,7 +656,7 @@ class KSIRProcessor:
             "elements_processed": self._elements_processed,
             "buckets_processed": self._buckets_processed,
             "window": self._window.state_dict(),
-            "ranked_lists": self._index.state_dict(),
+            "ranked_lists": self._index.state_dict(arrays=self._store is not None),
         }
 
     def restore_state(self, state: Mapping[str, object]) -> None:
@@ -524,7 +673,6 @@ class KSIRProcessor:
         self._index.restore_state(state["ranked_lists"])
         self._snapshot_cache = None
         active = [self._window.get(eid) for eid in sorted(self._window.active_ids())]
-        self._profiles = {
-            element.element_id: profile
-            for element, profile in zip(active, self._builder.build_many(active))
-        }
+        self._profiles = {}
+        for element, profile in zip(active, self._builder.build_many(active)):
+            self._register_profile(element.element_id, profile)

@@ -27,11 +27,13 @@ The set is bounded by the number of topics, so consumers that never drain it
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.scoring import ElementProfile, ScoringConfig
+from repro.store.codec import decode_id_list
+from repro.store.view import TopicEpochSink
 from repro.utils.sorted_list import DescendingSortedList
 from repro.utils.timing import StopWatch, TimingStats
 
@@ -39,7 +41,12 @@ from repro.utils.timing import StopWatch, TimingStats
 class RankedListIndex:
     """The collection of per-topic ranked lists ``RL_1, ..., RL_z``."""
 
-    def __init__(self, num_topics: int, config: ScoringConfig) -> None:
+    def __init__(
+        self,
+        num_topics: int,
+        config: ScoringConfig,
+        epoch_sink: Optional[TopicEpochSink] = None,
+    ) -> None:
         if num_topics <= 0:
             raise ValueError("num_topics must be positive")
         self._num_topics = int(num_topics)
@@ -51,7 +58,20 @@ class RankedListIndex:
         self._last_activity: Dict[int, int] = {}
         # Topics whose lists changed since the last drain (bounded by z).
         self._dirty_topics: Set[int] = set()
+        # Optional columnar-store epoch stamping: every dirty marking is
+        # mirrored as a topic-epoch stamp, which the serving layer's
+        # incremental scheduler reads instead of draining the set.
+        self._epoch_sink = epoch_sink
         self._update_timer = TimingStats(name="ranked-list-update")
+
+    def _mark_dirty(self, topics: Iterable[int]) -> None:
+        """Mark topics dirty and mirror the change onto the epoch sink."""
+        topic_list = list(topics)
+        if not topic_list:
+            return
+        self._dirty_topics.update(topic_list)
+        if self._epoch_sink is not None:
+            self._epoch_sink.mark_topics_dirty(topic_list)
 
     # -- metadata ----------------------------------------------------------------
 
@@ -172,7 +192,7 @@ class RankedListIndex:
             for topic in profile.topics:
                 score = self._config.lambda_weight * profile.semantic_score(topic)
                 self._lists[topic].insert(profile.element_id, score)
-                self._dirty_topics.add(topic)
+            self._mark_dirty(profile.topics)
 
     def refresh(
         self,
@@ -186,24 +206,28 @@ class RankedListIndex:
                 self._last_activity.get(profile.element_id, profile.timestamp),
                 activity_time,
             )
-            for topic, score in self._rescore(profile, followers).items():
+            scores = self._rescore(profile, followers)
+            for topic, score in scores.items():
                 self._lists[topic].update(profile.element_id, score)
-                self._dirty_topics.add(topic)
+            self._mark_dirty(scores)
 
     def remove(self, element_id: int) -> None:
         """Remove every tuple of an expired element."""
         with self._update_timer.measure():
             self._last_activity.pop(element_id, None)
+            touched = []
             for topic, ranked in enumerate(self._lists):
                 if ranked.get(element_id) is not None:
                     ranked.discard(element_id)
-                    self._dirty_topics.add(topic)
+                    touched.append(topic)
+            self._mark_dirty(touched)
 
     def bulk_update(
         self,
         inserts: Sequence[Tuple[ElementProfile, int]] = (),
         refreshes: Sequence[Tuple[ElementProfile, Mapping[int, ElementProfile], int]] = (),
         removes: Sequence[int] = (),
+        scored_refreshes: Sequence[Tuple[int, Mapping[int, float], int]] = (),
     ) -> None:
         """Apply a bucket's worth of maintenance in one grouped pass.
 
@@ -220,6 +244,12 @@ class RankedListIndex:
         ``max`` with any stored value, which is what the sequential
         discipline converges to over a bucket.
 
+        ``scored_refreshes`` are ``(element_id, topic → δ_i(e),
+        activity_time)`` triples whose scores were already computed by the
+        caller — the columnar fast path derives them in one matrix
+        operation over the store's profile rows — and are staged exactly
+        like ``refreshes`` (they supersede earlier stores per element).
+
         The update timer keeps its per-element meaning (Figure 14): the
         bucket-level span is split evenly across the applied operations, so
         one sample is recorded per insert/refresh/remove, exactly as many
@@ -229,11 +259,13 @@ class RankedListIndex:
         watch.start()
 
         if removes:
+            removal_topics = []
             for element_id in removes:
                 self._last_activity.pop(element_id, None)
             for topic, ranked in enumerate(self._lists):
                 if ranked.bulk_discard(removes):
-                    self._dirty_topics.add(topic)
+                    removal_topics.append(topic)
+            self._mark_dirty(removal_topics)
 
         lambda_weight = self._config.lambda_weight
         influence_weight = self._config.influence_weight
@@ -268,14 +300,19 @@ class RankedListIndex:
                 per_topic[topic][element_id] = lambda_weight * semantic + (
                     influence_weight * (probabilities[topic] * sums[topic])
                 )
+        for element_id, scores, activity_time in scored_refreshes:
+            time = activity_time
+            previous = last_activity.get(element_id)
+            last_activity[element_id] = time if previous is None else max(previous, time)
+            for topic, score in scores.items():
+                per_topic[topic][element_id] = score
 
-        dirty = self._dirty_topics
         for topic, entries in per_topic.items():
             self._lists[topic].bulk_insert(entries.items())
-            dirty.add(topic)
+        self._mark_dirty(per_topic)
 
         elapsed = watch.stop()
-        operations = len(inserts) + len(refreshes) + len(removes)
+        operations = len(inserts) + len(refreshes) + len(removes) + len(scored_refreshes)
         if operations:
             per_operation_ms = (elapsed * 1000.0) / operations
             self._update_timer.samples_ms.extend([per_operation_ms] * operations)
@@ -298,29 +335,60 @@ class RankedListIndex:
             self._last_activity[element_id] = int(activity_time)
             for topic, score in scores.items():
                 self._lists[topic].insert(element_id, float(score))
-                self._dirty_topics.add(topic)
+            self._mark_dirty(scores)
 
     def clear(self) -> None:
         """Drop every tuple (used when rebuilding the index)."""
+        touched = []
         for topic, ranked in enumerate(self._lists):
             if len(ranked) > 0:
-                self._dirty_topics.add(topic)
+                touched.append(topic)
             ranked.clear()
+        self._mark_dirty(touched)
         self._last_activity.clear()
 
     # -- checkpoint state -------------------------------------------------------------
 
-    def state_dict(self) -> Dict[str, object]:
-        """A JSON-serialisable snapshot of every stored tuple.
+    def state_dict(self, arrays: bool = False) -> Dict[str, object]:
+        """A serialisable snapshot of every stored tuple.
 
         Scores are persisted verbatim (one entry per element: its activity
         time plus its ``topic → δ_i(e)`` map) rather than re-derived from
         profiles at restore time, so a restored index is bit-identical to
         the saved one.  The dirty-topic set is saved too, because it is the
         serving layer's incremental-scheduling state.
+
+        With ``arrays=True`` (the columnar store path) the entries are
+        emitted as one CSR slice — id/activity vectors plus flat
+        topic/score arrays — which the v2 checkpoint stores in its
+        ``.npz`` member instead of JSON.  :meth:`restore_state` accepts
+        both shapes.
         """
+        ordered = sorted(self._last_activity)
+        if arrays:
+            indptr = np.zeros(len(ordered) + 1, dtype=np.int64)
+            flat_topics: List[int] = []
+            flat_scores: List[float] = []
+            for position, element_id in enumerate(ordered):
+                scores = sorted(self.scores_of(element_id).items())
+                flat_topics.extend(topic for topic, _ in scores)
+                flat_scores.extend(score for _, score in scores)
+                indptr[position + 1] = indptr[position] + len(scores)
+            return {
+                "num_topics": self._num_topics,
+                "entries": {
+                    "ids": np.asarray(ordered, dtype=np.int64),
+                    "activity": np.asarray(
+                        [self._last_activity[eid] for eid in ordered], dtype=np.int64
+                    ),
+                    "indptr": indptr,
+                    "topics": np.asarray(flat_topics, dtype=np.int64),
+                    "scores": np.asarray(flat_scores, dtype=np.float64),
+                },
+                "dirty_topics": sorted(self._dirty_topics),
+            }
         entries = []
-        for element_id in sorted(self._last_activity):
+        for element_id in ordered:
             scores = self.scores_of(element_id)
             entries.append(
                 [
@@ -336,22 +404,49 @@ class RankedListIndex:
         }
 
     def restore_state(self, state: Mapping[str, object]) -> None:
-        """Replace the index contents with a :meth:`state_dict` snapshot."""
+        """Replace the index contents with a :meth:`state_dict` snapshot.
+
+        Accepts both the JSON-list entry form and the CSR array form, so
+        either index configuration loads either checkpoint vintage.
+        """
         if int(state["num_topics"]) != self._num_topics:
             raise ValueError(
                 f"checkpoint has {state['num_topics']} topics, the index is "
                 f"configured for {self._num_topics}"
             )
         self.clear()
-        for element_id, activity_time, scores in state["entries"]:
-            self.insert_scores(
-                int(element_id),
-                {int(topic): float(score) for topic, score in scores},
-                activity_time=int(activity_time),
-            )
+        entries = state["entries"]
+        if isinstance(entries, Mapping):
+            ids = np.asarray(entries["ids"], dtype=np.int64).tolist()
+            activity = np.asarray(entries["activity"], dtype=np.int64).tolist()
+            indptr = np.asarray(entries["indptr"], dtype=np.int64)
+            topics = np.asarray(entries["topics"], dtype=np.int64).tolist()
+            scores = np.asarray(entries["scores"], dtype=np.float64).tolist()
+            for position, element_id in enumerate(ids):
+                start, stop = int(indptr[position]), int(indptr[position + 1])
+                self.insert_scores(
+                    int(element_id),
+                    {
+                        int(topics[offset]): float(scores[offset])
+                        for offset in range(start, stop)
+                    },
+                    activity_time=int(activity[position]),
+                )
+        else:
+            for element_id, activity_time, score_pairs in entries:
+                self.insert_scores(
+                    int(element_id),
+                    {int(topic): float(score) for topic, score in score_pairs},
+                    activity_time=int(activity_time),
+                )
         # insert_scores marked everything dirty; restore the saved set so
         # the serving layer's scheduler resumes exactly where it left off.
-        self._dirty_topics = {int(topic) for topic in state["dirty_topics"]}
+        # (The epoch sink keeps its over-approximate stamps: epochs only
+        # ever err towards re-evaluating more standing queries.)
+        saved_dirty = decode_id_list(state["dirty_topics"])
+        self._dirty_topics = set(saved_dirty)
+        if self._epoch_sink is not None:
+            self._epoch_sink.mark_topics_dirty(saved_dirty)
 
     # -- traversal ----------------------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.core.element import SocialElement
+from repro.store.codec import decode_followers, decode_id_list, decode_pairs
 
 
 class ActiveWindow:
@@ -85,6 +86,18 @@ class ActiveWindow:
         referred to by a window member regardless of its own age.
         """
         element_id = element.element_id
+        # A re-posted window member replaces its previous version: edges the
+        # old version created and the new one no longer claims must retire
+        # now (I_t(e') is defined over current references), otherwise they
+        # would dangle past the element's expiry.  The affected parents are
+        # re-scored through the touched-by-expiry channel.
+        previous = self._window_members.get(element_id)
+        if previous is not None:
+            for parent_id in previous.references:
+                followers = self._followers.get(parent_id)
+                if followers is not None and element_id in followers:
+                    followers.discard(element_id)
+                    self._touched_by_expiry.add(parent_id)
         self._elements[element_id] = element
         self._window_members[element_id] = element
         self._archive[element_id] = element
@@ -221,6 +234,14 @@ class ActiveWindow:
         """``I_t(e)``: ids of in-window elements referencing ``element_id``."""
         return tuple(self._followers.get(element_id, ()))
 
+    def followers_snapshot(self) -> Dict[int, Tuple[int, ...]]:
+        """``I_t(e)`` for every active element, in one bulk pass."""
+        followers = self._followers
+        return {
+            element_id: tuple(followers.get(element_id, ()))
+            for element_id in self._elements
+        }
+
     def follower_count(self, element_id: int) -> int:
         """``|I_t(e)|`` without materialising the tuple."""
         return len(self._followers.get(element_id, ()))
@@ -271,6 +292,12 @@ class ActiveWindow:
         The receiving window must have been constructed with the same
         ``window_length`` (the expiry semantics depend on it); a mismatch
         raises ``ValueError`` instead of silently changing behaviour.
+        Accepts both snapshot shapes — the JSON-list form this class
+        writes and the array/CSR form the columnar window writes — so
+        either state representation restores either checkpoint vintage.
+        The loaded archive is pruned to *this* window's configured
+        horizon, so a checkpoint written with a longer horizon does not
+        carry stale history into a tighter configuration.
         """
         if int(state["window_length"]) != self._window_length:
             raise ValueError(
@@ -283,19 +310,24 @@ class ActiveWindow:
         }
         current_time = state["current_time"]
         self._current_time = None if current_time is None else int(current_time)
-        self._archive = archive
-        self._elements = {int(eid): archive[int(eid)] for eid in state["active_ids"]}
+        self._elements = {
+            eid: archive[eid] for eid in decode_id_list(state["active_ids"])
+        }
         self._window_members = {
-            int(eid): archive[int(eid)] for eid in state["window_member_ids"]
+            eid: archive[eid] for eid in decode_id_list(state["window_member_ids"])
         }
-        self._last_activity = {
-            int(eid): int(time) for eid, time in state["last_activity"]
-        }
-        self._followers = {
-            int(eid): {int(fid) for fid in follower_ids}
-            for eid, follower_ids in state["followers"]
-        }
-        self._touched_by_expiry = {int(eid) for eid in state["touched_by_expiry"]}
+        self._last_activity = dict(decode_pairs(state["last_activity"]))
+        self._followers = decode_followers(state["followers"])
+        self._touched_by_expiry = set(decode_id_list(state["touched_by_expiry"]))
+        if self._current_time is not None:
+            cutoff = self._current_time - self._archive_horizon
+            if cutoff > 0:
+                archive = {
+                    element_id: element
+                    for element_id, element in archive.items()
+                    if element.timestamp >= cutoff or element_id in self._elements
+                }
+        self._archive = archive
 
     def validate(self) -> bool:
         """Check internal invariants (used by property-based tests)."""

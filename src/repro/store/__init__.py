@@ -1,0 +1,41 @@
+"""repro.store — the columnar element state layer.
+
+A :class:`ElementStore` re-encodes the hot sliding-window state
+(timestamps, last-activity ``t_e``, window membership, the thresholded
+topic-profile matrix ``P[rows, z]``, follower adjacency) as contiguous
+NumPy arrays over interned rows with free-row recycling;
+:class:`ColumnarWindow` implements Algorithm 1's window semantics on top
+of it, and the :class:`StateView` protocol is the surface every consumer
+(processor, ranked lists, shard export, snapshot builders) is typed
+against — so the object-backed and array-backed representations are
+drop-in interchangeable via ``ProcessorConfig(store=...)``.
+"""
+
+from repro.store.codec import (
+    decode_followers,
+    decode_id_list,
+    decode_pairs,
+    encode_followers_csr,
+    encode_id_array,
+    encode_pairs,
+)
+from repro.store.store import ElementStore
+from repro.store.view import StateView, TopicEpochSink
+from repro.store.window import ColumnarWindow
+
+#: Accepted ``ProcessorConfig.store`` values.
+STORE_CHOICES = ("columnar", "objects")
+
+__all__ = [
+    "STORE_CHOICES",
+    "ColumnarWindow",
+    "ElementStore",
+    "StateView",
+    "TopicEpochSink",
+    "decode_followers",
+    "decode_id_list",
+    "decode_pairs",
+    "encode_followers_csr",
+    "encode_id_array",
+    "encode_pairs",
+]

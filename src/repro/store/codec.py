@@ -1,0 +1,92 @@
+"""Dual-format (de)serialisation helpers for checkpointed state.
+
+The v1 checkpoint format stores numeric state as plain JSON lists (id
+lists, ``[id, time]`` pairs, per-parent follower lists).  The v2 format
+stores the same state as NumPy arrays — id vectors, ``(N, 2)`` pair
+matrices and CSR ``(parents, indptr, followers)`` triples — which the
+checkpoint layer extracts into an ``.npz`` member instead of JSON.
+
+Every decoder here accepts *both* shapes, so any window / ranked-list
+implementation can restore any checkpoint vintage: an array-backed
+(columnar) engine loads a v1 JSON checkpoint and an object-backed engine
+loads a v2 array checkpoint, without either knowing which writer produced
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set, Tuple, Union
+
+import numpy as np
+import numpy.typing as npt
+
+#: JSON form of a follower table: ``[[parent_id, [follower_ids...]], ...]``.
+FollowerPairs = List[List[object]]
+#: Array form of a follower table: CSR ``{"parents", "indptr", "followers"}``.
+FollowerCSR = Mapping[str, "npt.NDArray[np.int64]"]
+FollowersState = Union[FollowerPairs, FollowerCSR]
+
+
+def encode_id_array(ids: Iterable[int]) -> npt.NDArray[np.int64]:
+    """Ascending id vector (the array form of a sorted id list)."""
+    return np.asarray(sorted(int(i) for i in ids), dtype=np.int64)
+
+
+def decode_id_list(value: object) -> List[int]:
+    """Id list from either a JSON list or an id vector."""
+    if isinstance(value, np.ndarray):
+        return [int(i) for i in value.tolist()]
+    assert isinstance(value, (list, tuple))
+    return [int(i) for i in value]
+
+
+def encode_pairs(pairs: Mapping[int, int]) -> npt.NDArray[np.int64]:
+    """``(N, 2)`` matrix of ``(id, value)`` rows, ascending by id."""
+    ordered = sorted(pairs.items())
+    if not ordered:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.asarray(ordered, dtype=np.int64)
+
+
+def decode_pairs(value: object) -> List[Tuple[int, int]]:
+    """``(id, value)`` pairs from either a JSON pair list or a matrix."""
+    if isinstance(value, np.ndarray):
+        return [(int(row[0]), int(row[1])) for row in value.tolist()]
+    assert isinstance(value, (list, tuple))
+    return [(int(key), int(item)) for key, item in value]
+
+
+def encode_followers_csr(
+    followers: Mapping[int, Iterable[int]]
+) -> Dict[str, npt.NDArray[np.int64]]:
+    """CSR-encode a follower table (parents ascending, segments sorted)."""
+    parents = sorted(followers)
+    indptr = np.zeros(len(parents) + 1, dtype=np.int64)
+    flat: List[int] = []
+    for position, parent in enumerate(parents):
+        segment = sorted(int(f) for f in followers[parent])
+        flat.extend(segment)
+        indptr[position + 1] = indptr[position] + len(segment)
+    return {
+        "parents": np.asarray(parents, dtype=np.int64),
+        "indptr": indptr,
+        "followers": np.asarray(flat, dtype=np.int64),
+    }
+
+
+def decode_followers(value: object) -> Dict[int, Set[int]]:
+    """Follower table from either JSON pair lists or a CSR triple."""
+    if isinstance(value, Mapping):
+        parents = np.asarray(value["parents"], dtype=np.int64)
+        indptr = np.asarray(value["indptr"], dtype=np.int64)
+        flat = np.asarray(value["followers"], dtype=np.int64)
+        table: Dict[int, Set[int]] = {}
+        for position, parent in enumerate(parents.tolist()):
+            start, stop = int(indptr[position]), int(indptr[position + 1])
+            table[int(parent)] = {int(f) for f in flat[start:stop].tolist()}
+        return table
+    assert isinstance(value, (list, tuple))
+    return {
+        int(parent): {int(f) for f in follower_ids}
+        for parent, follower_ids in value
+    }

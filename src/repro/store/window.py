@@ -1,0 +1,467 @@
+"""The array-backed sliding window: Algorithm 1 over an :class:`ElementStore`.
+
+:class:`ColumnarWindow` implements exactly the semantics of
+:class:`~repro.core.window.ActiveWindow` — same active-set rules, same
+expiry order, same archive-backed re-activation — but keeps the hot state
+(timestamps, last-activity, window membership, follower adjacency) in the
+columnar store instead of per-element dicts and sets:
+
+* the two expiry scans of :meth:`advance_to` (window members posted before
+  the window start; elements whose last activity predates it) are boolean
+  masks over contiguous arrays instead of dict iterations;
+* follower bookkeeping is row-index adjacency in the store, which the
+  processor's batched re-scorer and the shard export read as array slices.
+
+The :class:`~repro.core.element.SocialElement` payloads themselves (tokens,
+references, text) stay in plain dicts: they are cold data touched once per
+element, and the archive needs the full objects to re-activate expired
+precedents and to rebuild profiles after a checkpoint restore.
+
+Both window classes serialise to the same logical ``state_dict`` schema;
+this one emits the numeric parts as arrays (the v2 checkpoint extracts
+them into the ``.npz`` member) and both restore either shape through
+:mod:`repro.store.codec`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple, cast
+
+import numpy as np
+
+from repro.core.element import SocialElement
+from repro.store.codec import (
+    decode_followers,
+    decode_id_list,
+    decode_pairs,
+    encode_id_array,
+)
+from repro.store.store import ElementStore
+
+
+class ColumnarWindow:
+    """Maintains ``W_t``, ``A_t`` and follower sets on columnar arrays."""
+
+    def __init__(
+        self,
+        window_length: int,
+        archive_windows: int = 8,
+        store: Optional[ElementStore] = None,
+        num_topics: int = 1,
+    ) -> None:
+        if window_length <= 0:
+            raise ValueError("window_length must be positive")
+        if archive_windows < 1:
+            raise ValueError("archive_windows must be at least 1")
+        self._window_length = int(window_length)
+        self._archive_horizon = int(archive_windows) * self._window_length
+        self._current_time: Optional[int] = None
+        self._store = store if store is not None else ElementStore(num_topics)
+        # Cold per-element payloads: the active objects and the bounded
+        # archive that re-activates expired precedents.
+        self._elements: Dict[int, SocialElement] = {}
+        self._archive: Dict[int, SocialElement] = {}
+        self._touched_by_expiry: Set[int] = set()
+
+    # -- configuration ----------------------------------------------------------
+
+    @property
+    def store(self) -> ElementStore:
+        """The columnar store backing this window."""
+        return self._store
+
+    @property
+    def window_length(self) -> int:
+        """The window length ``T``."""
+        return self._window_length
+
+    @property
+    def archive_horizon(self) -> int:
+        """Archive retention horizon in stream time units."""
+        return self._archive_horizon
+
+    @property
+    def current_time(self) -> Optional[int]:
+        """The time of the last :meth:`advance_to` call (None before any)."""
+        return self._current_time
+
+    @property
+    def window_start(self) -> Optional[int]:
+        """The earliest in-window timestamp, ``t − T + 1``."""
+        if self._current_time is None:
+            return None
+        return self._current_time - self._window_length + 1
+
+    # -- updates -----------------------------------------------------------------
+
+    def insert(self, element: SocialElement) -> Tuple[int, ...]:
+        """Insert a newly arrived element (same contract as ActiveWindow)."""
+        store = self._store
+        element_id = element.element_id
+        self._retire_replaced_edges(element_id)
+        row = store.acquire(element_id, element.timestamp)
+        store.raise_last_activity(row, element.timestamp)
+        store.set_in_window(row, True)
+        self._elements[element_id] = element
+        self._archive[element_id] = element
+
+        touched: List[int] = []
+        for parent_id in element.references:
+            parent_row = store.get_row(parent_id)
+            if parent_row is None:
+                parent = self._archive.get(parent_id)
+                if parent is None:
+                    # Never observed (or already dropped from the archive):
+                    # dangling references are ignored, as a deployment would.
+                    continue
+                # Re-activate the expired precedent from the archive.
+                parent_row = store.acquire(parent_id, parent.timestamp)
+                self._elements[parent_id] = parent
+            store.add_follower(parent_row, row)
+            store.raise_last_activity(parent_row, element.timestamp)
+            touched.append(parent_id)
+        return tuple(touched)
+
+    def _retire_replaced_edges(self, element_id: int) -> None:
+        """Retire the follower edges of a re-posted window member.
+
+        A replacement's old edges must not outlive the old version: the
+        columnar store recycles rows, so a dangling edge would later point
+        at an unrelated element.  Parents losing an edge are re-scored
+        through the touched-by-expiry channel, mirroring ActiveWindow.
+        """
+        store = self._store
+        row = store.get_row(element_id)
+        if row is None or not store.in_window(row):
+            return
+        previous = self._elements[element_id]
+        for parent_id in previous.references:
+            parent_row = store.get_row(parent_id)
+            if parent_row is not None and store.discard_follower(parent_row, row):
+                self._touched_by_expiry.add(parent_id)
+
+    def insert_bucket(
+        self, elements: Iterable[SocialElement]
+    ) -> Dict[int, Tuple[int, ...]]:
+        """Insert a bucket; returns ``{element_id: touched_parent_ids}``."""
+        return {element.element_id: self.insert(element) for element in elements}
+
+    def insert_many(
+        self, elements: List[SocialElement]
+    ) -> Tuple[List[Tuple[int, ...]], List[int]]:
+        """Insert a bucket through the store's bulk row allocation.
+
+        Returns per-element touched-parent tuples (same contract as
+        :meth:`insert`, in order) plus the interned rows, so the caller
+        can follow up with bulk profile writes.  Semantically identical
+        to calling :meth:`insert` per element.
+        """
+        store = self._store
+        # Rows are interned for the whole bucket up front, so reference
+        # resolution below must reconstruct the element-at-a-time world:
+        # ids that were not live before the bucket and have not been
+        # reached yet are *pending* — a reference to one resolves through
+        # the archive (re-activating the archived precedent) or stays
+        # dropped as dangling, exactly as the element-wise paths behave.
+        pending = set()
+        member_before = set()
+        for element in elements:
+            existing_row = store.get_row(element.element_id)
+            if existing_row is None:
+                pending.add(element.element_id)
+            elif store.in_window(existing_row):
+                member_before.add(element.element_id)
+        rows = store.bulk_acquire(
+            [element.element_id for element in elements],
+            [element.timestamp for element in elements],
+        )
+        store.set_in_window_many(rows, True)
+        elements_map = self._elements
+        archive = self._archive
+        reposted = set()
+        touched_lists: List[Tuple[int, ...]] = []
+        for element, row in zip(elements, rows):
+            element_id = element.element_id
+            pending.discard(element_id)
+            # Retire the edges of a replaced window member (the membership
+            # test uses the pre-bucket state: the bulk pre-flagged every
+            # row as a member already).
+            if element_id in member_before or element_id in reposted:
+                previous = elements_map[element_id]
+                for parent_id in previous.references:
+                    parent_row = store.get_row(parent_id)
+                    if parent_row is not None and store.discard_follower(
+                        parent_row, row
+                    ):
+                        self._touched_by_expiry.add(parent_id)
+            reposted.add(element_id)
+            elements_map[element_id] = element
+            archive[element_id] = element
+            # Fresh rows already carry last_activity = timestamp; a bucket
+            # that re-acquired a live id fell back to element-wise acquire,
+            # which also leaves last_activity ≥ the new timestamp only if
+            # raised — do it explicitly for that (rare) case.
+            store.raise_last_activity(row, element.timestamp)
+            touched: List[int] = []
+            for parent_id in element.references:
+                if parent_id in pending:
+                    # Pre-interned by the bulk but not observed yet at this
+                    # insertion point: resolvable only through the archive
+                    # (an expired precedent re-posted later in the bucket).
+                    parent = archive.get(parent_id)
+                    if parent is None:
+                        continue
+                    elements_map[parent_id] = parent
+                    parent_row = store.row_of(parent_id)
+                    # The element-wise path re-activates with the archived
+                    # timestamp before the re-post overwrites it; fold its
+                    # contribution into the activity max explicitly.
+                    store.raise_last_activity(parent_row, parent.timestamp)
+                else:
+                    maybe_row = store.get_row(parent_id)
+                    if maybe_row is None:
+                        parent = archive.get(parent_id)
+                        if parent is None:
+                            continue
+                        maybe_row = store.acquire(parent_id, parent.timestamp)
+                        elements_map[parent_id] = parent
+                    parent_row = maybe_row
+                store.add_follower(parent_row, row)
+                store.raise_last_activity(parent_row, element.timestamp)
+                touched.append(parent_id)
+            touched_lists.append(tuple(touched))
+        return touched_lists, rows
+
+    def advance_to(self, time: int) -> Tuple[int, ...]:
+        """Advance the window to ``time``; returns the expired element ids."""
+        if self._current_time is not None and time < self._current_time:
+            raise ValueError(
+                f"cannot move the window backwards (from {self._current_time} to {time})"
+            )
+        self._current_time = int(time)
+        window_start = self.window_start
+        assert window_start is not None
+        store = self._store
+
+        # 1. Window members posted before the window start leave W_t; their
+        #    follower edges disappear and the affected parents are marked
+        #    stale for re-scoring.
+        for row in store.expired_window_rows(window_start).tolist():
+            store.set_in_window(row, False)
+            element = self._elements[store.element_id_at(row)]
+            for parent_id in element.references:
+                parent_row = store.get_row(parent_id)
+                if parent_row is not None and store.discard_follower(parent_row, row):
+                    self._touched_by_expiry.add(parent_id)
+
+        # 2. Elements whose last activity predates the window start leave
+        #    the active set entirely (their rows are recycled).
+        removed: List[int] = []
+        for row in store.inactive_rows(window_start).tolist():
+            element_id = store.element_id_at(row)
+            store.release(element_id)
+            self._elements.pop(element_id, None)
+            self._touched_by_expiry.discard(element_id)
+            removed.append(element_id)
+
+        # 3. Trim the archive so memory stays bounded by the horizon.
+        archive_cutoff = self._current_time - self._archive_horizon
+        if archive_cutoff > 0:
+            stale = [
+                element_id
+                for element_id, element in self._archive.items()
+                if element.timestamp < archive_cutoff
+                and element_id not in self._elements
+            ]
+            for element_id in stale:
+                del self._archive[element_id]
+        return tuple(removed)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, element_id: int) -> bool:
+        return element_id in self._elements
+
+    def __iter__(self) -> Iterator[SocialElement]:
+        return iter(self._elements.values())
+
+    def get(self, element_id: int) -> SocialElement:
+        """Return the active element with the given id (KeyError when absent)."""
+        return self._elements[element_id]
+
+    def active_ids(self) -> Tuple[int, ...]:
+        """Ids of every active element (``A_t``)."""
+        return tuple(self._elements.keys())
+
+    def active_elements(self) -> Tuple[SocialElement, ...]:
+        """Every active element (``A_t``)."""
+        return tuple(self._elements.values())
+
+    def window_ids(self) -> Tuple[int, ...]:
+        """Ids of the elements inside the sliding window (``W_t``)."""
+        store = self._store
+        return tuple(
+            int(i) for i in store.ids_at(store.window_member_rows()).tolist()
+        )
+
+    def in_window(self, element_id: int) -> bool:
+        """Whether the element is currently a member of ``W_t``."""
+        row = self._store.get_row(element_id)
+        return row is not None and self._store.in_window(row)
+
+    def take_touched_by_expiry(self) -> Tuple[int, ...]:
+        """Drain the stale-score set (same contract as ActiveWindow)."""
+        touched = tuple(
+            eid for eid in self._touched_by_expiry if eid in self._elements
+        )
+        self._touched_by_expiry.clear()
+        return touched
+
+    def followers_of(self, element_id: int) -> Tuple[int, ...]:
+        """``I_t(e)``: ids of in-window elements referencing ``element_id``."""
+        row = self._store.get_row(element_id)
+        if row is None:
+            return ()
+        return self._store.follower_ids(row)
+
+    def followers_snapshot(self) -> Dict[int, Tuple[int, ...]]:
+        """``I_t(e)`` of every active element via one CSR slice."""
+        store = self._store
+        rows = store.live_rows()
+        parent_ids = store.ids_at(rows)
+        indptr, follower_ids = store.followers_csr(rows)
+        flat = follower_ids.tolist()
+        snapshot: Dict[int, Tuple[int, ...]] = {}
+        for position, parent in enumerate(parent_ids.tolist()):
+            start, stop = int(indptr[position]), int(indptr[position + 1])
+            snapshot[int(parent)] = tuple(flat[start:stop])
+        return snapshot
+
+    def follower_count(self, element_id: int) -> int:
+        """``|I_t(e)|`` without materialising the tuple."""
+        row = self._store.get_row(element_id)
+        return 0 if row is None else self._store.follower_count(row)
+
+    def last_activity(self, element_id: int) -> int:
+        """Last post/reference time of the element (KeyError when inactive)."""
+        return self._store.last_activity_of(self._store.row_of(element_id))
+
+    @property
+    def active_count(self) -> int:
+        """``n_t = |A_t|``."""
+        return len(self._elements)
+
+    @property
+    def window_count(self) -> int:
+        """``|W_t|``."""
+        return self._store.window_count
+
+    # -- checkpoint state --------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """The shared window snapshot schema, numeric parts as arrays.
+
+        Same logical content as :meth:`ActiveWindow.state_dict` — the
+        checkpoint layer extracts the arrays into the ``.npz`` member of
+        the v2 format, and either window class restores either shape.
+        """
+        store = self._store
+        ordered = encode_id_array(self._elements)
+        rows = store.rows_of(ordered.tolist())
+        indptr, follower_ids = store.followers_csr(rows)
+        last_activity = np.stack(
+            [ordered, store.last_activity_slice(rows)], axis=1
+        ).astype(np.int64)
+        return {
+            "window_length": self._window_length,
+            "archive_horizon": self._archive_horizon,
+            "current_time": self._current_time,
+            "archive": [element.to_dict() for element in self._archive.values()],
+            "active_ids": ordered,
+            "window_member_ids": encode_id_array(self.window_ids()),
+            "last_activity": last_activity,
+            "followers": {
+                "parents": ordered,
+                "indptr": indptr,
+                "followers": follower_ids,
+            },
+            "touched_by_expiry": sorted(self._touched_by_expiry),
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore either window snapshot shape (JSON lists or arrays)."""
+        if int(cast(int, state["window_length"])) != self._window_length:
+            raise ValueError(
+                f"checkpoint window_length {state['window_length']} does not match "
+                f"the configured window_length {self._window_length}"
+            )
+        archive_payload = cast(List[Dict[str, object]], state["archive"])
+        archive = {
+            int(cast(int, payload["element_id"])): SocialElement.from_dict(payload)
+            for payload in archive_payload
+        }
+        current_time = cast(Optional[int], state["current_time"])
+        self._current_time = None if current_time is None else int(current_time)
+
+        store = self._store
+        store.clear()
+        self._elements = {}
+        active_ids = decode_id_list(state["active_ids"])
+        for element_id in active_ids:
+            element = archive[element_id]
+            self._elements[element_id] = element
+            store.acquire(element_id, element.timestamp)
+        for element_id in decode_id_list(state["window_member_ids"]):
+            store.set_in_window(store.row_of(element_id), True)
+        for element_id, time in decode_pairs(state["last_activity"]):
+            row = store.get_row(element_id)
+            if row is not None:
+                store.set_last_activity(row, time)
+        for parent_id, follower_ids in decode_followers(state["followers"]).items():
+            parent_row = store.get_row(parent_id)
+            if parent_row is None:
+                continue
+            for follower_id in follower_ids:
+                store.add_follower(parent_row, store.row_of(follower_id))
+        self._touched_by_expiry = {
+            int(eid) for eid in decode_id_list(state["touched_by_expiry"])
+        }
+        # Prune archived elements beyond the configured horizon: a restored
+        # window must not carry more history than a live one would.
+        if self._current_time is not None:
+            cutoff = self._current_time - self._archive_horizon
+            if cutoff > 0:
+                archive = {
+                    element_id: element
+                    for element_id, element in archive.items()
+                    if element.timestamp >= cutoff or element_id in self._elements
+                }
+        self._archive = archive
+
+    def validate(self) -> bool:
+        """Check internal invariants (used by property-based tests)."""
+        store = self._store
+        if not store.validate():
+            return False
+        if len(self._elements) != len(store):
+            return False
+        window_start = self.window_start
+        for element_id, element in self._elements.items():
+            row = store.get_row(element_id)
+            if row is None:
+                return False
+            if store.in_window(row):
+                if window_start is not None and element.timestamp < window_start:
+                    return False
+            for follower_row in store.follower_rows(row):
+                follower = self._elements.get(store.element_id_at(follower_row))
+                if follower is None or element_id not in follower.references:
+                    return False
+            if element_id not in self._archive and element_id in self._elements:
+                # Actives are always archived first (insert order), except
+                # re-activated precedents whose archive entry must exist too.
+                return False
+        return True

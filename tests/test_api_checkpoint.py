@@ -9,6 +9,7 @@ import pytest
 
 from repro.api import (
     CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
     CheckpointError,
     EngineConfig,
     KSIREngine,
@@ -180,8 +181,10 @@ def test_checkpoint_is_versioned_on_disk(tmp_path):
     path = engine.save(tmp_path / "ckpt")
     manifest = json.loads((path / "MANIFEST.json").read_text())
     assert manifest["format"] == CHECKPOINT_FORMAT
-    assert manifest["version"] == 1
+    assert manifest["version"] == CHECKPOINT_VERSION
     assert manifest["backend"] == "local"
+    # The columnar default emits its numeric state as the npz member.
+    assert (path / "state_arrays.npz").exists()
     payload = read_checkpoint(path)
     assert payload.config == CONFIGS["local"]
 

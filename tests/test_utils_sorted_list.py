@@ -153,3 +153,40 @@ class TestPropertyBased:
         assert set(ranked.keys()) == set(reference)
         scores = [score for _, score in ranked]
         assert scores == sorted(scores, reverse=True)
+
+
+class TestBulkInsertProperty:
+    """Satellite property: bulk_insert ≡ repeated insert, ties included."""
+
+    @given(
+        prefill=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=12),
+                st.sampled_from([0.0, 0.25, 0.5, 1.0, 2.0]),
+            ),
+            max_size=40,
+        ),
+        batch=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                # Few distinct scores, so duplicate scores (ties broken by
+                # key — elements sharing the same t_e bucket produce
+                # exactly this shape) are the common case, not the edge.
+                st.sampled_from([0.0, 0.25, 0.5, 1.0, 2.0]),
+            ),
+            max_size=60,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bulk_insert_equals_repeated_insert(self, prefill, batch):
+        reference = DescendingSortedList()
+        bulk = DescendingSortedList()
+        for key, score in prefill:
+            reference.insert(key, score)
+            bulk.insert(key, score)
+        for key, score in batch:
+            reference.insert(key, score)
+        bulk.bulk_insert(batch)
+        assert bulk.items() == reference.items()
+        assert bulk.keys() == reference.keys()
+        assert bulk.validate() and reference.validate()
