@@ -1,0 +1,34 @@
+# The serving-tier image: `repro-ksir server` behind uvicorn.
+#
+#   docker build -t repro-ksir-server .
+#   docker run -p 8000:8000 repro-ksir-server
+#   docker run -p 8000:8000 repro-ksir-server --profile twitter-small --preload
+#
+# Arguments after the image name are passed straight to `repro-ksir server`,
+# so any CLI flag (profile, checkpoint restore, store path, engine tuning)
+# works unchanged.  Mount a volume on /data to persist the runtime telemetry
+# store and checkpoints across container restarts.
+
+FROM python:3.12-slim AS runtime
+
+ENV PYTHONDONTWRITEBYTECODE=1 \
+    PYTHONUNBUFFERED=1 \
+    PIP_NO_CACHE_DIR=1
+
+WORKDIR /app
+
+# Install the package with the serving extras (uvicorn et al.).  The source
+# tree is small; a single-stage copy keeps the build dependency-free.
+COPY pyproject.toml README.md ./
+COPY src ./src
+RUN pip install ".[server]"
+
+# Telemetry store + checkpoint volume.
+RUN mkdir -p /data
+VOLUME ["/data"]
+
+EXPOSE 8000
+
+ENTRYPOINT ["repro-ksir", "server", "--host", "0.0.0.0", "--port", "8000", \
+            "--store-path", "/data/runtime.db"]
+CMD ["--profile", "tiny"]

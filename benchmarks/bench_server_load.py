@@ -1,0 +1,22 @@
+"""Serving-tier load — thousands of concurrent REST + WebSocket clients.
+
+Thin wrapper over the ``server_load`` spec in the :mod:`repro.bench` registry.
+One run boots the full HTTP/WebSocket stack in-process, registers standing
+queries over REST, opens a fleet of WebSocket subscribers and ingests stream
+buckets while REST readers hammer the query endpoints; the check asserts that
+every result-changing bucket's delta reached every subscriber of the updated
+query.  Run as a script (``python benchmarks/bench_server_load.py [--tier
+tiny|full] [--seed N] [--output-dir DIR]``) or through ``repro-ksir bench run
+server_load``.  Under pytest the tiny tier is executed as a smoke test.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.scripts import bench_script
+
+main, test_tiny_tier = bench_script("server_load")
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,247 @@
+"""The serving-tier load benchmark: concurrent REST + WebSocket clients.
+
+One measured run boots the full stack in-process — engine, ASGI app,
+stdlib socket server — registers standing queries over HTTP, opens a fleet
+of WebSocket subscribers, then ingests stream buckets over REST while a
+pool of keep-alive REST clients hammers read endpoints.  Every
+``POST /ingest/bucket`` response names the standing queries the
+incremental scheduler re-evaluated, which makes the push contract exactly
+checkable: each subscriber must receive one delta per bucket that updated
+its query, and nothing for buckets that did not.
+
+The spec (``server_load`` in :mod:`repro.bench.suites`) records request
+latency percentiles and push throughput; its check fails the run when any
+expected delta was not delivered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Dict, List, Mapping, Set, Tuple
+
+from repro.api import EngineConfig, KSIREngine
+from repro.bench.spec import Outcome
+from repro.core.processor import ProcessorConfig
+from repro.core.scoring import ScoringConfig
+from repro.datasets.synthetic import SyntheticStreamGenerator
+from repro.service.metrics import percentile
+
+#: Concurrent WebSocket connection attempts (stays under the listen backlog).
+_CONNECT_PARALLELISM = 64
+#: Seconds allowed for the push drain after the last ingested bucket.
+_DRAIN_TIMEOUT = 30.0
+
+
+def server_load_setup(
+    params: Mapping[str, Any], seed: int
+) -> Callable[[], Outcome]:
+    """Build the measured callable of one ``server_load`` scenario."""
+    dataset = SyntheticStreamGenerator.from_profile("tiny", seed=seed).generate()
+    config = EngineConfig(
+        backend="service",
+        processor=ProcessorConfig(
+            window_length=3 * 3600,
+            bucket_length=900,
+            scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
+        ),
+    )
+    buckets = tuple(dataset.stream.buckets(config.processor.bucket_length))
+    buckets = buckets[: int(params["buckets"])]
+    num_queries = int(params["queries"])
+    queries = tuple(
+        dataset.make_query(k=5, topic=index % dataset.topic_model.num_topics)
+        for index in range(num_queries)
+    )
+
+    def measured() -> Outcome:
+        stats = asyncio.run(
+            _drive(
+                dataset.topic_model,
+                config,
+                queries,
+                buckets,
+                subscribers=int(params["subscribers"]),
+                rest_clients=int(params["rest_clients"]),
+            )
+        )
+        return Outcome(
+            units=max(1, int(stats["pushes_total"])),
+            metrics={
+                "subscribers": float(stats["subscribers"]),
+                "request_p50_ms": stats["request_p50_ms"],
+                "request_p95_ms": stats["request_p95_ms"],
+                "pushes_per_sec": stats["pushes_per_sec"],
+                "pushes_total": float(stats["pushes_total"]),
+                "missing_pushes": float(stats["missing_pushes"]),
+                "updated_query_buckets": float(stats["updated_query_buckets"]),
+                "rest_requests": float(stats["rest_requests"]),
+            },
+            value=stats,
+        )
+
+    return measured
+
+
+def server_load_check(values: Mapping[str, Any], report: Any) -> None:
+    """Shape assertions: full delivery, live fleet, non-trivial updates."""
+    for name, stats in values.items():
+        assert stats["missing_pushes"] == 0, (
+            f"{name}: {stats['missing_pushes']} expected deltas were never "
+            "delivered to their subscribers"
+        )
+        assert stats["subscribers"] == stats["requested_subscribers"], (
+            f"{name}: only {stats['subscribers']} of "
+            f"{stats['requested_subscribers']} WebSocket subscribers connected"
+        )
+        assert stats["updated_query_buckets"] > 0, (
+            f"{name}: no bucket updated any standing query — the push path "
+            "was never exercised"
+        )
+        assert stats["pushes_total"] > 0, f"{name}: no deltas were pushed"
+
+
+async def _drive(
+    topic_model: Any,
+    config: EngineConfig,
+    queries: Tuple[Any, ...],
+    buckets: Tuple[Any, ...],
+    subscribers: int,
+    rest_clients: int,
+) -> Dict[str, Any]:
+    from repro.server.app import create_app
+    from repro.server.asgi import serve
+    from repro.server.ws_client import HttpClient, WebSocketClient
+
+    engine = KSIREngine(topic_model, config)
+    app = create_app(engine, max_workers=8, push_queue_size=64)
+    handle = await serve(app)
+    latencies: List[float] = []
+    rest_requests = 0
+    stop_rest = asyncio.Event()
+
+    async def timed(client: HttpClient, method: str, path: str, payload=None):
+        started = time.perf_counter()
+        response = await client.request(method, path, payload)
+        latencies.append((time.perf_counter() - started) * 1000.0)
+        return response
+
+    try:
+        control = HttpClient(handle.host, handle.port)
+        for index, query in enumerate(queries):
+            response = await timed(control, "POST", "/queries", {
+                "vector": [float(v) for v in query.vector],
+                "k": query.k,
+                "query_id": f"q{index}",
+                "algorithm": "mttd",
+                "epsilon": 0.2,
+            })
+            assert response.status == 201, response.body
+
+        # -- WebSocket fleet -----------------------------------------------------------
+        received: List[Set[int]] = [set() for _ in range(subscribers)]
+        assigned = [f"q{index % len(queries)}" for index in range(subscribers)]
+        sockets: List[WebSocketClient] = []
+        gate = asyncio.Semaphore(_CONNECT_PARALLELISM)
+
+        async def connect(index: int) -> WebSocketClient:
+            async with gate:
+                return await WebSocketClient.connect(
+                    handle.host, handle.port, f"/ws/queries/{assigned[index]}"
+                )
+
+        sockets = list(
+            await asyncio.gather(*(connect(i) for i in range(subscribers)))
+        )
+
+        async def reader(index: int) -> None:
+            ws = sockets[index]
+            while True:
+                message = await ws.recv_json()
+                if message is None:
+                    return
+                if message.get("type") == "delta":
+                    received[index].add(int(message["bucket"]))
+
+        readers = [asyncio.ensure_future(reader(i)) for i in range(subscribers)]
+
+        # -- REST read load ------------------------------------------------------------
+        async def rest_loop(worker: int) -> int:
+            count = 0
+            async with HttpClient(handle.host, handle.port) as client:
+                while not stop_rest.is_set():
+                    target = f"/queries/q{(worker + count) % len(queries)}/result"
+                    response = await timed(client, "GET", target)
+                    assert response.status == 200, response.body
+                    response = await timed(client, "GET", "/health")
+                    assert response.status == 200
+                    count += 2
+            return count
+
+        rest_tasks = [
+            asyncio.ensure_future(rest_loop(worker))
+            for worker in range(rest_clients)
+        ]
+
+        # -- ingest + push accounting --------------------------------------------------
+        expected_buckets: Dict[str, Set[int]] = {f"q{i}": set() for i in range(len(queries))}
+        updated_query_buckets = 0
+        push_clock_start = time.perf_counter()
+        for bucket in buckets:
+            response = await timed(control, "POST", "/ingest/bucket", {
+                "end_time": int(bucket.end_time),
+                "elements": [element.to_dict() for element in bucket.elements],
+            })
+            assert response.status == 200, response.body
+            summary = response.json()
+            for query_id in summary["updated"]:
+                expected_buckets[query_id].add(int(summary["bucket"]))
+                updated_query_buckets += 1
+
+        # -- drain ---------------------------------------------------------------------
+        def missing() -> int:
+            return sum(
+                len(expected_buckets[assigned[index]] - received[index])
+                for index in range(subscribers)
+            )
+
+        deadline = time.perf_counter() + _DRAIN_TIMEOUT
+        while missing() and time.perf_counter() < deadline:
+            await asyncio.sleep(0.05)
+        push_elapsed = max(1e-9, time.perf_counter() - push_clock_start)
+
+        stop_rest.set()
+        rest_counts = await asyncio.gather(*rest_tasks)
+        rest_requests = int(sum(rest_counts))
+        for task in readers:
+            task.cancel()
+        await asyncio.gather(*readers, return_exceptions=True)
+        close_gate = asyncio.Semaphore(_CONNECT_PARALLELISM)
+
+        async def close_socket(ws: WebSocketClient) -> None:
+            async with close_gate:
+                await ws.close()
+
+        await asyncio.gather(
+            *(close_socket(ws) for ws in sockets), return_exceptions=True
+        )
+        await control.close()
+
+        pushes_total = sum(len(marks) for marks in received)
+        ordered = sorted(latencies)
+        return {
+            "requested_subscribers": subscribers,
+            "subscribers": len(sockets),
+            "request_p50_ms": percentile(ordered, 0.50),
+            "request_p95_ms": percentile(ordered, 0.95),
+            "pushes_total": pushes_total,
+            "pushes_per_sec": pushes_total / push_elapsed,
+            "missing_pushes": missing(),
+            "updated_query_buckets": updated_query_buckets,
+            "rest_requests": rest_requests,
+            "hub_pushes": app.hub.pushes,
+        }
+    finally:
+        stop_rest.set()
+        await handle.stop()
+        app.close()

@@ -862,3 +862,53 @@ register(
         tags=("ablation",),
     )
 )
+
+
+# ---------------------------------------------------------------------------
+# Serving tier (repro.server): concurrent REST + WebSocket load
+# ---------------------------------------------------------------------------
+
+
+def _server_load_setup(params: Mapping[str, Any], seed: int) -> Callable[[], Outcome]:
+    # Deferred so importing the suite registry never touches the serving
+    # tier; the driver itself is stdlib-only (see repro.bench.server_load).
+    from repro.bench.server_load import server_load_setup
+
+    return server_load_setup(params, seed)
+
+
+def _server_load_check(values: Mapping[str, Any], report: Any) -> None:
+    from repro.bench.server_load import server_load_check
+
+    server_load_check(values, report)
+
+
+register(
+    BenchSpec(
+        name="server_load",
+        description="serving tier: concurrent REST + WebSocket push load over HTTP",
+        setup=_server_load_setup,
+        tiers={
+            "tiny": TierPolicy(
+                scenarios=(
+                    Scenario("load", {"subscribers": 64, "queries": 16,
+                                      "buckets": 6, "rest_clients": 8}),
+                ),
+                warmup=0, repeat=1,
+            ),
+            "full": TierPolicy(
+                scenarios=(
+                    Scenario("load", {"subscribers": 1_000, "queries": 50,
+                                      "buckets": 8, "rest_clients": 32}),
+                ),
+                warmup=0, repeat=1,
+            ),
+        },
+        check=_server_load_check,
+        # Deliberately NOT tagged "service": the committed baseline records
+        # the full tier (the 1000-subscriber acceptance run) and must not be
+        # latency-compared against CI's tiny-tier runs; CI exercises the
+        # tiny tier in the server smoke job instead.
+        tags=("server",),
+    )
+)

@@ -11,6 +11,10 @@ without writing Python:
   of the registered algorithms;
 * ``repro-ksir serve`` — replay a stream while continuously maintaining N
   registered standing queries and print the service metrics report;
+* ``repro-ksir server`` — expose the engine over HTTP + WebSockets (REST
+  CRUD for standing queries, bucket ingest, checkpoints, Prometheus
+  metrics and push channels); runs under uvicorn when the ``server``
+  extra is installed and under the bundled stdlib ASGI server otherwise;
 * ``repro-ksir experiment`` — regenerate one of the paper's tables or figures
   with reduced, CLI-friendly settings;
 * ``repro-ksir bench`` — run/list/compare the registered benchmarks: every
@@ -124,6 +128,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="standing results to print after the replay")
     serve.add_argument("--seed", type=int, default=2019)
     EngineConfig.add_arguments(serve, service=True)
+
+    server = subparsers.add_parser(
+        "server", help="serve standing k-SIR queries over HTTP and WebSockets"
+    )
+    server.add_argument("--host", default="127.0.0.1")
+    server.add_argument("--port", type=int, default=8000)
+    server.add_argument("--profile", default="tiny", choices=sorted(profile_names()),
+                        help="synthetic profile providing the topic model")
+    server.add_argument("--stream", type=Path,
+                        help="JSONL stream to replay before serving")
+    server.add_argument("--model", type=Path,
+                        help="topic model .npz (required with --stream)")
+    server.add_argument("--preload", action="store_true",
+                        help="replay the profile's stream before serving")
+    server.add_argument("--checkpoint", type=Path, default=None,
+                        help="restore the engine from a checkpoint directory")
+    server.add_argument("--store-path", type=Path, default=None,
+                        help="SQLite file persisting runtime telemetry across "
+                             "restarts (default: in-memory)")
+    server.add_argument("--http-workers", type=int, default=8,
+                        help="request worker threads of the serving tier")
+    server.add_argument("--seed", type=int, default=2019)
+    EngineConfig.add_arguments(server, service=True)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures"
@@ -316,6 +343,75 @@ def run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def build_server_app(args: argparse.Namespace):
+    """Build the ASGI serving app from ``server`` subcommand arguments.
+
+    Split from :func:`run_server` so tests (and programmatic embedders) can
+    construct the exact app the CLI would serve without binding a socket.
+    The serving tier is imported lazily: the core CLI works without it and
+    the tier itself works without its optional dependencies.
+    """
+    import dataclasses
+
+    from repro.server.app import create_app
+    from repro.server.runtime_store import RuntimeStore
+
+    config = EngineConfig.from_args(args, service=True)
+    if config.backend != "service":
+        # Standing queries and pushes are the product of this tier.
+        config = dataclasses.replace(config, backend="service")
+
+    if args.checkpoint is not None:
+        engine = KSIREngine.load(args.checkpoint)
+        if engine.service_engine is None:
+            engine.close()
+            raise SystemExit("error: checkpoint does not hold a service-backend engine")
+    elif args.stream is not None:
+        if args.model is None:
+            raise SystemExit("error: --model is required when --stream is given")
+        stream = load_stream_jsonl(args.stream)
+        model = MatrixTopicModel.load(args.model)
+        engine = KSIREngine(model, config)
+        engine.process_stream(stream)
+        _print(f"replayed {engine.elements_processed} elements from {args.stream}")
+    else:
+        dataset = SyntheticStreamGenerator.from_profile(
+            args.profile, seed=args.seed
+        ).generate()
+        engine = KSIREngine(dataset.topic_model, config)
+        if args.preload:
+            engine.process_stream(dataset.stream)
+            _print(
+                f"replayed {engine.elements_processed} elements "
+                f"of profile {args.profile!r}"
+            )
+
+    store = RuntimeStore(args.store_path) if args.store_path is not None else None
+    return create_app(engine, store=store, max_workers=args.http_workers)
+
+
+def run_server(args: argparse.Namespace) -> int:
+    app = build_server_app(args)
+    try:
+        try:
+            import uvicorn
+        except ImportError:
+            from repro.server.asgi import run as run_stdlib
+
+            _print(
+                "uvicorn is not installed (pip install 'repro-ksir[server]'); "
+                "using the bundled stdlib ASGI server"
+            )
+            run_stdlib(app, host=args.host, port=args.port)
+        else:
+            uvicorn.run(app, host=args.host, port=args.port)
+    finally:
+        store = app.store
+        app.close()
+        store.close()
+    return 0
+
+
 def _experiment_runner(name: str, efficiency: EfficiencyConfig,
                        effectiveness: EffectivenessConfig, queries: int) -> str:
     if name == "table3":
@@ -421,6 +517,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "stats": run_stats,
     "query": run_query,
     "serve": run_serve,
+    "server": run_server,
     "experiment": run_experiment,
     "bench": run_bench,
 }

@@ -1,0 +1,265 @@
+"""An in-process test client for the ASGI serving tier.
+
+``TestClient`` drives the application through the ASGI interface directly
+(no sockets, no HTTP parsing) from synchronous test code, the shape
+httpx's ``ASGITransport`` client offers.  A dedicated background event
+loop thread hosts the application, so WebSocket sessions stay live while
+the test thread issues further HTTP requests — exactly the push-on-ingest
+scenario the serving tier exists for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.server.asgi import ASGIApp
+
+_DEFAULT_TIMEOUT = 30.0
+
+
+class TestResponse:
+    """One response captured from the application."""
+
+    __test__ = False  # not a pytest collection target
+
+    def __init__(self, status: int, headers: List[Any], body: bytes) -> None:
+        self.status = status
+        self.headers = {
+            bytes(name).decode("latin-1"): bytes(value).decode("latin-1")
+            for name, value in headers
+        }
+        self.body = body
+
+    def json(self) -> Any:
+        """The body decoded as JSON."""
+        return json.loads(self.body.decode("utf-8"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TestResponse(status={self.status}, body={self.body[:120]!r})"
+
+
+class TestClient:
+    """Synchronous ASGI client over a background event loop."""
+
+    __test__ = False  # not a pytest collection target
+
+    def __init__(self, app: ASGIApp, timeout: float = _DEFAULT_TIMEOUT) -> None:
+        self._app = app
+        self._timeout = timeout
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="ksir-test-loop", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The background loop (exposed for advanced orchestration)."""
+        return self._loop
+
+    def close(self) -> None:
+        """Stop the background loop (idempotent)."""
+        if self._loop.is_closed():
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+        self._loop.close()
+
+    def __enter__(self) -> "TestClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- HTTP --------------------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> TestResponse:
+        """Run one HTTP request through the application."""
+        future = asyncio.run_coroutine_threadsafe(
+            self._request(method, path, payload), self._loop
+        )
+        return future.result(timeout=self._timeout)
+
+    def get(self, path: str) -> TestResponse:
+        """``GET path``."""
+        return self.request("GET", path)
+
+    def post(
+        self, path: str, payload: Optional[Mapping[str, Any]] = None
+    ) -> TestResponse:
+        """``POST path`` with a JSON body."""
+        return self.request("POST", path, payload=payload or {})
+
+    def delete(self, path: str) -> TestResponse:
+        """``DELETE path``."""
+        return self.request("DELETE", path)
+
+    async def _request(
+        self, method: str, path: str, payload: Optional[Mapping[str, Any]]
+    ) -> TestResponse:
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        raw_path, _, query = path.partition("?")
+        scope: Dict[str, Any] = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": raw_path,
+            "raw_path": path.encode("latin-1"),
+            "query_string": query.encode("latin-1"),
+            "headers": [(b"content-type", b"application/json")],
+        }
+        incoming = iter([
+            {"type": "http.request", "body": body, "more_body": False},
+            {"type": "http.disconnect"},
+        ])
+
+        async def receive() -> Dict[str, Any]:
+            return next(incoming, {"type": "http.disconnect"})
+
+        state: Dict[str, Any] = {"status": 500, "headers": [], "chunks": []}
+
+        async def send(message: Any) -> None:
+            kind = message.get("type")
+            if kind == "http.response.start":
+                state["status"] = int(message.get("status", 200))
+                state["headers"] = list(message.get("headers", []))
+            elif kind == "http.response.body":
+                state["chunks"].append(bytes(message.get("body", b"")))
+
+        await self._app(scope, receive, send)
+        return TestResponse(
+            state["status"], state["headers"], b"".join(state["chunks"])
+        )
+
+    # -- WebSocket ---------------------------------------------------------------------
+
+    def websocket(self, path: str) -> "TestWebSocket":
+        """Open a WebSocket session; use as a context manager."""
+        return TestWebSocket(self, path)
+
+
+class TestWebSocket:
+    """One in-process WebSocket session driven from the test thread."""
+
+    __test__ = False  # not a pytest collection target
+
+    def __init__(self, client: TestClient, path: str) -> None:
+        self._client = client
+        self._path = path
+        self._to_app: "asyncio.Queue[Dict[str, Any]]" = asyncio.Queue()
+        self._from_app: "asyncio.Queue[Dict[str, Any]]" = asyncio.Queue()
+        self._task: Optional["asyncio.Task[None]"] = None
+        self.accepted = False
+        self.close_code: Optional[int] = None
+
+    def __enter__(self) -> "TestWebSocket":
+        loop = self._client.loop
+        asyncio.run_coroutine_threadsafe(self._start(), loop).result(timeout=5)
+        first = self._next_raw(timeout=self._client._timeout)
+        if first.get("type") == "websocket.accept":
+            self.accepted = True
+        elif first.get("type") == "websocket.close":
+            self.close_code = int(first.get("code", 1006))
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    async def _start(self) -> None:
+        raw_path, _, query = self._path.partition("?")
+        scope: Dict[str, Any] = {
+            "type": "websocket",
+            "asgi": {"version": "3.0"},
+            "scheme": "ws",
+            "path": raw_path,
+            "raw_path": self._path.encode("latin-1"),
+            "query_string": query.encode("latin-1"),
+            "headers": [],
+            "subprotocols": [],
+        }
+        await self._to_app.put({"type": "websocket.connect"})
+
+        async def receive() -> Dict[str, Any]:
+            return await self._to_app.get()
+
+        async def send(message: Any) -> None:
+            await self._from_app.put(dict(message))
+
+        self._task = asyncio.ensure_future(
+            self._client._app(scope, receive, send)
+        )
+
+    def _next_raw(self, timeout: float) -> Dict[str, Any]:
+        future = asyncio.run_coroutine_threadsafe(
+            asyncio.wait_for(self._from_app.get(), timeout), self._client.loop
+        )
+        return future.result(timeout=timeout + 5)
+
+    def receive_json(self, timeout: float = 10.0) -> Optional[Any]:
+        """The next pushed JSON message, or ``None`` once the app closed.
+
+        Raises :class:`TimeoutError` when nothing arrives in ``timeout``
+        seconds.
+        """
+        while True:
+            try:
+                message = self._next_raw(timeout)
+            except asyncio.TimeoutError:
+                raise TimeoutError(
+                    f"no WebSocket message within {timeout}s"
+                ) from None
+            kind = message.get("type")
+            if kind == "websocket.send":
+                if message.get("text") is not None:
+                    return json.loads(str(message["text"]))
+                return json.loads(bytes(message.get("bytes", b"{}")).decode())
+            if kind == "websocket.close":
+                self.close_code = int(message.get("code", 1000))
+                return None
+            if kind == "websocket.accept":  # pragma: no cover - already consumed
+                continue
+
+    def expect_nothing(self, timeout: float = 0.5) -> bool:
+        """True when no message arrives within ``timeout`` seconds."""
+        try:
+            self._next_raw(timeout)
+        except asyncio.TimeoutError:
+            return True
+        return False
+
+    def send_text(self, text: str) -> None:
+        """Deliver a client text frame to the application."""
+        asyncio.run_coroutine_threadsafe(
+            self._to_app.put({"type": "websocket.receive", "text": text}),
+            self._client.loop,
+        ).result(timeout=5)
+
+    def close(self) -> None:
+        """Disconnect the session and wait for the app handler to finish."""
+        if self._task is None:
+            return
+        asyncio.run_coroutine_threadsafe(
+            self._to_app.put({"type": "websocket.disconnect", "code": 1000}),
+            self._client.loop,
+        ).result(timeout=5)
+        task = self._task
+        self._task = None
+
+        async def _await_task() -> None:
+            try:
+                await asyncio.wait_for(asyncio.shield(task), timeout=5)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                task.cancel()
+
+        asyncio.run_coroutine_threadsafe(
+            _await_task(), self._client.loop
+        ).result(timeout=10)

@@ -17,8 +17,8 @@ actually changed.
   metadata and :class:`ServiceMetrics`.
 """
 
-from repro.service.engine import ServiceEngine, StandingResult
-from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.engine import ServiceEngine, ServiceUpdate, StandingResult
+from repro.service.metrics import ServiceMetrics, percentile, timer_summary
 from repro.service.registry import QueryRegistry, StandingQuery
 from repro.service.scheduler import IncrementalScheduler, SchedulePlan
 from repro.service.snapshot_cache import SnapshotCache
@@ -29,8 +29,10 @@ __all__ = [
     "SchedulePlan",
     "ServiceEngine",
     "ServiceMetrics",
+    "ServiceUpdate",
     "SnapshotCache",
     "StandingQuery",
     "StandingResult",
     "percentile",
+    "timer_summary",
 ]

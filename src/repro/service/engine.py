@@ -29,8 +29,8 @@ ratio).
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, replace
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.core.algorithms import KSIRAlgorithm
@@ -107,6 +107,42 @@ class StandingResult:
         )
 
 
+@dataclass(frozen=True)
+class ServiceUpdate:
+    """What one ingested bucket changed, delivered to update listeners.
+
+    The serving tier (``repro.server``) subscribes here to push WebSocket
+    deltas: ``updated`` holds the standing results the incremental
+    scheduler re-evaluated on this bucket (exactly the queries whose
+    dirty-topic epochs intersected their support — everything else is
+    provably unchanged and generates no push), and ``expired`` names the
+    queries dropped by TTL on this bucket.
+
+    Attributes
+    ----------
+    bucket:
+        ``buckets_processed`` after the ingest.
+    time:
+        Stream time of the bucket (None before any advance).
+    plan:
+        The schedule plan that was executed.
+    updated:
+        Freshly re-evaluated standing results, keyed by query id.
+    expired:
+        Ids of the standing queries whose TTL elapsed on this bucket.
+    """
+
+    bucket: int
+    time: Optional[int]
+    plan: SchedulePlan
+    updated: Mapping[str, StandingResult] = field(default_factory=dict)
+    expired: Tuple[str, ...] = ()
+
+
+#: Signature of a :meth:`ServiceEngine.add_update_listener` callback.
+UpdateListener = Callable[[ServiceUpdate], None]
+
+
 class ServiceEngine:
     """Maintains many standing k-SIR queries over one shared sliding window."""
 
@@ -152,6 +188,7 @@ class ServiceEngine:
         self._solvers: Dict[str, KSIRAlgorithm] = {}
         self._pending: set = set()
         self._metrics = ServiceMetrics()
+        self._listeners: List[UpdateListener] = []
         self._closed = False
         # A supplied registry may already hold standing queries: adopt them
         # as never-evaluated so the next bucket gives them a first answer.
@@ -236,6 +273,27 @@ class ServiceEngine:
         self._pending.discard(query_id)
         return removed
 
+    # -- update listeners --------------------------------------------------------------
+
+    def add_update_listener(self, listener: UpdateListener) -> None:
+        """Subscribe to per-bucket :class:`ServiceUpdate` notifications.
+
+        Listeners fire synchronously at the end of :meth:`ingest_bucket`,
+        after the affected standing results were re-evaluated, and must not
+        call back into the engine's ingest path.  A listener that raises
+        propagates to the ingest caller (the serving tier isolates its
+        own failures before this boundary).
+        """
+        self._listeners.append(listener)
+
+    def remove_update_listener(self, listener: UpdateListener) -> bool:
+        """Unsubscribe a listener; returns whether it was registered."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            return False
+        return True
+
     # -- serving loop -----------------------------------------------------------------
 
     def ingest_bucket(
@@ -263,11 +321,13 @@ class ServiceEngine:
             dirty = self._backend.ranked_lists.take_dirty_topics()
 
         bucket = self._backend.buckets_processed
+        expired_ids: List[str] = []
         for standing in self._registry.prune_expired(bucket):
             self._results.pop(standing.query_id, None)
             self._solvers.pop(standing.query_id, None)
             self._pending.discard(standing.query_id)
             self._metrics.expired_queries += 1
+            expired_ids.append(standing.query_id)
 
         if self._incremental:
             # The advance may both add and expire elements, so the expiry
@@ -297,6 +357,20 @@ class ServiceEngine:
         self._metrics.reused += len(self._registry) - len(plan.query_ids)
         if plan.full and plan.reason != "incremental":
             self._metrics.full_reevals += 1
+        if self._listeners:
+            update = ServiceUpdate(
+                bucket=self._backend.buckets_processed,
+                time=self._backend.current_time,
+                plan=plan,
+                updated={
+                    query_id: result
+                    for query_id in plan.query_ids
+                    if (result := self.result(query_id)) is not None
+                },
+                expired=tuple(expired_ids),
+            )
+            for listener in tuple(self._listeners):
+                listener(update)
         return plan
 
     def serve_stream(

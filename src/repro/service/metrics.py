@@ -18,9 +18,28 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Dict, Sequence
 
 from repro.utils.timing import TimingStats
+
+
+def timer_summary(stats: TimingStats) -> Dict[str, float]:
+    """A plain-JSON summary of one :class:`TimingStats` accumulator.
+
+    Counters and percentiles only (the raw samples stay private), so the
+    serving tier can expose timers over ``/metrics`` and ``/telemetry``
+    without reaching into sample lists.
+    """
+    samples = stats.samples_ms
+    return {
+        "count": float(stats.count),
+        "total_ms": float(stats.total_ms),
+        "mean_ms": float(stats.mean_ms),
+        "p50_ms": percentile(samples, 0.50),
+        "p95_ms": percentile(samples, 0.95),
+        "p99_ms": percentile(samples, 0.99),
+        "max_ms": float(stats.max_ms),
+    }
 
 
 def percentile(samples: Sequence[float], fraction: float) -> float:
@@ -144,6 +163,36 @@ class ServiceMetrics:
         if seconds <= 0.0:
             return 0.0
         return self.evaluations / seconds
+
+    # -- snapshot export -------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable snapshot of every counter and derived rate.
+
+        Plain ints/floats only (timers are exported as percentile
+        summaries, never as raw sample lists), so ``/metrics`` and
+        ``/telemetry`` can serialise the serving state without touching
+        private fields.  The snapshot is a value copy: mutating the
+        returned dictionary never affects the live metrics.
+        """
+        return {
+            "buckets": self.buckets,
+            "evaluations": self.evaluations,
+            "reused": self.reused,
+            "opportunities": self.opportunities,
+            "full_reevals": self.full_reevals,
+            "expired_queries": self.expired_queries,
+            "snapshot_hits": self.snapshot_hits,
+            "snapshot_misses": self.snapshot_misses,
+            "reeval_ratio": float(self.reeval_ratio),
+            "result_cache_hit_rate": float(self.result_cache_hit_rate),
+            "snapshot_hit_rate": float(self.snapshot_hit_rate),
+            "queries_per_sec": float(self.queries_per_sec),
+            "evaluations_per_sec": float(self.evaluations_per_sec),
+            "maintenance_seconds": float(self.maintenance_seconds),
+            "eval_latency": timer_summary(self.eval_latency),
+            "maintenance_timer": timer_summary(self.maintenance_timer),
+        }
 
     # -- reporting -------------------------------------------------------------------------
 

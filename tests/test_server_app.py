@@ -1,0 +1,269 @@
+"""HTTP surface of the serving tier (repro.server.app) — in-process ASGI.
+
+Driven through :class:`repro.server.testing.TestClient`, so these tests
+exercise the exact scope/receive/send messages a production ASGI server
+would deliver, without sockets.  A two-topic orthogonal model keeps every
+scenario hand-checkable: ``alpha`` elements live purely on topic 0 and
+``beta`` elements purely on topic 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from server_harness import element, ingest_payload, make_engine
+
+from repro.api import EngineConfig, KSIREngine
+from repro.server.app import KSIRServer, create_app
+from repro.server.runtime_store import RuntimeStore
+from repro.server.testing import TestClient
+from repro.topics.model import MatrixTopicModel
+from repro.topics.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def app() -> KSIRServer:
+    application = create_app(make_engine())
+    yield application
+    application.close()
+
+
+@pytest.fixture()
+def client(app: KSIRServer) -> TestClient:
+    with TestClient(app) as test_client:
+        yield test_client
+
+
+class TestHealthAndStats:
+    def test_health(self, client: TestClient) -> None:
+        response = client.get("/health")
+        assert response.status == 200
+        payload = response.json()
+        assert payload["status"] == "ok"
+        assert payload["backend"] == "service"
+        assert payload["standing_queries"] == 0
+
+    def test_stats(self, client: TestClient) -> None:
+        response = client.get("/stats")
+        assert response.status == 200
+        assert "stats" in response.json()
+
+    def test_unknown_path_is_404(self, client: TestClient) -> None:
+        assert client.get("/nope").status == 404
+
+    def test_wrong_method_is_405(self, client: TestClient) -> None:
+        assert client.request("PUT", "/queries").status == 405
+
+
+class TestQueryCrud:
+    def test_register_list_get_delete(self, client: TestClient) -> None:
+        created = client.post(
+            "/queries", {"keywords": ["alpha"], "k": 2, "query_id": "q-alpha"}
+        )
+        assert created.status == 201
+        body = created.json()["query"]
+        assert body["query_id"] == "q-alpha"
+        # Keyword inference may smooth mass across topics; the keyword's
+        # own topic must dominate the support either way.
+        assert 0 in body["topics"]
+
+        listing = client.get("/queries")
+        assert listing.status == 200
+        assert listing.json()["count"] == 1
+
+        fetched = client.get("/queries/q-alpha")
+        assert fetched.status == 200
+        assert fetched.json()["query"]["result"] is None
+
+        deleted = client.delete("/queries/q-alpha")
+        assert deleted.status == 200
+        assert deleted.json() == {"removed": True, "query_id": "q-alpha"}
+        assert client.get("/queries/q-alpha").status == 404
+        assert client.delete("/queries/q-alpha").status == 404
+
+    def test_register_by_vector(self, client: TestClient) -> None:
+        created = client.post("/queries", {"vector": [0.0, 1.0], "k": 1})
+        assert created.status == 201
+        assert created.json()["query"]["topics"] == [1]
+
+    def test_register_rejects_malformed(self, client: TestClient) -> None:
+        assert client.post("/queries", {"k": 2}).status == 422
+        assert (
+            client.post(
+                "/queries", {"keywords": ["a"], "vector": [1.0], "k": 2}
+            ).status
+            == 422
+        )
+        assert client.post("/queries", {"keywords": ["a"]}).status == 422
+        assert (
+            client.post("/queries", {"keywords": ["a"], "k": 2, "bogus": 1}).status
+            == 422
+        )
+        assert client.post("/queries", {"keywords": ["a"], "k": 0}).status == 422
+
+    def test_duplicate_query_id_conflicts(self, client: TestClient) -> None:
+        assert (
+            client.post(
+                "/queries", {"vector": [1.0, 0.0], "k": 1, "query_id": "dup"}
+            ).status
+            == 201
+        )
+        second = client.post(
+            "/queries", {"vector": [1.0, 0.0], "k": 1, "query_id": "dup"}
+        )
+        assert second.status in (400, 409)
+
+    def test_result_of_unknown_query_is_404(self, client: TestClient) -> None:
+        assert client.get("/queries/unknown/result").status == 404
+
+
+class TestIngestAndQuery:
+    def test_ingest_reports_updated_queries(self, client: TestClient) -> None:
+        client.post("/queries", {"vector": [1.0, 0.0], "k": 2, "query_id": "qa"})
+        response = client.post(
+            "/ingest/bucket", ingest_payload(1, element(1, 1, 0))
+        )
+        assert response.status == 200
+        summary = response.json()
+        assert summary["ingested"] == 1
+        assert summary["bucket"] == 1
+        assert summary["updated"] == ["qa"]
+
+        result = client.get("/queries/qa/result")
+        assert result.status == 200
+        standing = result.json()["result"]
+        assert standing["result"]["element_ids"] == [1]
+        assert standing["fresh"] is True
+
+    def test_ingest_skips_unaffected_queries(self, client: TestClient) -> None:
+        client.post("/queries", {"vector": [1.0, 0.0], "k": 2, "query_id": "qa"})
+        client.post("/ingest/bucket", ingest_payload(1, element(1, 1, 0)))
+        # A pure topic-1 bucket cannot change a topic-0 answer.
+        response = client.post(
+            "/ingest/bucket", ingest_payload(2, element(2, 2, 1))
+        )
+        assert response.json()["updated"] == []
+
+    def test_ad_hoc_query(self, client: TestClient) -> None:
+        client.post("/ingest/bucket", ingest_payload(1, element(1, 1, 0)))
+        response = client.post("/query", {"keywords": ["alpha"], "k": 1})
+        assert response.status == 200
+        assert response.json()["result"]["element_ids"] == [1]
+
+    def test_ingest_rejects_malformed(self, client: TestClient) -> None:
+        assert client.post("/ingest/bucket", {"elements": []}).status == 422
+        assert (
+            client.post(
+                "/ingest/bucket", {"end_time": 1, "elements": [{"nope": 1}]}
+            ).status
+            == 422
+        )
+
+    def test_non_monotonic_ingest_is_client_error(self, client: TestClient) -> None:
+        assert (
+            client.post("/ingest/bucket", ingest_payload(5, element(1, 5, 0))).status
+            == 200
+        )
+        response = client.post(
+            "/ingest/bucket", ingest_payload(3, element(2, 3, 0))
+        )
+        assert response.status in (400, 422)
+
+
+class TestCheckpoint:
+    def test_save_and_load_roundtrip(self, client: TestClient, tmp_path) -> None:
+        client.post("/queries", {"vector": [1.0, 0.0], "k": 2, "query_id": "qa"})
+        client.post("/ingest/bucket", ingest_payload(1, element(1, 1, 0)))
+        path = str(tmp_path / "ckpt")
+
+        saved = client.post("/checkpoint/save", {"path": path})
+        assert saved.status == 200
+
+        client.post("/ingest/bucket", ingest_payload(2, element(2, 2, 0)))
+        assert client.get("/health").json()["buckets_processed"] == 2
+
+        restored = client.post("/checkpoint/load", {"path": path})
+        assert restored.status == 200
+        assert restored.json()["buckets_processed"] == 1
+        assert restored.json()["standing_queries"] == 1
+        # The restored engine keeps serving: the standing query is intact.
+        assert client.get("/queries/qa").status == 200
+
+    def test_load_missing_path_is_client_error(self, client: TestClient) -> None:
+        response = client.post("/checkpoint/load", {"path": "/nonexistent/ckpt"})
+        assert response.status in (400, 404)
+
+    def test_save_requires_path(self, client: TestClient) -> None:
+        assert client.post("/checkpoint/save", {}).status == 422
+
+
+class TestMetricsAndTelemetry:
+    def test_metrics_exposition(self, client: TestClient) -> None:
+        client.get("/health")
+        client.post("/queries", {"vector": [1.0, 0.0], "k": 1, "query_id": "qa"})
+        client.post("/ingest/bucket", ingest_payload(1, element(1, 1, 0)))
+
+        response = client.get("/metrics")
+        assert response.status == 200
+        assert response.headers["content-type"].startswith("text/plain")
+        text = response.body.decode()
+        assert "ksir_http_requests_total" in text
+        assert 'endpoint="GET /health",status="200"' in text
+        assert "ksir_service_evaluations" in text
+
+        # Histogram buckets must be cumulative and end at the total count.
+        rows = [
+            line for line in text.splitlines()
+            if line.startswith(
+                'ksir_http_request_duration_ms_bucket{endpoint="GET /health"'
+            )
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in rows]
+        assert counts == sorted(counts)
+        assert rows[-1].split("le=")[1].startswith('"+Inf"')
+        count_line = next(
+            line for line in text.splitlines()
+            if line.startswith(
+                'ksir_http_request_duration_ms_count{endpoint="GET /health"'
+            )
+        )
+        assert counts[-1] == int(count_line.rsplit(" ", 1)[1])
+
+    def test_telemetry_document(self, client: TestClient) -> None:
+        client.get("/health")
+        response = client.get("/telemetry")
+        assert response.status == 200
+        payload = response.json()
+        assert set(payload) == {"engine", "service", "push", "runtime"}
+        assert payload["push"]["subscribers"] == 0
+        assert "GET /health" in payload["runtime"]["latency"]
+
+    def test_latency_recorded_per_endpoint(self, app: KSIRServer) -> None:
+        with TestClient(app) as client:
+            client.get("/health")
+            client.get("/health")
+        histograms = app.store.histograms()
+        assert histograms["GET /health"]["count"] == 2
+
+
+class TestConstruction:
+    def test_requires_service_backend(self) -> None:
+        vocabulary = Vocabulary(["alpha", "beta"])
+        model = MatrixTopicModel(
+            vocabulary, np.array([[1.0, 0.0], [0.0, 1.0]]), normalize=False
+        )
+        engine = KSIREngine(model, EngineConfig(backend="local"))
+        try:
+            with pytest.raises(ValueError, match="service"):
+                create_app(engine)
+        finally:
+            engine.close()
+
+    def test_external_store_survives_close(self, tmp_path) -> None:
+        store = RuntimeStore(tmp_path / "runtime.db")
+        application = create_app(make_engine(), store=store)
+        application.close()
+        # The app flushed but did not close the externally owned store.
+        store.increment("still_open")
+        assert store.counters()["still_open"][""] == 1
+        store.close()

@@ -1,0 +1,164 @@
+"""The bundled stdlib ASGI server over real TCP sockets.
+
+`repro.server.asgi.serve` + the stdlib HTTP/WebSocket clients from
+`repro.server.ws_client` give an end-to-end path with zero third-party
+dependencies: real HTTP parsing, real RFC 6455 frames, real keep-alive —
+the environment `repro-ksir server` runs in when uvicorn is absent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+from server_harness import element, ingest_payload, make_engine
+
+from repro.server.app import create_app
+from repro.server.asgi import serve
+from repro.server.ws_client import HttpClient, WebSocketClient
+
+
+def run(coroutine):
+    """Drive one async scenario from a synchronous test."""
+    return asyncio.run(coroutine)
+
+
+async def _with_server(scenario) -> None:
+    app = create_app(make_engine())
+    try:
+        async with await serve(app, host="127.0.0.1", port=0) as handle:
+            await scenario(handle)
+    finally:
+        app.close()
+
+
+class TestHttpOverSockets:
+    def test_roundtrip_and_keep_alive(self) -> None:
+        async def scenario(handle) -> None:
+            async with HttpClient(handle.host, handle.port) as client:
+                health = await client.get("/health")
+                assert health.status == 200
+                assert health.json()["status"] == "ok"
+
+                # Same kept-alive socket serves a POST and another GET.
+                created = await client.post(
+                    "/queries",
+                    {"vector": [1.0, 0.0], "k": 2, "query_id": "qa"},
+                )
+                assert created.status == 201
+                listing = await client.get("/queries")
+                assert listing.json()["count"] == 1
+
+        run(_with_server(scenario))
+
+    def test_ingest_then_result(self) -> None:
+        async def scenario(handle) -> None:
+            async with HttpClient(handle.host, handle.port) as client:
+                await client.post(
+                    "/queries", {"vector": [1.0, 0.0], "k": 2, "query_id": "qa"}
+                )
+                ingested = await client.post(
+                    "/ingest/bucket", ingest_payload(1, element(1, 1, 0))
+                )
+                assert ingested.status == 200
+                assert ingested.json()["updated"] == ["qa"]
+                result = await client.get("/queries/qa/result")
+                assert result.json()["result"]["result"]["element_ids"] == [1]
+
+        run(_with_server(scenario))
+
+    def test_error_statuses_over_the_wire(self) -> None:
+        async def scenario(handle) -> None:
+            async with HttpClient(handle.host, handle.port) as client:
+                assert (await client.get("/nope")).status == 404
+                bad = await client.post("/queries", {"k": 2})
+                assert bad.status == 422
+                assert "error" in bad.json()
+                assert (await client.delete("/queries/ghost")).status == 404
+
+        run(_with_server(scenario))
+
+    def test_metrics_exposition_served(self) -> None:
+        async def scenario(handle) -> None:
+            async with HttpClient(handle.host, handle.port) as client:
+                await client.get("/health")
+                metrics = await client.get("/metrics")
+                assert metrics.status == 200
+                assert b"ksir_http_requests_total" in metrics.body
+
+        run(_with_server(scenario))
+
+
+class TestWebSocketOverSockets:
+    def test_push_roundtrip(self) -> None:
+        async def scenario(handle) -> None:
+            async with HttpClient(handle.host, handle.port) as client:
+                await client.post(
+                    "/queries", {"vector": [1.0, 0.0], "k": 2, "query_id": "qa"}
+                )
+                ws = await WebSocketClient.connect(
+                    handle.host, handle.port, "/ws/queries/qa"
+                )
+                try:
+                    snapshot = await ws.recv_json(timeout=10)
+                    assert snapshot["type"] == "snapshot"
+
+                    await client.post(
+                        "/ingest/bucket", ingest_payload(1, element(1, 1, 0))
+                    )
+                    delta = await ws.recv_json(timeout=10)
+                    assert delta["type"] == "delta"
+                    assert delta["element_ids"] == [1]
+                finally:
+                    await ws.close()
+
+        run(_with_server(scenario))
+
+    def test_client_text_is_tolerated(self) -> None:
+        async def scenario(handle) -> None:
+            async with HttpClient(handle.host, handle.port) as client:
+                await client.post(
+                    "/queries", {"vector": [1.0, 0.0], "k": 1, "query_id": "qa"}
+                )
+                ws = await WebSocketClient.connect(
+                    handle.host, handle.port, "/ws/queries/qa"
+                )
+                try:
+                    await ws.recv_json(timeout=10)  # snapshot
+                    # A client frame must not kill the session.
+                    await ws.send_text(json.dumps({"type": "ping"}))
+                    await client.post(
+                        "/ingest/bucket", ingest_payload(1, element(1, 1, 0))
+                    )
+                    delta = await ws.recv_json(timeout=10)
+                    assert delta["type"] == "delta"
+                finally:
+                    await ws.close()
+
+        run(_with_server(scenario))
+
+    def test_unknown_query_rejected_with_app_close_code(self) -> None:
+        async def scenario(handle) -> None:
+            ws = await WebSocketClient.connect(
+                handle.host, handle.port, "/ws/queries/ghost"
+            )
+            try:
+                message = await ws.recv_json(timeout=10)
+                assert message["type"] == "error"
+                assert await ws.recv(timeout=10) is None
+                assert ws.close_code == 4404
+            finally:
+                await ws.close()
+
+        run(_with_server(scenario))
+
+    def test_bad_upgrade_path_is_refused(self) -> None:
+        async def scenario(handle) -> None:
+            # Close-before-accept surfaces as an HTTP refusal, not a 101.
+            with pytest.raises(ConnectionError):
+                await WebSocketClient.connect(
+                    handle.host, handle.port, "/ws/bogus"
+                )
+
+        run(_with_server(scenario))

@@ -1,0 +1,145 @@
+"""Persistence semantics of the serving tier's SQLite runtime store.
+
+The store's contract: telemetry survives a process restart (WAL SQLite on
+disk), buffered writes become visible on every read, and the restart
+counter distinguishes lives of the process.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.server.runtime_store import LATENCY_BUCKETS_MS, RuntimeStore
+
+
+class TestCounters:
+    def test_increment_visible_through_buffer(self, tmp_path) -> None:
+        with RuntimeStore(tmp_path / "runtime.db") as store:
+            store.increment("http_requests", "GET /health|200")
+            store.increment("http_requests", "GET /health|200", by=2)
+            store.increment("http_requests", "POST /queries|201")
+            counters = store.counters()
+        assert counters["http_requests"]["GET /health|200"] == 3
+        assert counters["http_requests"]["POST /queries|201"] == 1
+
+    def test_counters_survive_reopen(self, tmp_path) -> None:
+        path = tmp_path / "runtime.db"
+        with RuntimeStore(path) as store:
+            store.increment("ws_pushes", by=7)
+        with RuntimeStore(path) as store:
+            store.increment("ws_pushes", by=5)
+            assert store.counters()["ws_pushes"][""] == 12
+
+    def test_restart_counter_increments_per_open(self, tmp_path) -> None:
+        path = tmp_path / "runtime.db"
+        for expected in (1, 2, 3):
+            with RuntimeStore(path) as store:
+                assert store.counters()["restarts"][""] == expected
+
+    def test_memory_store_is_ephemeral(self) -> None:
+        with RuntimeStore() as store:
+            assert store.path == ":memory:"
+            store.increment("x")
+            assert store.counters()["x"][""] == 1
+
+
+class TestLatencyHistograms:
+    def test_observations_land_in_log_spaced_buckets(self, tmp_path) -> None:
+        with RuntimeStore(tmp_path / "runtime.db") as store:
+            store.observe_latency("GET /health", 0.4)     # le=1
+            store.observe_latency("GET /health", 3.0)     # le=5
+            store.observe_latency("GET /health", 900.0)   # le=1000
+            store.observe_latency("GET /health", 99999.0)  # +Inf
+            histogram = store.histograms()["GET /health"]
+        assert histogram["count"] == 4
+        assert histogram["buckets"]["1"] == 1
+        assert histogram["buckets"]["5"] == 1
+        assert histogram["buckets"]["1000"] == 1
+        assert histogram["buckets"]["+Inf"] == 1
+        assert histogram["total_ms"] > 100_000
+        assert histogram["mean_ms"] == histogram["total_ms"] / 4
+
+    def test_percentile_estimates_are_ordered(self, tmp_path) -> None:
+        with RuntimeStore(tmp_path / "runtime.db") as store:
+            for ms in (1.5, 2.5, 3.0, 40.0, 600.0):
+                store.observe_latency("POST /ingest/bucket", ms)
+            histogram = store.histograms()["POST /ingest/bucket"]
+        assert 0.0 < histogram["p50_ms"] <= histogram["p95_ms"]
+        assert histogram["p95_ms"] <= max(LATENCY_BUCKETS_MS)
+
+    def test_histograms_merge_across_restarts(self, tmp_path) -> None:
+        path = tmp_path / "runtime.db"
+        with RuntimeStore(path) as store:
+            store.observe_latency("GET /health", 2.0)
+        with RuntimeStore(path) as store:
+            store.observe_latency("GET /health", 2.0)
+            assert store.histograms()["GET /health"]["count"] == 2
+
+    def test_flush_threshold_does_not_drop_observations(self, tmp_path) -> None:
+        with RuntimeStore(tmp_path / "runtime.db") as store:
+            for _ in range(store.FLUSH_EVERY * 2 + 3):
+                store.observe_latency("GET /stats", 1.0)
+            assert store.histograms()["GET /stats"]["count"] == (
+                store.FLUSH_EVERY * 2 + 3
+            )
+
+
+class TestWebSocketSessions:
+    def test_session_lifecycle_recorded(self, tmp_path) -> None:
+        with RuntimeStore(tmp_path / "runtime.db") as store:
+            first = store.ws_session_opened("qa")
+            second = store.ws_session_opened("qb")
+            assert second != first
+            store.ws_session_closed(first, pushes=4)
+            stats = store.ws_stats()
+        assert stats["sessions_total"] == 2
+        assert stats["sessions_closed"] == 1
+        assert stats["sessions_active"] == 1
+        assert stats["pushes_total"] == 4
+
+    def test_sessions_survive_reopen(self, tmp_path) -> None:
+        path = tmp_path / "runtime.db"
+        with RuntimeStore(path) as store:
+            session = store.ws_session_opened("qa")
+            store.ws_session_closed(session, pushes=2)
+        with RuntimeStore(path) as store:
+            stats = store.ws_stats()
+        assert stats["sessions_total"] == 1
+        assert stats["pushes_total"] == 2
+
+
+class TestSnapshot:
+    def test_snapshot_document_shape(self, tmp_path) -> None:
+        with RuntimeStore(tmp_path / "runtime.db") as store:
+            store.increment("http_requests", "GET /health|200")
+            store.observe_latency("GET /health", 1.0)
+            snapshot = store.snapshot()
+        assert set(snapshot) == {"meta", "counters", "latency", "websocket"}
+        assert "created_unix" in snapshot["meta"]
+        assert snapshot["counters"]["restarts"][""] == 1
+        assert snapshot["latency"]["GET /health"]["count"] == 1
+
+    def test_close_is_idempotent(self, tmp_path) -> None:
+        store = RuntimeStore(tmp_path / "runtime.db")
+        store.close()
+        store.close()
+
+
+class TestThreadSafety:
+    def test_concurrent_writers_lose_nothing(self, tmp_path) -> None:
+        store = RuntimeStore(tmp_path / "runtime.db")
+        per_thread = 500
+
+        def work() -> None:
+            for _ in range(per_thread):
+                store.increment("hits")
+                store.observe_latency("GET /health", 1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.counters()["hits"][""] == 4 * per_thread
+        assert store.histograms()["GET /health"]["count"] == 4 * per_thread
+        store.close()
