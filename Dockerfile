@@ -29,6 +29,13 @@ VOLUME ["/data"]
 
 EXPOSE 8000
 
+# Liveness probe against the lock-free /healthz endpoint (the slim image
+# ships no curl; urllib is always there).  Use /readyz instead for
+# orchestrator readiness gates — it also checks shard health.
+HEALTHCHECK --interval=30s --timeout=5s --start-period=10s --retries=3 \
+    CMD ["python", "-c", \
+         "import urllib.request; urllib.request.urlopen('http://127.0.0.1:8000/healthz', timeout=4)"]
+
 ENTRYPOINT ["repro-ksir", "server", "--host", "0.0.0.0", "--port", "8000", \
             "--store-path", "/data/runtime.db"]
 CMD ["--profile", "tiny"]

@@ -1,0 +1,24 @@
+"""HA failover — kill a shard mid-stream, measure recovery and verify zero loss.
+
+Thin wrapper over the ``ha_failover`` spec in the :mod:`repro.bench`
+registry.  One run drives a supervised process-sharded cluster through a
+synthetic stream, SIGKILLs a shard worker mid-stream and measures how long
+the supervisor takes to restart, restore and WAL-replay it; the check
+asserts the recovered cluster answers a query workload identically to an
+uninterrupted single-node run and that delta checkpoints are smaller than
+full snapshots.  Run as a script (``python benchmarks/bench_ha_failover.py
+[--tier tiny|full] [--seed N] [--output-dir DIR]``) or through
+``repro-ksir bench run ha_failover``.  Under pytest the tiny tier is
+executed as a smoke test.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.scripts import bench_script
+
+main, test_tiny_tier = bench_script("ha_failover")
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,8 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Union
@@ -120,6 +122,17 @@ def _inflate_arrays(node: Any, arrays: "np.lib.npyio.NpzFile") -> Any:
     if isinstance(node, list):
         return [_inflate_arrays(value, arrays) for value in node]
     return node
+
+
+def _contains_array_refs(node: Any) -> bool:
+    """Whether a state tree still holds unresolved ``state_arrays.npz`` refs."""
+    if isinstance(node, dict):
+        if set(node.keys()) == {ARRAY_REF_KEY}:
+            return True
+        return any(_contains_array_refs(value) for value in node.values())
+    if isinstance(node, list):
+        return any(_contains_array_refs(value) for value in node)
+    return False
 
 
 def _library_version() -> str:
@@ -219,8 +232,23 @@ def read_checkpoint(path: Union[str, Path]) -> CheckpointPayload:
         try:
             with np.load(arrays_path, allow_pickle=False) as arrays:
                 state = _inflate_arrays(state, arrays)
-        except (ValueError, KeyError, OSError) as error:
+        except (
+            ValueError,
+            KeyError,
+            OSError,
+            EOFError,
+            zipfile.BadZipFile,
+            zlib.error,
+        ) as error:
             raise CheckpointError(f"{arrays_path} is corrupt: {error}") from error
+    elif _contains_array_refs(state):
+        # A columnar checkpoint whose npz member vanished (partial copy,
+        # torn rsync) must fail loudly here, not with a KeyError when the
+        # first unresolved reference reaches a restore_state.
+        raise CheckpointError(
+            f"{directory} is missing {ARRAYS_FILE} but {STATE_FILE} references "
+            "array members; the checkpoint is incomplete"
+        )
     return CheckpointPayload(
         version=version,
         backend=str(manifest["backend"]),

@@ -20,6 +20,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from repro.cluster.coordinator import BACKEND_CHOICES, ClusterConfig
 from repro.core.processor import ProcessorConfig
 from repro.core.scoring import ScoringConfig
+from repro.ha.config import HAConfig
 from repro.store import STORE_CHOICES
 from repro.topics.inference import TopicInferencer
 from repro.topics.model import TopicModel
@@ -270,6 +271,11 @@ class EngineConfig:
         Topic-inference settings applied to both ingest and keyword
         queries; ``None`` uses the inferencer defaults (``α = 50/z``,
         dense posteriors).
+    ha:
+        Supervision tuning (heartbeats, checkpoint cadence, bucket WAL)
+        consumed by :class:`~repro.ha.supervisor.ClusterSupervisor`;
+        ``None`` means supervisor defaults.  The engine itself ignores
+        this section — it only travels with the configuration.
     """
 
     backend: str = LOCAL_BACKEND
@@ -277,6 +283,7 @@ class EngineConfig:
     cluster: Optional[ClusterConfig] = None
     service: ServiceConfig = field(default_factory=ServiceConfig)
     inference: Optional[InferenceConfig] = None
+    ha: Optional[HAConfig] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "backend", canonical_backend_name(self.backend))
@@ -310,6 +317,7 @@ class EngineConfig:
             "cluster": None if self.cluster is None else _cluster_to_dict(self.cluster),
             "service": self.service.to_dict(),
             "inference": None if self.inference is None else self.inference.to_dict(),
+            "ha": None if self.ha is None else self.ha.to_dict(),
         }
 
     @classmethod
@@ -320,16 +328,20 @@ class EngineConfig:
         ``ValueError`` so typos in deployment files fail loudly.
         """
         _check_known_keys(
-            payload, ("backend", "processor", "cluster", "service", "inference"), "engine"
+            payload,
+            ("backend", "processor", "cluster", "service", "inference", "ha"),
+            "engine",
         )
         cluster = payload.get("cluster")
         inference = payload.get("inference")
+        ha = payload.get("ha")
         return cls(
             backend=str(payload.get("backend", LOCAL_BACKEND)),
             processor=_processor_from_dict(payload.get("processor", {})),
             cluster=None if cluster is None else _cluster_from_dict(cluster),
             service=ServiceConfig.from_dict(payload.get("service", {})),
             inference=None if inference is None else InferenceConfig.from_dict(inference),
+            ha=None if ha is None else HAConfig.from_dict(ha),
         )
 
     # -- argparse integration ----------------------------------------------------------

@@ -883,6 +883,57 @@ def _server_load_check(values: Mapping[str, Any], report: Any) -> None:
     server_load_check(values, report)
 
 
+# ---------------------------------------------------------------------------
+# Supervised cluster runtime (repro.ha): failover recovery
+# ---------------------------------------------------------------------------
+
+
+def _ha_failover_setup(params: Mapping[str, Any], seed: int) -> Callable[[], Outcome]:
+    # Deferred so importing the suite registry never touches the HA stack.
+    from repro.bench.ha_failover import ha_failover_setup
+
+    return ha_failover_setup(params, seed)
+
+
+def _ha_failover_check(values: Mapping[str, Any], report: Any) -> None:
+    from repro.bench.ha_failover import ha_failover_check
+
+    ha_failover_check(values, report)
+
+
+register(
+    BenchSpec(
+        name="ha_failover",
+        description=(
+            "supervised cluster: kill a shard mid-stream, measure restart + "
+            "WAL-replay recovery, verify zero-loss equivalence and delta-"
+            "checkpoint savings"
+        ),
+        setup=_ha_failover_setup,
+        tiers={
+            "tiny": TierPolicy(
+                scenarios=(
+                    Scenario("failover", {"profile": "tiny", "shards": 2,
+                                          "kill_after": 5, "checkpoint_every": 4,
+                                          "queries": 4}),
+                ),
+                warmup=0, repeat=1,
+            ),
+            "full": TierPolicy(
+                scenarios=(
+                    Scenario("failover", {"profile": "twitter-small", "shards": 4,
+                                          "kill_after": 24, "checkpoint_every": 8,
+                                          "queries": 8}),
+                ),
+                warmup=0, repeat=1,
+            ),
+        },
+        check=_ha_failover_check,
+        tags=("cluster", "ha"),
+    )
+)
+
+
 register(
     BenchSpec(
         name="server_load",

@@ -19,7 +19,11 @@ without writing Python:
   with reduced, CLI-friendly settings;
 * ``repro-ksir bench`` — run/list/compare the registered benchmarks: every
   run writes canonical ``BENCH_<name>.json`` reports and ``bench compare``
-  classifies regressions against a baseline directory (the CI perf gate).
+  classifies regressions against a baseline directory (the CI perf gate);
+* ``repro-ksir ha`` — the supervised cluster runtime: inspect and compact
+  delta-checkpoint chains, and run a kill-and-recover failover drill that
+  SIGKILLs a live shard mid-stream and verifies the recovered cluster
+  answers queries identically to an uninterrupted run.
 
 Every subcommand is a thin wrapper over the public library API, so the CLI
 doubles as executable documentation.
@@ -202,6 +206,40 @@ def build_parser() -> argparse.ArgumentParser:
     bench_compare.add_argument("--min-p50-ms", type=float, default=1.0,
                                help="scenarios faster than this on both sides "
                                     "are never classified (timer noise)")
+
+    ha = subparsers.add_parser(
+        "ha", help="supervised cluster runtime: chains, compaction, failover drills"
+    )
+    ha_sub = ha.add_subparsers(dest="ha_command", required=True)
+
+    ha_chain = ha_sub.add_parser(
+        "chain", help="inspect a delta-checkpoint chain (segments and savings)"
+    )
+    ha_chain.add_argument("path", type=Path, help="chain directory (holds CHAIN.json)")
+
+    ha_compact = ha_sub.add_parser(
+        "compact", help="fold a chain into one full segment and drop the rest"
+    )
+    ha_compact.add_argument("path", type=Path, help="chain directory (holds CHAIN.json)")
+
+    ha_drill = ha_sub.add_parser(
+        "drill", help="kill a live shard mid-stream, recover, verify equivalence"
+    )
+    ha_drill.add_argument("--profile", default="tiny", choices=sorted(profile_names()))
+    ha_drill.add_argument("--shards", type=int, default=2,
+                          help="process shard workers to run")
+    ha_drill.add_argument("--kill-shard", type=int, default=None,
+                          help="shard to SIGKILL (default: the last one)")
+    ha_drill.add_argument("--kill-after", type=int, default=5,
+                          help="buckets to ingest before the kill")
+    ha_drill.add_argument("--checkpoint-every", type=int, default=4,
+                          help="delta-checkpoint cadence in buckets (0 = WAL only)")
+    ha_drill.add_argument("--checkpoint-dir", type=Path, default=None,
+                          help="chain directory (default: a temporary one)")
+    ha_drill.add_argument("--queries", type=int, default=5,
+                          help="verification queries after the replay")
+    ha_drill.add_argument("--k", type=int, default=5)
+    ha_drill.add_argument("--seed", type=int, default=2019)
 
     return parser
 
@@ -508,6 +546,125 @@ def run_bench(args: argparse.Namespace) -> int:
     raise ValueError(f"unknown bench command {args.bench_command!r}")
 
 
+def run_ha(args: argparse.Namespace) -> int:
+    from repro.ha import CheckpointChain
+
+    if args.ha_command == "chain":
+        if not CheckpointChain.is_chain(args.path):
+            _print(f"error: {args.path} is not a checkpoint chain (no CHAIN.json)")
+            return 2
+        chain = CheckpointChain(args.path)
+        for segment in chain.segments:
+            _print(
+                f"{segment['name']:<16} {segment['kind']:<6} "
+                f"{segment['bytes']:>10} bytes  "
+                f"buckets={segment['buckets_processed']} "
+                f"t={segment.get('current_time')}"
+            )
+        stats = chain.stats()
+        _print(
+            f"{stats['segments']} segment(s): {stats['full_segments']} full, "
+            f"{stats['delta_segments']} delta, {stats['total_bytes']} bytes total"
+        )
+        if stats["delta_segments"]:
+            _print(
+                f"mean delta {stats['mean_delta_bytes']:.0f} bytes vs "
+                f"mean full {stats['mean_full_bytes']:.0f} bytes "
+                f"({stats['delta_savings']:.1%} smaller)"
+            )
+        return 0
+
+    if args.ha_command == "compact":
+        if not CheckpointChain.is_chain(args.path):
+            _print(f"error: {args.path} is not a checkpoint chain (no CHAIN.json)")
+            return 2
+        chain = CheckpointChain(args.path)
+        before = chain.stats()
+        name = chain.compact()
+        after = chain.stats()
+        _print(
+            f"compacted {before['segments']} segment(s) "
+            f"({before['total_bytes']} bytes) into {name} "
+            f"({after['total_bytes']} bytes)"
+        )
+        return 0
+
+    if args.ha_command == "drill":
+        return _run_ha_drill(args)
+
+    raise ValueError(f"unknown ha command {args.ha_command!r}")
+
+
+def _run_ha_drill(args: argparse.Namespace) -> int:
+    """Kill-and-recover drill: crash a shard mid-stream, verify equivalence."""
+    import tempfile
+
+    from repro.cluster.coordinator import ClusterConfig
+    from repro.core.stream import replay_stream
+    from repro.ha import ClusterSupervisor, HAConfig
+    from repro.ha.chaos import kill_worker
+
+    kill_shard = args.kill_shard if args.kill_shard is not None else args.shards - 1
+    if not 0 <= kill_shard < args.shards:
+        _print(f"error: --kill-shard must be in [0, {args.shards})")
+        return 2
+
+    dataset = SyntheticStreamGenerator.from_profile(args.profile, seed=args.seed).generate()
+    sharded_config = EngineConfig(
+        backend="sharded",
+        cluster=ClusterConfig(num_shards=args.shards, backend="process"),
+        ha=HAConfig(checkpoint_every=args.checkpoint_every),
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        chain_dir = args.checkpoint_dir if args.checkpoint_dir is not None else Path(tmp) / "chain"
+        engine = KSIREngine(dataset.topic_model, sharded_config)
+        with ClusterSupervisor(engine, checkpoint_dir=chain_dir) as supervisor:
+            bucket_length = supervisor.coordinator.config.bucket_length
+            buckets_seen = 0
+
+            def ingest(elements, end_time) -> None:
+                nonlocal buckets_seen
+                if buckets_seen == args.kill_after:
+                    _print(f"killing shard {kill_shard} before bucket {buckets_seen}")
+                    kill_worker(supervisor.coordinator, kill_shard)
+                supervisor.ingest_bucket(elements, end_time)
+                buckets_seen += 1
+
+            replay_stream(dataset.stream, bucket_length, ingest)
+            status = supervisor.status()
+            _print(
+                f"replayed {supervisor.engine.elements_processed} elements in "
+                f"{buckets_seen} buckets across {args.shards} process shards"
+            )
+            _print(
+                f"recoveries: {status['recoveries']}, last recovery "
+                f"{(status['last_recovery_seconds'] or 0) * 1000:.1f} ms, "
+                f"{status['last_replayed_buckets']} bucket(s) replayed from the WAL"
+            )
+            if status["chain"] is not None and status["chain"]["delta_segments"]:
+                _print(f"delta checkpoints {status['chain']['delta_savings']:.1%} smaller than fulls")
+
+            if status["recoveries"] == 0:
+                _print("warning: the kill was never detected (stream too short?)")
+
+            # Equivalence: the recovered cluster must answer exactly like an
+            # uninterrupted single-node run over the same stream.
+            generator = WorkloadGenerator(dataset, k=args.k, seed=args.seed + 17)
+            worst = 0.0
+            with KSIREngine(dataset.topic_model, EngineConfig(backend="local")) as reference:
+                reference.process_stream(dataset.stream)
+                for _ in range(max(1, args.queries)):
+                    query = generator.generate_query()
+                    recovered = supervisor.query(query)
+                    expected = reference.query(query)
+                    worst = max(worst, abs(recovered.score - expected.score))
+            _print(f"verification: {args.queries} queries, max |Δscore| = {worst:.3g}")
+            ok = worst <= 1e-9 and status["recoveries"] >= 1
+            _print("DRILL PASSED" if ok else "DRILL FAILED")
+            return 0 if ok else 1
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -520,6 +677,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "server": run_server,
     "experiment": run_experiment,
     "bench": run_bench,
+    "ha": run_ha,
 }
 
 

@@ -254,6 +254,11 @@ class ClusterCoordinator:
         return ()
 
     @property
+    def fanout(self) -> Union[_LocalFanout, "ProcessFanout"]:
+        """The fan-out executor (``repro.ha`` uses it for liveness probes)."""
+        return self._fanout
+
+    @property
     def buckets_processed(self) -> int:
         """Buckets ingested so far."""
         return self._buckets_processed
@@ -327,17 +332,29 @@ class ClusterCoordinator:
                 prepared, with_owners=self._cluster.backend == "process"
             )
             self._fanout.ingest(routed, end_time)
-            self._elements_processed += len(prepared)
-            self._buckets_processed += 1
-            self._current_time = int(end_time)
-            # Ownership entries of elements inactive everywhere (even out of
-            # every shard's archive) are routing dead weight; trim with the
-            # archive's own horizon so memory stays bounded on endless
-            # streams.  8 windows matches ActiveWindow's default
-            # ``archive_windows``.
-            cutoff = end_time - 8 * self._config.window_length
-            if cutoff > 0:
-                self._planner.trim_inactive(cutoff)
+            self.commit_bucket(len(prepared), end_time)
+
+    def commit_bucket(self, num_elements: int, end_time: int) -> None:
+        """Advance the coordinator counters after a bucket reached the shards.
+
+        Split out of :meth:`process_bucket` for the `repro.ha` supervisor: a
+        mid-bucket shard failure leaves the live shards *with* the bucket
+        applied but the counters not yet advanced; after the supervisor
+        restores the dead shard and replays the gap (including that bucket)
+        it commits the bucket here instead of re-ingesting it — re-ingestion
+        into the live shards would double-count reposts.
+        """
+        self._elements_processed += int(num_elements)
+        self._buckets_processed += 1
+        self._current_time = int(end_time)
+        # Ownership entries of elements inactive everywhere (even out of
+        # every shard's archive) are routing dead weight; trim with the
+        # archive's own horizon so memory stays bounded on endless
+        # streams.  8 windows matches ActiveWindow's default
+        # ``archive_windows``.
+        cutoff = end_time - 8 * self._config.window_length
+        if cutoff > 0:
+            self._planner.trim_inactive(cutoff)
 
     def process_stream(
         self,
@@ -448,35 +465,31 @@ class ClusterCoordinator:
         """A JSON-serialisable snapshot of the whole cluster.
 
         Serialises the coordinator counters, the planner (ownership table
-        plus strategy state) and every in-process shard worker.  The
-        process fan-out backend is not checkpointable: its shard state
-        lives in worker processes.
+        plus strategy state) and every shard worker.  On the process
+        backend the worker states are gathered over the pipes (``state``
+        command), so every fan-out backend is checkpointable.
         """
-        workers = self.workers
-        if not workers:
-            raise RuntimeError(
-                "checkpointing is not available on the process fan-out backend"
-            )
+        if isinstance(self._fanout, _LocalFanout):
+            worker_states: List[Dict[str, object]] = [
+                worker.state_dict() for worker in self._fanout.workers
+            ]
+        else:
+            worker_states = self._fanout.states()
         return {
             "buckets_processed": self._buckets_processed,
             "elements_processed": self._elements_processed,
             "current_time": self._current_time,
             "planner": self._planner.state_dict(),
-            "workers": [worker.state_dict() for worker in workers],
+            "workers": worker_states,
         }
 
     def restore_state(self, state: Mapping[str, object]) -> None:
         """Restore a :meth:`state_dict` snapshot onto this coordinator."""
-        workers = self.workers
-        if not workers:
-            raise RuntimeError(
-                "checkpoint restore is not available on the process fan-out backend"
-            )
         shard_states = state["workers"]
-        if len(shard_states) != len(workers):
+        if len(shard_states) != self._cluster.num_shards:
             raise ValueError(
                 f"checkpoint holds {len(shard_states)} shards, the coordinator "
-                f"is configured for {len(workers)}"
+                f"is configured for {self._cluster.num_shards}"
             )
         self._buckets_processed = int(state["buckets_processed"])
         self._elements_processed = int(state["elements_processed"])
@@ -484,8 +497,72 @@ class ClusterCoordinator:
         self._current_time = None if current_time is None else int(current_time)
         self._active_cache = None
         self._planner.restore_state(state["planner"])
-        for worker, shard_state in zip(workers, shard_states):
-            worker.restore_state(shard_state)
+        if isinstance(self._fanout, _LocalFanout):
+            for worker, shard_state in zip(self._fanout.workers, shard_states):
+                worker.restore_state(shard_state)
+        else:
+            # Remote workers also need the ownership table their home
+            # filters consult; ship the planner's full map (entries for
+            # other shards' elements keep foreign-replica filtering exact).
+            self._fanout.restore_all(
+                shard_states,
+                self._planner.owners_snapshot(),
+                self._current_time or 0,
+            )
+
+    # -- failover hooks (repro.ha) ------------------------------------------------------
+
+    def restore_shard(self, shard_id: int, shard_state: Mapping[str, object]) -> None:
+        """Restore a single shard worker from a checkpointed shard state.
+
+        Used by the supervisor after :meth:`ProcessFanout.restart_shard`:
+        the fresh worker process receives the shard's slice of the latest
+        checkpoint plus the planner's *current* ownership table (a superset
+        of the checkpoint-time table, which is safe — the filter only tests
+        equality with the worker's own shard id).
+        """
+        if isinstance(self._fanout, _LocalFanout):
+            self._fanout.workers[shard_id].restore_state(shard_state)
+        else:
+            self._fanout.restore_shard(
+                shard_id,
+                shard_state,
+                self._planner.owners_snapshot(),
+                self._current_time or 0,
+            )
+        self._active_cache = None
+
+    def replay_bucket_to_shard(
+        self, shard_id: int, elements: Sequence[SocialElement], end_time: int
+    ) -> None:
+        """Re-ingest one logged bucket into a single shard (WAL gap replay).
+
+        Routing is recomputed through the planner, which is idempotent for
+        already-seen elements (ownership is memoised and activity times are
+        max-raised), so replay produces byte-identical routed buckets.
+        Only the slice destined for ``shard_id`` is shipped; the other
+        shards already hold the bucket.
+        """
+        prepared = self._prepare(elements)
+        routed = self._planner.route_bucket(
+            prepared, with_owners=self._cluster.backend == "process"
+        )
+        bucket = routed[shard_id]
+        if isinstance(self._fanout, _LocalFanout):
+            self._fanout.workers[shard_id].ingest(
+                bucket.elements, end_time, home_count=bucket.home_count
+            )
+        else:
+            self._fanout.ingest_shard(bucket, end_time)
+
+    def prepare_elements(self, elements: Sequence[SocialElement]) -> List[SocialElement]:
+        """Public wrapper over central topic inference (WAL normalisation).
+
+        The supervisor logs *prepared* elements so a replay after failover
+        never re-runs inference; preparation is idempotent (elements that
+        already carry a topic distribution pass through untouched).
+        """
+        return self._prepare(elements)
 
     # -- lifecycle ----------------------------------------------------------------------
 

@@ -229,6 +229,14 @@ class ShardPlanner:
         """Whether the element's home shard is ``shard_id``."""
         return self._owners.get(element_id) == shard_id
 
+    def owners_snapshot(self) -> Dict[int, int]:
+        """A copy of the element → home-shard table.
+
+        Used to reseed remote workers' home filters on restore and by the
+        rebalancer to re-home per-element state.
+        """
+        return dict(self._owners)
+
     def shard_sizes(self) -> Tuple[int, ...]:
         """Elements assigned to each shard (cumulative, expiry ignored)."""
         sizes = [0] * self._num_shards

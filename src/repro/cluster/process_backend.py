@@ -16,13 +16,26 @@ Costs to be aware of: per-bucket pickling of the routed elements and, at
 startup, pickling of the topic model into every shard process.  The backend
 is therefore most useful when per-element processing dominates IPC — exactly
 the heavy-traffic regime the ROADMAP targets.
+
+Liveness and recovery
+---------------------
+A worker process can die (OOM kill, crash, fault injection).  The fan-out
+detects broken pipes during any command — and on demand via :meth:`ping` —
+and raises :exc:`ShardFailure` naming the dead shards instead of a generic
+protocol error.  Failures are *sticky*: once a shard is marked dead every
+command refuses to run until :meth:`restart_shard` replaces the process, at
+which point `repro.ha`'s supervisor restores the shard from the latest
+checkpoint and replays its WAL gap.  Checkpointing round-trips through the
+worker processes via the ``state`` / ``restore`` commands, so the process
+backend is fully checkpointable.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import threading
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -30,6 +43,33 @@ from repro.core.processor import ProcessorConfig
 from repro.cluster.partition import RoutedBucket
 from repro.cluster.worker import CandidatePool, ShardStats, ShardWorker
 from repro.topics.model import TopicModel
+
+
+class ShardFailure(RuntimeError):
+    """One or more shard worker processes died mid-protocol.
+
+    Carries the dead shard ids so a supervisor can restart exactly those
+    workers, restore them from the latest checkpoint and replay the gap.
+
+    ``pre_send`` distinguishes the two failure points, which need different
+    recovery: ``True`` means the fan-out *refused* the command because a
+    shard was already marked dead — nothing was sent anywhere, so the
+    command must be retried in full after recovery.  ``False`` (the
+    in-band case) means the live shards have already *completed* the
+    command (the fan-out drains every pipe before raising), so only the
+    dead shards need it replayed — which is what makes per-shard replay
+    sound.
+    """
+
+    def __init__(
+        self, shard_ids: Sequence[int], detail: str = "", pre_send: bool = False
+    ) -> None:
+        self.shard_ids: Tuple[int, ...] = tuple(sorted(set(int(s) for s in shard_ids)))
+        self.pre_send = bool(pre_send)
+        message = f"shard worker(s) {list(self.shard_ids)} died"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
 
 
 def _shard_main(conn, shard_id: int, topic_model: TopicModel, config: ProcessorConfig) -> None:
@@ -40,6 +80,9 @@ def _shard_main(conn, shard_id: int, topic_model: TopicModel, config: ProcessorC
     # trim_inactive (shipping times trail true activity times, so the
     # remote table is only ever trimmed later than the planner's — safe).
     owner_seen: Dict[int, int] = {}
+    # Fault-injection knobs (repro.ha.chaos): a positive ping delay makes
+    # the worker look hung to heartbeat probes without killing it.
+    chaos: Dict[str, float] = {"ping_delay": 0.0}
     worker = ShardWorker(
         shard_id,
         topic_model,
@@ -75,6 +118,23 @@ def _shard_main(conn, shard_id: int, topic_model: TopicModel, config: ProcessorC
                 conn.send(("ok", worker.home_active_count))
             elif command == "stats":
                 conn.send(("ok", worker.stats()))
+            elif command == "ping":
+                if chaos["ping_delay"] > 0.0:
+                    time.sleep(chaos["ping_delay"])
+                conn.send(("ok", shard_id))
+            elif command == "state":
+                conn.send(("ok", worker.state_dict()))
+            elif command == "restore":
+                worker_state, owner_table, owner_time = payload
+                worker.restore_state(worker_state)
+                # ``owners`` is captured by the home filter: mutate in place.
+                owners.clear()
+                owners.update({int(eid): int(home) for eid, home in owner_table.items()})
+                owner_seen = {eid: int(owner_time) for eid in owners}
+                conn.send(("ok", None))
+            elif command == "chaos":
+                chaos.update({str(key): float(value) for key, value in payload.items()})
+                conn.send(("ok", None))
             elif command == "close":
                 conn.send(("ok", None))
                 break
@@ -94,48 +154,180 @@ class ProcessFanout:
         topic_model: TopicModel,
         config: ProcessorConfig,
     ) -> None:
-        context = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        self._context = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        self._model = topic_model
+        self._config = config
         self._connections = []
         self._processes = []
         for shard_id in range(num_shards):
-            parent_conn, child_conn = context.Pipe(duplex=True)
-            process = context.Process(
-                target=_shard_main,
-                args=(child_conn, shard_id, topic_model, config),
-                daemon=True,
-                name=f"ksir-shard-{shard_id}",
-            )
-            process.start()
-            child_conn.close()
-            self._connections.append(parent_conn)
+            connection, process = self._spawn(shard_id)
+            self._connections.append(connection)
             self._processes.append(process)
         self._closed = False
+        self._dead: Set[int] = set()
         # The serving engine evaluates standing queries from a thread pool,
         # so exports can arrive concurrently; the pipe protocol is strictly
         # request/reply per shard and must not interleave across threads.
         self._protocol_lock = threading.Lock()
 
+    def _spawn(self, shard_id: int):
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_shard_main,
+            args=(child_conn, shard_id, self._model, self._config),
+            daemon=True,
+            name=f"ksir-shard-{shard_id}",
+        )
+        process.start()
+        child_conn.close()
+        return parent_conn, process
+
+    # -- liveness ---------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shard worker processes."""
+        return len(self._connections)
+
+    @property
+    def dead_shards(self) -> Tuple[int, ...]:
+        """Shards currently marked dead (sticky until :meth:`restart_shard`)."""
+        return tuple(sorted(self._dead))
+
+    def ping(self, timeout: float = 1.0) -> List[bool]:
+        """Probe every shard; ``True`` per shard that replies within ``timeout``.
+
+        A shard that fails to reply in time is marked dead: its late reply
+        (if any) can no longer be matched to a request, so the only safe
+        continuation is a restart.  Already-dead shards are reported without
+        being re-probed.
+        """
+        with self._protocol_lock:
+            probed: List[int] = []
+            for shard_id, conn in enumerate(self._connections):
+                if shard_id in self._dead:
+                    continue
+                try:
+                    conn.send(("ping", None))
+                    probed.append(shard_id)
+                except (BrokenPipeError, OSError):
+                    self._dead.add(shard_id)
+            deadline = time.monotonic() + max(0.0, timeout)
+            for shard_id in probed:
+                conn = self._connections[shard_id]
+                remaining = max(0.0, deadline - time.monotonic())
+                try:
+                    if not conn.poll(remaining):
+                        self._dead.add(shard_id)
+                        continue
+                    status, _ = conn.recv()
+                    if status != "ok":
+                        self._dead.add(shard_id)
+                except (EOFError, OSError):
+                    self._dead.add(shard_id)
+            return [shard_id not in self._dead for shard_id in range(self.num_shards)]
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Hard-kill a shard worker process (fault injection).
+
+        The shard is *not* marked dead here: detection is the supervisor's
+        job (heartbeat or in-band pipe failure), which is exactly what the
+        chaos harness exercises.
+        """
+        self._processes[shard_id].kill()
+
+    def set_chaos(self, shard_id: int, **knobs: float) -> None:
+        """Set fault-injection knobs on one worker (e.g. ``ping_delay=2.0``)."""
+        self._request(shard_id, "chaos", dict(knobs))
+
+    def restart_shard(self, shard_id: int) -> None:
+        """Replace a dead worker process with a fresh, empty one.
+
+        The caller is responsible for restoring state into the new worker
+        (``restore_shard``) and replaying the WAL gap; `repro.ha`'s
+        supervisor packages that sequence.
+        """
+        with self._protocol_lock:
+            process = self._processes[shard_id]
+            if process.is_alive():
+                process.kill()
+            process.join(timeout=5.0)
+            try:
+                self._connections[shard_id].close()
+            except OSError:
+                pass
+            connection, process = self._spawn(shard_id)
+            self._connections[shard_id] = connection
+            self._processes[shard_id] = process
+            self._dead.discard(shard_id)
+
     # -- protocol helpers -----------------------------------------------------------
+
+    def _check_dead_locked(self) -> None:
+        if self._dead:
+            raise ShardFailure(
+                self._dead,
+                "restart_shard() and restore before issuing commands",
+                pre_send=True,
+            )
 
     def _scatter_gather(self, messages: Sequence[Tuple[str, object]]) -> List[object]:
         """Send one message per shard, then collect every reply."""
         with self._protocol_lock:
-            for conn, message in zip(self._connections, messages):
-                conn.send(message)
+            # Known-dead shards make any fan-out command unsound (their
+            # state is behind); refuse before mutating the live shards.
+            self._check_dead_locked()
+            newly_dead: Set[int] = set()
+            for shard_id, (conn, message) in enumerate(
+                zip(self._connections, messages)
+            ):
+                try:
+                    conn.send(message)
+                except (BrokenPipeError, OSError):
+                    newly_dead.add(shard_id)
             # Drain every pipe before surfacing failures: raising mid-gather
             # would leave queued replies that desync all later commands.
             replies: List[object] = []
             failures: List[str] = []
             for shard_id, conn in enumerate(self._connections):
-                status, value = conn.recv()
+                if shard_id in newly_dead:
+                    replies.append(None)
+                    continue
+                try:
+                    status, value = conn.recv()
+                except (EOFError, OSError):
+                    newly_dead.add(shard_id)
+                    replies.append(None)
+                    continue
                 if status != "ok":
                     failures.append(f"shard {shard_id} failed: {value}")
                     replies.append(None)
                 else:
                     replies.append(value)
+            self._dead.update(newly_dead)
+        if newly_dead:
+            raise ShardFailure(newly_dead)
         if failures:
             raise RuntimeError("; ".join(failures))
         return replies
+
+    def _request(self, shard_id: int, command: str, payload: object = None) -> object:
+        """Strict request/reply with a single shard."""
+        with self._protocol_lock:
+            if shard_id in self._dead:
+                raise ShardFailure([shard_id], "shard is marked dead", pre_send=True)
+            conn = self._connections[shard_id]
+            try:
+                conn.send((command, payload))
+                status, value = conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                self._dead.add(shard_id)
+                raise ShardFailure([shard_id]) from None
+            if status != "ok":
+                raise RuntimeError(f"shard {shard_id} failed: {value}")
+            return value
 
     def _broadcast(self, command: str, payload: object = None) -> List[object]:
         return self._scatter_gather([(command, payload)] * len(self._connections))
@@ -165,20 +357,73 @@ class ProcessFanout:
     def stats(self) -> List[ShardStats]:
         return self._broadcast("stats")
 
+    # -- checkpoint state over the pipes ----------------------------------------------
+
+    def states(self) -> List[Dict[str, object]]:
+        """Every worker's ``state_dict`` gathered over the pipes."""
+        return self._broadcast("state")
+
+    def shard_state(self, shard_id: int) -> Dict[str, object]:
+        """One worker's ``state_dict``."""
+        return self._request(shard_id, "state")
+
+    def restore_shard(
+        self,
+        shard_id: int,
+        state: Mapping[str, object],
+        owners: Mapping[int, int],
+        owner_time: int,
+    ) -> None:
+        """Restore one worker from a checkpointed shard state.
+
+        ``owners`` is the planner's ownership table at checkpoint time (the
+        worker's home filter consults it); entries for elements homed on
+        other shards are harmless and keep foreign-replica filtering exact.
+        """
+        self._request(shard_id, "restore", (dict(state), dict(owners), int(owner_time)))
+
+    def restore_all(
+        self,
+        states: Sequence[Mapping[str, object]],
+        owners: Mapping[int, int],
+        owner_time: int,
+    ) -> None:
+        """Restore every worker (one checkpointed state per shard)."""
+        if len(states) != self.num_shards:
+            raise ValueError(
+                f"checkpoint holds {len(states)} shards, the fan-out "
+                f"runs {self.num_shards}"
+            )
+        payload = (dict(owners), int(owner_time))
+        self._scatter_gather(
+            [("restore", (dict(state), *payload)) for state in states]
+        )
+
+    def ingest_shard(self, bucket: RoutedBucket, end_time: int) -> None:
+        """Ingest one routed bucket into a single shard (WAL gap replay)."""
+        self._request(
+            bucket.shard_id,
+            "ingest",
+            (bucket.elements, end_time, bucket.owners, bucket.home_count),
+        )
+
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        for conn in self._connections:
+        for shard_id, conn in enumerate(self._connections):
+            if shard_id in self._dead:
+                continue
             try:
                 conn.send(("close", None))
             except (BrokenPipeError, OSError):
                 pass
-        for conn in self._connections:
-            try:
-                conn.recv()
-            except (EOFError, OSError):
-                pass
+        for shard_id, conn in enumerate(self._connections):
+            if shard_id not in self._dead:
+                try:
+                    conn.recv()
+                except (EOFError, OSError):
+                    pass
             conn.close()
         for process in self._processes:
             process.join(timeout=5.0)

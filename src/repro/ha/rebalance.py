@@ -1,0 +1,260 @@
+"""Live shard re-partitioning: N-shard cluster state onto M shards.
+
+:func:`repartition_state` transforms one coordinator ``state_dict`` (any
+shard count, any fan-out backend, either window representation) into an
+equivalent coordinator state for a different shard count.  The supervisor
+applies it by building a fresh engine around the transformed state and
+swapping it in under the ingest lock — ingest pauses for the duration of
+one state gather/restore, never for a drain of in-flight stream history.
+
+**How the merge stays exact.**  In the sharded execution model a shard
+holds (a) the *home* records of the elements it owns — complete follower
+views, authoritative activity times, the element's ranked-list tuples —
+and (b) *foreign replicas* of elements routed to it because their
+followers live here; replicas may be stale, and that is part of the
+normal execution contract (only home records are ever exported).  The
+rebalancer therefore:
+
+* merges every shard's window into one full-replica window, preferring
+  the element's **old home shard** copy for per-element records (activity
+  time, follower set) and taking unions elsewhere — the merged window is
+  a superset of what any shard organically accumulates, and supersets
+  are safe for exactly the reason stale replicas are;
+* re-homes every owned element with the pure hash ownership function
+  (:meth:`~repro.cluster.partition.HashPartitioner.shard_of`) over the
+  new shard count — ownership is memoised in the planner table, so this
+  is valid under *any* partitioning strategy, including stateful ones;
+* slices the merged ranked-list entries by the new ownership, so each
+  element's tuples land exactly on its new home shard — which its future
+  followers are routed to by construction.
+
+Per-shard ingest/export accounting restarts at zero (the history cannot
+be attributed to shards that did not exist); cluster-level counters are
+carried verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple, cast
+
+from repro.cluster.partition import HashPartitioner
+from repro.store.codec import decode_followers, decode_id_list, decode_pairs
+
+
+def _decode_ranked_entries(
+    ranked_state: Mapping[str, Any]
+) -> Dict[int, Tuple[int, List[List[float]]]]:
+    """Both ranked-list entry shapes → ``{eid: (activity, [[topic, score]…])}``."""
+    import numpy as np
+
+    entries = ranked_state["entries"]
+    decoded: Dict[int, Tuple[int, List[List[float]]]] = {}
+    if isinstance(entries, Mapping):
+        ids = np.asarray(entries["ids"], dtype=np.int64).tolist()
+        activity = np.asarray(entries["activity"], dtype=np.int64).tolist()
+        indptr = np.asarray(entries["indptr"], dtype=np.int64)
+        topics = np.asarray(entries["topics"], dtype=np.int64).tolist()
+        scores = np.asarray(entries["scores"], dtype=np.float64).tolist()
+        for position, element_id in enumerate(ids):
+            start, stop = int(indptr[position]), int(indptr[position + 1])
+            pairs = [
+                [int(topics[offset]), float(scores[offset])]
+                for offset in range(start, stop)
+            ]
+            decoded[int(element_id)] = (int(activity[position]), pairs)
+    else:
+        for element_id, activity_time, score_pairs in entries:
+            decoded[int(element_id)] = (
+                int(activity_time),
+                [[int(topic), float(score)] for topic, score in score_pairs],
+            )
+    return decoded
+
+
+def repartition_state(
+    state: Mapping[str, Any], new_num_shards: int
+) -> Dict[str, Any]:
+    """Transform a coordinator ``state_dict`` onto a new shard count.
+
+    The result restores onto a coordinator configured for
+    ``new_num_shards`` (same processor configuration) and answers every
+    query identically to the source cluster — the merged candidate union
+    is preserved because home records, follower views and ranked-list
+    tuples all move to the new home shards intact.
+    """
+    if new_num_shards < 1:
+        raise ValueError("new_num_shards must be >= 1")
+    planner_state = cast(Mapping[str, Any], state["planner"])
+    worker_states = cast(List[Mapping[str, Any]], state["workers"])
+    old_num_shards = int(planner_state["num_shards"])
+    if len(worker_states) != old_num_shards:
+        raise ValueError(
+            f"state holds {len(worker_states)} workers for "
+            f"{old_num_shards} planner shards"
+        )
+
+    # -- re-home ownership (memoised table: valid for any strategy) -------------------
+    old_owners = {int(eid): int(shard) for eid, shard in planner_state["owners"]}
+    new_owners = {
+        eid: HashPartitioner.shard_of(eid, new_num_shards) for eid in old_owners
+    }
+    strategy = str(planner_state["strategy"])
+    strategy_state: Dict[str, Any] = dict(planner_state["strategy_state"])
+    if "loads" in strategy_state:
+        # Load-balanced accounting is per-shard history; restart it for the
+        # new shard shape (it only steers *future* first-time assignments).
+        strategy_state["loads"] = [0.0] * new_num_shards
+
+    # -- merge the shard windows into one full replica --------------------------------
+    archive: Dict[int, Any] = {}
+    home_archive: Set[int] = set()
+    active_ids: Set[int] = set()
+    window_member_ids: Set[int] = set()
+    last_activity: Dict[int, int] = {}
+    home_activity: Set[int] = set()
+    followers: Dict[int, Set[int]] = {}
+    home_followers: Set[int] = set()
+    touched_by_expiry: Set[int] = set()
+    current_time: Optional[int] = None
+    window_length: Optional[int] = None
+    archive_horizon: Optional[int] = None
+    buckets_processed = 0
+    num_topics: Optional[int] = None
+    ranked: Dict[int, Tuple[int, List[List[float]]]] = {}
+    dirty_union: Set[int] = set()
+
+    for shard_id, worker_state in enumerate(worker_states):
+        processor_state = cast(Mapping[str, Any], worker_state["processor"])
+        window_state = cast(Mapping[str, Any], processor_state["window"])
+        if window_length is None:
+            window_length = int(cast(int, window_state["window_length"]))
+            archive_horizon = int(cast(int, window_state["archive_horizon"]))
+        shard_time = window_state["current_time"]
+        if shard_time is not None:
+            current_time = (
+                int(shard_time)
+                if current_time is None
+                else max(current_time, int(shard_time))
+            )
+        buckets_processed = max(
+            buckets_processed, int(cast(int, processor_state["buckets_processed"]))
+        )
+
+        for payload in cast(List[Mapping[str, Any]], window_state["archive"]):
+            element_id = int(cast(int, payload["element_id"]))
+            is_home = old_owners.get(element_id) == shard_id
+            if element_id not in archive or (
+                is_home and element_id not in home_archive
+            ):
+                archive[element_id] = payload
+            if is_home:
+                home_archive.add(element_id)
+        active_ids.update(decode_id_list(window_state["active_ids"]))
+        window_member_ids.update(decode_id_list(window_state["window_member_ids"]))
+        for element_id, time in decode_pairs(window_state["last_activity"]):
+            is_home = old_owners.get(element_id) == shard_id
+            if is_home:
+                last_activity[element_id] = time
+                home_activity.add(element_id)
+            elif element_id not in home_activity:
+                last_activity[element_id] = max(
+                    last_activity.get(element_id, time), time
+                )
+        for parent_id, follower_ids in decode_followers(
+            window_state["followers"]
+        ).items():
+            is_home = old_owners.get(parent_id) == shard_id
+            if is_home:
+                followers[parent_id] = set(follower_ids)
+                home_followers.add(parent_id)
+            elif parent_id not in home_followers:
+                followers.setdefault(parent_id, set()).update(follower_ids)
+        touched_by_expiry.update(decode_id_list(window_state["touched_by_expiry"]))
+
+        ranked_state = cast(Mapping[str, Any], processor_state["ranked_lists"])
+        if num_topics is None:
+            num_topics = int(cast(int, ranked_state["num_topics"]))
+        dirty_union.update(decode_id_list(ranked_state["dirty_topics"]))
+        for element_id, entry in _decode_ranked_entries(ranked_state).items():
+            # Ranked tuples live only on home shards, so collisions would
+            # mean duplicated ownership; prefer the home copy regardless.
+            if old_owners.get(element_id) == shard_id or element_id not in ranked:
+                ranked[element_id] = entry
+
+    # Windows only reference elements they archived; after the union that
+    # still holds, but guard the invariant explicitly.
+    active_ids &= set(archive)
+    window_member_ids &= active_ids
+    merged_window = {
+        "window_length": window_length,
+        "archive_horizon": archive_horizon,
+        "current_time": current_time,
+        "archive": [archive[eid] for eid in sorted(archive)],
+        "active_ids": sorted(active_ids),
+        "window_member_ids": sorted(window_member_ids),
+        "last_activity": sorted(
+            (eid, time) for eid, time in last_activity.items() if eid in active_ids
+        ),
+        "followers": [
+            [eid, sorted(follower_set & window_member_ids)]
+            for eid, follower_set in sorted(followers.items())
+            if eid in active_ids
+        ],
+        "touched_by_expiry": sorted(touched_by_expiry & active_ids),
+    }
+
+    # -- slice ranked lists by the new ownership ---------------------------------------
+    shard_entries: List[List[List[Any]]] = [[] for _ in range(new_num_shards)]
+    for element_id in sorted(ranked):
+        activity_time, pairs = ranked[element_id]
+        home = new_owners.get(element_id)
+        if home is None:
+            # Owned once, since trimmed by the planner but still indexed
+            # (activity horizons differ slightly); re-home it the same way.
+            home = HashPartitioner.shard_of(element_id, new_num_shards)
+        shard_entries[home].append([element_id, activity_time, pairs])
+
+    new_workers: List[Dict[str, Any]] = []
+    for shard_id in range(new_num_shards):
+        shard_topics: Set[int] = set(dirty_union)
+        for _, _, pairs in shard_entries[shard_id]:
+            shard_topics.update(int(topic) for topic, _ in pairs)
+        new_workers.append(
+            {
+                "shard_id": shard_id,
+                # Per-shard ingest/export accounting restarts: history is
+                # not attributable to shards that did not exist.
+                "home_ingested": 0,
+                "foreign_ingested": 0,
+                "exports": 0,
+                "exported_candidates": 0,
+                "processor": {
+                    "elements_processed": 0,
+                    "buckets_processed": buckets_processed,
+                    "window": merged_window,
+                    "ranked_lists": {
+                        "num_topics": num_topics,
+                        "entries": shard_entries[shard_id],
+                        # Conservative: a superset of dirty topics only ever
+                        # causes extra standing-query re-evaluation.
+                        "dirty_topics": sorted(shard_topics),
+                    },
+                },
+            }
+        )
+
+    return {
+        "buckets_processed": int(cast(int, state["buckets_processed"])),
+        "elements_processed": int(cast(int, state["elements_processed"])),
+        "current_time": state["current_time"],
+        "planner": {
+            "num_shards": new_num_shards,
+            "strategy": strategy,
+            "strategy_state": strategy_state,
+            "owners": sorted(new_owners.items()),
+            "last_activity": [
+                [int(eid), int(time)] for eid, time in planner_state["last_activity"]
+            ],
+        },
+        "workers": new_workers,
+    }

@@ -1,0 +1,355 @@
+"""The cluster supervisor: heartbeats, failover and checkpoint cadence.
+
+:class:`ClusterSupervisor` wraps a sharded :class:`~repro.api.KSIREngine`
+and owns its operational lifecycle:
+
+* **ingest** flows through :meth:`ingest_bucket`, which logs every
+  prepared bucket to the :class:`~repro.ha.wal.BucketWAL` *before* the
+  coordinator sees it, then takes automatic delta checkpoints on the
+  configured cadence;
+* a **heartbeat thread** probes the process shard workers; a worker that
+  dies (or stops answering) is restarted, restored from the latest
+  checkpoint-chain state and caught up by replaying exactly its WAL gap —
+  the surviving shards are never touched;
+* a mid-bucket failure (a worker dying while a bucket is in flight) is
+  recovered in-line: the live shards already hold the bucket, so the
+  restored worker replays through it and the coordinator counters are
+  committed once — no bucket is ever lost or double-applied;
+* **rebalancing** re-partitions the live coordinator state onto a new
+  shard count (:mod:`repro.ha.rebalance`) and swaps the engine without
+  stopping ingest.
+
+The supervisor requires the ``sharded`` backend.  Failure *injection*
+lives in :mod:`repro.ha.chaos`; this module only ever heals.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.backends import ShardedBackend
+from repro.api.engine import KSIREngine
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.process_backend import ProcessFanout, ShardFailure
+from repro.core.element import SocialElement
+from repro.core.query import QueryResult
+from repro.ha.config import HAConfig
+from repro.ha.delta import CheckpointChain
+from repro.ha.rebalance import repartition_state
+from repro.ha.wal import BucketWAL
+
+
+class ClusterSupervisor:
+    """Supervised runtime over a sharded engine: detect, restore, replay."""
+
+    def __init__(
+        self,
+        engine: KSIREngine,
+        ha: Optional[HAConfig] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        wal_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        backend = engine.backend
+        if not isinstance(backend, ShardedBackend):
+            raise TypeError(
+                "ClusterSupervisor requires a sharded engine "
+                '(EngineConfig(backend="cluster" / "sharded")); got '
+                f"backend {engine.backend_name!r}"
+            )
+        self._engine = engine
+        self._ha = ha if ha is not None else (engine.config.ha or HAConfig())
+        self._wal = BucketWAL(wal_path)
+        self._chain: Optional[CheckpointChain] = None
+        if checkpoint_dir is not None:
+            self._chain = CheckpointChain(
+                checkpoint_dir, full_every=self._ha.full_every
+            )
+        # Sequence number of the newest WAL entry covered by a checkpoint;
+        # the replay gap of a restored shard is everything after it.
+        self._checkpoint_seq = -1
+        self._buckets_at_checkpoint = engine.buckets_processed
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self._recoveries = 0
+        self._rebalances = 0
+        self._last_recovery_seconds: Optional[float] = None
+        self._last_replayed_buckets = 0
+        self._last_heartbeat: Optional[float] = None
+
+    # -- wiring ------------------------------------------------------------------------
+
+    @property
+    def engine(self) -> KSIREngine:
+        """The supervised engine (replaced in place by :meth:`rebalance`)."""
+        return self._engine
+
+    @property
+    def coordinator(self) -> ClusterCoordinator:
+        """The supervised cluster coordinator."""
+        backend = self._engine.backend
+        assert isinstance(backend, ShardedBackend)
+        return backend.coordinator
+
+    @property
+    def wal(self) -> BucketWAL:
+        """The bucket write-ahead log."""
+        return self._wal
+
+    @property
+    def chain(self) -> Optional[CheckpointChain]:
+        """The checkpoint chain (None = checkpointing disabled)."""
+        return self._chain
+
+    @property
+    def ha_config(self) -> HAConfig:
+        """The supervision tuning in effect."""
+        return self._ha
+
+    def _process_fanout(self) -> Optional[ProcessFanout]:
+        fanout = self.coordinator.fanout
+        return fanout if isinstance(fanout, ProcessFanout) else None
+
+    # -- heartbeats --------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the heartbeat thread (no-op on in-process fan-outs)."""
+        if self._process_fanout() is None or self._heartbeat_thread is not None:
+            return
+        self._stop.clear()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="ksir-ha-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+
+    def stop(self) -> None:
+        """Stop the heartbeat thread (idempotent; does not close the engine)."""
+        self._stop.set()
+        thread = self._heartbeat_thread
+        if thread is not None:
+            thread.join(timeout=max(5.0, 2 * self._ha.heartbeat_timeout))
+            self._heartbeat_thread = None
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self._ha.heartbeat_interval):
+            fanout = self._process_fanout()
+            if fanout is None:
+                continue
+            try:
+                fanout.ping(self._ha.heartbeat_timeout)
+            except Exception:  # pragma: no cover - probe races with close()
+                continue
+            self._last_heartbeat = time.monotonic()
+            if fanout.dead_shards and self._ha.auto_restart:
+                with self._lock:
+                    dead = self._process_fanout()
+                    if dead is not None and dead.dead_shards:
+                        self._recover(dead.dead_shards)
+
+    # -- ingest with write-ahead logging ----------------------------------------------
+
+    def ingest_bucket(self, elements: Sequence[SocialElement], end_time: int) -> None:
+        """Log one bucket, ingest it, and heal any shard that dies doing so."""
+        with self._lock:
+            coordinator = self.coordinator
+            prepared = coordinator.prepare_elements(elements)
+            seq = self._wal.append(prepared, end_time)
+            try:
+                self._engine.ingest_bucket(prepared, end_time)
+            except ShardFailure as failure:
+                if failure.pre_send:
+                    # Nothing was applied anywhere (the fan-out refused the
+                    # command because a shard was already marked dead, e.g.
+                    # by a concurrent heartbeat probe): heal up to the
+                    # previous bucket, then run this one normally.
+                    self._recover(failure.shard_ids, upto_seq=seq - 1)
+                    self._engine.ingest_bucket(prepared, end_time)
+                else:
+                    # The live shards completed the bucket before the
+                    # failure surfaced (the fan-out drains every pipe
+                    # first); replay it into the restored shard only and
+                    # commit the counters exactly once.
+                    self._recover(failure.shard_ids, upto_seq=seq)
+                    coordinator.commit_bucket(len(prepared), end_time)
+            self._maybe_checkpoint()
+
+    def process_stream(self, stream: Any, until: Optional[int] = None) -> None:
+        """Replay a stream through :meth:`ingest_bucket` (shared bucketing)."""
+        from repro.core.stream import replay_stream
+
+        replay_stream(
+            stream,
+            self.coordinator.config.bucket_length,
+            self.ingest_bucket,
+            until,
+        )
+
+    def query(self, *args: Any, **kwargs: Any) -> QueryResult:
+        """Answer a query, healing and retrying once on a shard failure."""
+        with self._lock:
+            try:
+                return self._engine.query(*args, **kwargs)
+            except ShardFailure as failure:
+                self._recover(failure.shard_ids)
+                return self._engine.query(*args, **kwargs)
+
+    # -- checkpoints -------------------------------------------------------------------
+
+    def checkpoint(self, force_full: bool = False) -> Optional[str]:
+        """Take a chain checkpoint now and truncate the WAL; returns its name."""
+        if self._chain is None:
+            return None
+        with self._lock:
+            name = self._chain.save(self._engine, force_full=force_full)
+            self._checkpoint_seq = self._wal.last_seq
+            self._buckets_at_checkpoint = self._engine.buckets_processed
+            self._wal.truncate()
+            return name
+
+    def _maybe_checkpoint(self) -> None:
+        if self._chain is None:
+            return
+        since = self._engine.buckets_processed - self._buckets_at_checkpoint
+        if self._ha.checkpoint_every and since >= self._ha.checkpoint_every:
+            self.checkpoint()
+        elif len(self._wal) >= self._ha.wal_capacity:
+            self.checkpoint()
+
+    # -- recovery ----------------------------------------------------------------------
+
+    def _checkpoint_worker_states(self) -> Optional[List[Dict[str, Any]]]:
+        if self._chain is None or not self._chain.segments:
+            return None
+        state = self._chain.load_state()
+        coordinator_state = state.get("coordinator")
+        if coordinator_state is None:
+            return None
+        workers = coordinator_state["workers"]
+        assert isinstance(workers, list)
+        return workers
+
+    def _recover(
+        self, shard_ids: Sequence[int], upto_seq: Optional[int] = None
+    ) -> None:
+        """Restart dead shards, restore them and replay their WAL gap.
+
+        ``upto_seq`` bounds the replay (used when the failing bucket must
+        be retried in full rather than replayed); by default the whole
+        retained log is replayed.
+        """
+        started = time.perf_counter()
+        coordinator = self.coordinator
+        fanout = self._process_fanout()
+        if fanout is None:
+            raise ShardFailure(
+                shard_ids, "in-process shard workers cannot be restarted"
+            )
+        checkpoint_workers = self._checkpoint_worker_states()
+        entries = self._wal.entries_since(self._checkpoint_seq)
+        if upto_seq is not None:
+            entries = [entry for entry in entries if entry.seq <= upto_seq]
+        for shard_id in shard_ids:
+            fanout.restart_shard(shard_id)
+            if checkpoint_workers is not None:
+                coordinator.restore_shard(shard_id, checkpoint_workers[shard_id])
+            # Without a checkpoint the fresh worker starts empty and the
+            # WAL — never truncated in that configuration — replays the
+            # shard's entire history.
+            for entry in entries:
+                coordinator.replay_bucket_to_shard(
+                    shard_id, list(entry.elements), entry.end_time
+                )
+        self._recoveries += 1
+        self._last_replayed_buckets = len(entries)
+        self._last_recovery_seconds = time.perf_counter() - started
+
+    # -- rebalancing -------------------------------------------------------------------
+
+    def rebalance(self, num_shards: int) -> KSIREngine:
+        """Re-partition the live cluster onto ``num_shards`` workers.
+
+        Gathers the coordinator's full state, re-homes every element onto
+        the new shard count, builds a fresh engine around it and swaps it
+        in under the ingest lock — stream ingestion continues with the
+        next bucket.  The old engine is closed.  Returns the new engine.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        with self._lock:
+            old_engine = self._engine
+            coordinator = self.coordinator
+            state = coordinator.state_dict()
+            new_state = repartition_state(state, num_shards)
+            old_config = old_engine.config
+            assert old_config.cluster is not None
+            new_config = replace(
+                old_config, cluster=replace(old_config.cluster, num_shards=num_shards)
+            )
+            new_engine = KSIREngine(old_engine.topic_model, new_config)
+            backend = new_engine.backend
+            assert isinstance(backend, ShardedBackend)
+            backend.coordinator.restore_state(new_state)
+            self._engine = new_engine
+            old_engine.close()
+            self._rebalances += 1
+            # Previous checkpoints describe the old shard shape; anchor the
+            # chain with a full snapshot of the new one.
+            if self._chain is not None:
+                self.checkpoint(force_full=True)
+            else:
+                self._checkpoint_seq = self._wal.last_seq
+                self._wal.truncate()
+            return new_engine
+
+    # -- telemetry ---------------------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """Supervision status for ``/telemetry`` and the CLI."""
+        fanout = self._process_fanout()
+        shards: List[Dict[str, Any]] = []
+        num_shards = self.coordinator.num_shards
+        dead: Tuple[int, ...] = fanout.dead_shards if fanout is not None else ()
+        for shard_id in range(num_shards):
+            shards.append({"shard_id": shard_id, "alive": shard_id not in dead})
+        chain_stats = self._chain.stats() if self._chain is not None else None
+        return {
+            "supervised": True,
+            "backend": self.coordinator.cluster_config.backend,
+            "num_shards": num_shards,
+            "shards": shards,
+            "healthy": not dead,
+            "heartbeat": {
+                "interval": self._ha.heartbeat_interval,
+                "timeout": self._ha.heartbeat_timeout,
+                "running": self._heartbeat_thread is not None,
+                "age_seconds": (
+                    None
+                    if self._last_heartbeat is None
+                    else time.monotonic() - self._last_heartbeat
+                ),
+            },
+            "recoveries": self._recoveries,
+            "rebalances": self._rebalances,
+            "last_recovery_seconds": self._last_recovery_seconds,
+            "last_replayed_buckets": self._last_replayed_buckets,
+            "wal": self._wal.stats(),
+            "chain": chain_stats,
+        }
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop supervision and close the engine (idempotent)."""
+        self.stop()
+        self._wal.close()
+        self._engine.close()
+
+    def __enter__(self) -> "ClusterSupervisor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

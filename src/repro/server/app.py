@@ -10,6 +10,8 @@ Surface
 
 ================  ======================================  =====================
 ``GET``           ``/health``                             liveness + engine id
+``GET``           ``/healthz``                            pure liveness (no engine)
+``GET``           ``/readyz``                             engine ready to serve
 ``GET``           ``/stats``                              backend counters
 ``POST``          ``/queries``                            register standing query
 ``GET``           ``/queries``                            list standing queries
@@ -156,6 +158,7 @@ class KSIRServer:
         store: Optional[RuntimeStore] = None,
         max_workers: int = 8,
         push_queue_size: int = 256,
+        supervisor: Optional[Any] = None,
     ) -> None:
         if engine.service_engine is None:
             raise ValueError(
@@ -172,6 +175,9 @@ class KSIRServer:
         )
         self._last_update: Optional[ServiceUpdate] = None
         self._closed = False
+        # Optional repro.ha supervisor (duck-typed: needs status()); used
+        # by /readyz for shard health and surfaced under /telemetry.
+        self._supervisor = supervisor
         self._wire_listeners(self._service())
 
     # -- accessors ---------------------------------------------------------------------
@@ -190,6 +196,11 @@ class KSIRServer:
     def hub(self) -> PushHub:
         """The WebSocket push hub."""
         return self._hub
+
+    @property
+    def supervisor(self) -> Optional[Any]:
+        """The attached HA supervisor, if any."""
+        return self._supervisor
 
     def _service(self) -> ServiceEngine:
         service = self._engine.service_engine
@@ -397,6 +408,35 @@ async def _health(server: KSIRServer, request: Request) -> Response:
     })
 
 
+async def _healthz(server: KSIRServer, request: Request) -> Response:
+    # Pure liveness: if this handler runs, the process serves.  No engine
+    # access, no lock — safe as a container liveness probe even while a
+    # checkpoint load or recovery holds the engine lock.
+    return Response.json({"status": "alive"})
+
+
+async def _readyz(server: KSIRServer, request: Request) -> Response:
+    if server._closed:
+        return Response.json({"status": "closed"}, status=503)
+    supervisor = server.supervisor
+    if supervisor is not None:
+        status = supervisor.status()
+        if not status.get("healthy", False):
+            dead = [
+                shard["shard_id"]
+                for shard in status.get("shards", ())
+                if not shard.get("alive", True)
+            ]
+            return Response.json(
+                {"status": "degraded", "dead_shards": dead}, status=503
+            )
+    try:
+        backend = server.engine.backend_name
+    except RuntimeError:
+        return Response.json({"status": "engine closed"}, status=503)
+    return Response.json({"status": "ready", "backend": backend})
+
+
 async def _stats(server: KSIRServer, request: Request) -> Response:
     stats = await server._run(lambda: server.engine.stats())
     return Response.json({"stats": stats})
@@ -599,6 +639,7 @@ async def _telemetry(server: KSIRServer, request: Request) -> Response:
         )
 
     stats, service_metrics = await server._run(engine_view)
+    supervisor = server.supervisor
     return Response.json({
         "engine": stats,
         "service": service_metrics,
@@ -607,11 +648,14 @@ async def _telemetry(server: KSIRServer, request: Request) -> Response:
             "pushes": server.hub.pushes,
         },
         "runtime": server.store.snapshot(),
+        "supervisor": None if supervisor is None else supervisor.status(),
     })
 
 
 _ROUTES: Tuple[Route, ...] = (
     _route("GET", "/health", _health),
+    _route("GET", "/healthz", _healthz),
+    _route("GET", "/readyz", _readyz),
     _route("GET", "/stats", _stats),
     _route("GET", "/queries", _list_queries),
     _route("POST", "/queries", _register_query),
@@ -632,11 +676,14 @@ def create_app(
     store: Optional[RuntimeStore] = None,
     max_workers: int = 8,
     push_queue_size: int = 256,
+    supervisor: Optional[Any] = None,
 ) -> KSIRServer:
     """Build the ASGI application over an engine (the public constructor).
 
     ``store`` defaults to an ephemeral in-memory runtime store; pass a
     file-backed :class:`RuntimeStore` so telemetry survives restarts.
+    ``supervisor`` attaches a :class:`repro.ha.ClusterSupervisor` whose
+    shard health gates ``/readyz`` and is exported under ``/telemetry``.
     The returned object is both the application state and the ASGI
     callable.
     """
@@ -645,6 +692,7 @@ def create_app(
         store=store,
         max_workers=max_workers,
         push_queue_size=push_queue_size,
+        supervisor=supervisor,
     )
 
 

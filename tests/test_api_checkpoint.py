@@ -214,6 +214,32 @@ def test_corrupt_state_file_rejected(tmp_path):
         KSIREngine.load(path)
 
 
+def test_missing_arrays_member_rejected(tmp_path):
+    model, elements = build_stream(seed=5)
+    engine = KSIREngine(model, CONFIGS["local"])
+    members, end_time = buckets_of(elements)[0]
+    engine.ingest_bucket(members, end_time)
+    path = engine.save(tmp_path / "ckpt")
+    # A partial copy that dropped the npz member must fail loudly at read
+    # time, not with a KeyError deep inside a restore_state.
+    (path / "state_arrays.npz").unlink()
+    with pytest.raises(CheckpointError, match="missing state_arrays.npz"):
+        read_checkpoint(path)
+
+
+def test_corrupt_arrays_member_rejected(tmp_path):
+    model, elements = build_stream(seed=5)
+    engine = KSIREngine(model, CONFIGS["local"])
+    members, end_time = buckets_of(elements)[0]
+    engine.ingest_bucket(members, end_time)
+    path = engine.save(tmp_path / "ckpt")
+    victim = path / "state_arrays.npz"
+    # A torn copy: the zip container is cut in half.
+    victim.write_bytes(victim.read_bytes()[: victim.stat().st_size // 2])
+    with pytest.raises(CheckpointError, match="corrupt"):
+        read_checkpoint(path)
+
+
 def test_overwrite_invalidates_before_rewriting(tmp_path):
     model, elements = build_stream(seed=5)
     engine = KSIREngine(model, CONFIGS["local"])
@@ -265,16 +291,41 @@ def test_window_length_mismatch_rejected(tmp_path):
         KSIREngine.load(path, config=smaller)
 
 
-def test_process_fanout_cannot_checkpoint():
-    model, _ = build_stream(seed=5)
+def test_process_fanout_checkpoint_round_trip(tmp_path):
+    """Checkpointing round-trips through the worker processes (PR-4 limitation lifted)."""
+    model, elements = build_stream(seed=5)
+    buckets = buckets_of(elements)
     config = EngineConfig(
         backend="sharded",
         processor=PROCESSOR,
         cluster=ClusterConfig(num_shards=2, backend="process"),
     )
-    engine = KSIREngine(model, config)
+    query = KSIRQuery(k=4, vector=np.array([0.5, 0.5, 0.0, 0.0]))
+
+    uninterrupted = KSIREngine(model, config)
+    first = KSIREngine(model, config)
     try:
-        with pytest.raises(RuntimeError, match="process fan-out"):
-            engine.save("/tmp/unused-checkpoint")
+        for members, end_time in buckets:
+            uninterrupted.ingest_bucket(members, end_time)
+        for members, end_time in buckets[: NUM_BUCKETS // 2]:
+            first.ingest_bucket(members, end_time)
+        path = first.save(tmp_path / "ckpt")
     finally:
-        engine.close()
+        first.close()
+
+    resumed = KSIREngine.load(path)
+    try:
+        assert resumed.buckets_processed == NUM_BUCKETS // 2
+        for members, end_time in buckets[NUM_BUCKETS // 2 :]:
+            resumed.ingest_bucket(members, end_time)
+        assert resumed.elements_processed == uninterrupted.elements_processed
+        assert resumed.active_count == uninterrupted.active_count
+        assert resumed.current_time == uninterrupted.current_time
+        for algorithm in ("mttd", "greedy"):
+            a = uninterrupted.query(query, algorithm=algorithm, epsilon=0.2)
+            b = resumed.query(query, algorithm=algorithm, epsilon=0.2)
+            assert a.element_ids == b.element_ids
+            assert abs(a.score - b.score) <= 1e-9
+    finally:
+        uninterrupted.close()
+        resumed.close()

@@ -1,0 +1,276 @@
+"""Delta checkpoints (repro.ha.delta): structural diffs and chains.
+
+Two layers of guarantees:
+
+* **diff/apply round trip** — for random nested state trees (dicts, lists,
+  scalars, NumPy arrays), ``apply_delta(old, diff_state(old, new))``
+  reconstructs ``new`` exactly (hypothesis-backed);
+* **chain bit-exactness** — the acceptance criterion of the HA subsystem:
+  writing full → delta → delta and folding the chain restores *exactly*
+  the state a direct full checkpoint written at the same instant reads
+  back from disk, and the deltas are smaller than the fulls.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import CheckpointError, EngineConfig, KSIREngine, read_checkpoint
+from repro.core.processor import ProcessorConfig
+from repro.core.scoring import ScoringConfig
+from repro.ha import CheckpointChain, apply_delta, diff_state
+from repro.ha.delta import _SAME, _equal, normalise_state
+
+from tests.conftest import build_reference_stream
+
+NUM_BUCKETS = 12
+BUCKET_LENGTH = 2
+
+PROCESSOR = ProcessorConfig(
+    window_length=NUM_BUCKETS,
+    bucket_length=BUCKET_LENGTH,
+    scoring=ScoringConfig(lambda_weight=0.5, eta=2.0),
+)
+
+
+def build_stream(seed: int):
+    return build_reference_stream(seed, NUM_BUCKETS * BUCKET_LENGTH, 4, 18)
+
+
+def buckets_of(elements):
+    return [
+        (elements[start : start + BUCKET_LENGTH],
+         elements[start : start + BUCKET_LENGTH][-1].timestamp)
+        for start in range(0, len(elements), BUCKET_LENGTH)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# diff/apply round trip on random trees
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_array(draw):
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    rows = draw(st.integers(min_value=0, max_value=5))
+    cols = draw(st.integers(min_value=1, max_value=3))
+    if draw(st.booleans()):
+        return rng.integers(-5, 5, size=(rows, cols)).astype(np.int64)
+    return rng.normal(size=(rows, cols))
+
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-5, max_value=5),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(alphabet="xyz", max_size=4),
+)
+
+trees = st.recursive(
+    st.one_of(scalars, random_array()),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(alphabet="abcd", min_size=1, max_size=3), children, max_size=4
+        ),
+    ),
+    max_leaves=12,
+)
+
+
+class TestDiffApply:
+    @given(old=trees, new=trees)
+    @settings(max_examples=150, deadline=None)
+    def test_apply_reconstructs_new_exactly(self, old, new):
+        old = normalise_state(old)
+        new = normalise_state(new)
+        delta = diff_state(old, new)
+        assert _equal(apply_delta(old, delta), new)
+
+    @given(tree=trees)
+    @settings(max_examples=60, deadline=None)
+    def test_identical_trees_diff_to_same(self, tree):
+        tree = normalise_state(tree)
+        assert diff_state(tree, tree) == _SAME
+
+    def test_sliding_list_reuses_surviving_run(self):
+        # The window-archive shape: entries pruned from the front, new
+        # buckets appended — the delta must not rewrite the survivors.
+        old = [{"id": i, "payload": "x" * 50} for i in range(10)]
+        new = old[4:] + [{"id": i, "payload": "x" * 50} for i in range(10, 12)]
+        delta = diff_state(old, new)
+        assert "__list__" in delta
+        inserted = sum(
+            len(op[1]) for op in delta["__list__"] if op[0] == "ins"
+        )
+        assert inserted == 2
+        assert apply_delta(old, delta) == new
+
+    def test_equal_length_lists_recurse_per_element(self):
+        # The per-shard workers shape: every element changes a little, so
+        # positional recursion must beat a wholesale rewrite.
+        old = [{"counter": i, "blob": list(range(40))} for i in range(3)]
+        new = [{"counter": i + 1, "blob": list(range(40))} for i in range(3)]
+        delta = diff_state(old, new)
+        assert "__elems__" in delta
+        assert apply_delta(old, delta) == new
+
+    def test_array_rows_patch(self):
+        rng = np.random.default_rng(7)
+        old = rng.normal(size=(100, 4))
+        new = old.copy()
+        new[17] += 1.0
+        new = np.concatenate([new, rng.normal(size=(2, 4))])
+        delta = diff_state(old, new)
+        assert "__rows__" in delta
+        patch = delta["__rows__"]
+        assert list(patch["indices"]) == [17]
+        assert patch["tail"].shape == (2, 4)
+        assert np.array_equal(apply_delta(old, delta), new)
+
+    def test_dict_key_drop_and_add(self):
+        old = {"keep": 1, "drop": 2}
+        new = {"keep": 1, "add": 3}
+        delta = diff_state(old, new)
+        applied = apply_delta(old, delta)
+        assert applied == new
+
+
+# ---------------------------------------------------------------------------
+# the chain
+# ---------------------------------------------------------------------------
+
+
+def advance(engine, buckets):
+    for members, end_time in buckets:
+        engine.ingest_bucket(members, end_time)
+
+
+class TestCheckpointChain:
+    def test_fold_is_bit_exact_vs_direct_full_restore(self, tmp_path):
+        """full → delta → delta → restore == direct full restore, bit for bit."""
+        model, elements = build_stream(seed=11)
+        buckets = buckets_of(elements)
+        engine = KSIREngine(model, EngineConfig(processor=PROCESSOR))
+        chain = CheckpointChain(tmp_path / "chain", full_every=8)
+
+        advance(engine, buckets[:4])
+        assert chain.save(engine).endswith("-full")
+        advance(engine, buckets[4:8])
+        assert chain.save(engine).endswith("-delta")
+        advance(engine, buckets[8:])
+        assert chain.save(engine).endswith("-delta")
+
+        direct = engine.save(tmp_path / "direct")
+        engine.close()
+
+        # Fold from a freshly opened chain (no in-memory cache).
+        folded = CheckpointChain(tmp_path / "chain").read_payload().state
+        expected = normalise_state(read_checkpoint(direct).state)
+        assert _equal(folded, expected)
+
+    def test_deltas_are_smaller_than_fulls(self, tmp_path):
+        model, elements = build_stream(seed=3)
+        buckets = buckets_of(elements)
+        engine = KSIREngine(model, EngineConfig(processor=PROCESSOR))
+        chain = CheckpointChain(tmp_path / "chain", full_every=16)
+        for index in range(0, NUM_BUCKETS, 2):
+            advance(engine, buckets[index : index + 2])
+            chain.save(engine)
+        engine.close()
+        stats = chain.stats()
+        assert stats["full_segments"] == 1
+        assert stats["delta_segments"] == NUM_BUCKETS // 2 - 1
+        assert stats["delta_savings"] > 0.0
+        assert stats["mean_delta_bytes"] < stats["mean_full_bytes"]
+
+    def test_full_cadence(self, tmp_path):
+        model, elements = build_stream(seed=3)
+        buckets = buckets_of(elements)
+        engine = KSIREngine(model, EngineConfig(processor=PROCESSOR))
+        chain = CheckpointChain(tmp_path / "chain", full_every=3)
+        for index in range(0, 12, 2):
+            advance(engine, buckets[index : index + 2])
+            chain.save(engine)
+        engine.close()
+        kinds = [segment["kind"] for segment in chain.segments]
+        assert kinds == ["full", "delta", "delta", "full", "delta", "delta"]
+
+    def test_engine_load_accepts_chain_directory(self, tmp_path):
+        model, elements = build_stream(seed=23)
+        buckets = buckets_of(elements)
+        uninterrupted = KSIREngine(model, EngineConfig(processor=PROCESSOR))
+        advance(uninterrupted, buckets)
+
+        engine = KSIREngine(model, EngineConfig(processor=PROCESSOR))
+        chain = CheckpointChain(tmp_path / "chain", full_every=8)
+        advance(engine, buckets[:4])
+        chain.save(engine)
+        advance(engine, buckets[4:8])
+        chain.save(engine)
+        engine.close()
+
+        # The chain restores its NEWEST folded state (full + delta).
+        resumed = KSIREngine.load(tmp_path / "chain")
+        assert resumed.buckets_processed == 8
+        advance(resumed, buckets[8:])
+        assert resumed.elements_processed == uninterrupted.elements_processed
+        assert resumed.active_count == uninterrupted.active_count
+        uninterrupted.close()
+        resumed.close()
+
+    def test_compact_preserves_state_and_drops_segments(self, tmp_path):
+        model, elements = build_stream(seed=9)
+        buckets = buckets_of(elements)
+        engine = KSIREngine(model, EngineConfig(processor=PROCESSOR))
+        chain = CheckpointChain(tmp_path / "chain", full_every=8)
+        advance(engine, buckets[:4])
+        chain.save(engine)
+        advance(engine, buckets[4:8])
+        chain.save(engine)
+        engine.close()
+
+        before = CheckpointChain(tmp_path / "chain").read_payload().state
+        old_names = [segment["name"] for segment in chain.segments]
+        chain.compact()
+        assert len(chain.segments) == 1
+        assert chain.segments[0]["kind"] == "full"
+        for name in old_names:
+            assert not (tmp_path / "chain" / name).exists()
+        after = CheckpointChain(tmp_path / "chain").read_payload().state
+        assert _equal(before, after)
+
+    def test_empty_chain_rejected(self, tmp_path):
+        chain = CheckpointChain(tmp_path / "chain")
+        with pytest.raises(CheckpointError, match="empty"):
+            chain.read_payload()
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        directory = tmp_path / "chain"
+        directory.mkdir()
+        (directory / "CHAIN.json").write_text("{not json")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            CheckpointChain(directory)
+
+    def test_foreign_manifest_format_rejected(self, tmp_path):
+        directory = tmp_path / "chain"
+        directory.mkdir()
+        (directory / "CHAIN.json").write_text(json.dumps({"format": "other"}))
+        with pytest.raises(CheckpointError, match="format"):
+            CheckpointChain(directory)
+
+    def test_is_chain(self, tmp_path):
+        assert not CheckpointChain.is_chain(tmp_path)
+        model, elements = build_stream(seed=3)
+        engine = KSIREngine(model, EngineConfig(processor=PROCESSOR))
+        advance(engine, buckets_of(elements)[:2])
+        CheckpointChain(tmp_path / "chain").save(engine)
+        engine.close()
+        assert CheckpointChain.is_chain(tmp_path / "chain")

@@ -55,6 +55,70 @@ class TestHealthAndStats:
         assert client.request("PUT", "/queries").status == 405
 
 
+class _FakeSupervisor:
+    """Stands in for repro.ha.ClusterSupervisor: only status() is consulted."""
+
+    def __init__(self, healthy: bool = True) -> None:
+        self.healthy = healthy
+
+    def status(self) -> dict:
+        return {
+            "supervised": True,
+            "healthy": self.healthy,
+            "shards": [
+                {"shard_id": 0, "alive": True},
+                {"shard_id": 1, "alive": self.healthy},
+            ],
+        }
+
+
+class TestProbes:
+    def test_healthz_is_alive(self, client: TestClient) -> None:
+        response = client.get("/healthz")
+        assert response.status == 200
+        assert response.json() == {"status": "alive"}
+
+    def test_readyz_without_supervisor(self, client: TestClient) -> None:
+        response = client.get("/readyz")
+        assert response.status == 200
+        payload = response.json()
+        assert payload["status"] == "ready"
+        assert payload["backend"] == "service"
+
+    def test_readyz_with_healthy_supervisor(self) -> None:
+        application = create_app(make_engine(), supervisor=_FakeSupervisor())
+        try:
+            with TestClient(application) as client:
+                assert client.get("/readyz").status == 200
+        finally:
+            application.close()
+
+    def test_readyz_degraded_when_shard_dead(self) -> None:
+        supervisor = _FakeSupervisor(healthy=False)
+        application = create_app(make_engine(), supervisor=supervisor)
+        try:
+            with TestClient(application) as client:
+                response = client.get("/readyz")
+                assert response.status == 503
+                payload = response.json()
+                assert payload["status"] == "degraded"
+                assert payload["dead_shards"] == [1]
+                # Liveness is unaffected: the process still serves.
+                assert client.get("/healthz").status == 200
+        finally:
+            application.close()
+
+    def test_telemetry_includes_supervisor_status(self) -> None:
+        application = create_app(make_engine(), supervisor=_FakeSupervisor())
+        try:
+            with TestClient(application) as client:
+                payload = client.get("/telemetry").json()
+                assert payload["supervisor"]["supervised"] is True
+                assert payload["supervisor"]["healthy"] is True
+        finally:
+            application.close()
+
+
 class TestQueryCrud:
     def test_register_list_get_delete(self, client: TestClient) -> None:
         created = client.post(
@@ -234,8 +298,9 @@ class TestMetricsAndTelemetry:
         response = client.get("/telemetry")
         assert response.status == 200
         payload = response.json()
-        assert set(payload) == {"engine", "service", "push", "runtime"}
+        assert set(payload) == {"engine", "service", "push", "runtime", "supervisor"}
         assert payload["push"]["subscribers"] == 0
+        assert payload["supervisor"] is None  # no supervised cluster attached
         assert "GET /health" in payload["runtime"]["latency"]
 
     def test_latency_recorded_per_endpoint(self, app: KSIRServer) -> None:
