@@ -46,6 +46,9 @@ from repro.cluster import (
     ClusterCoordinator,
     ShardPlanner,
     ShardWorker,
+    TransportBackend,
+    register_transport,
+    transport_names,
     verify_equivalence,
 )
 from repro.core.algorithms import (
@@ -103,9 +106,12 @@ __all__ = [
     "ServiceBackend",
     "ServiceConfig",
     "ShardedBackend",
+    "TransportBackend",
     "backend_names",
     "create_backend",
     "register_backend",
+    "register_transport",
+    "transport_names",
     "DATASET_PROFILES",
     "DatasetProfile",
     "GreedySelection",

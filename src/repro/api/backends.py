@@ -144,10 +144,12 @@ class ShardedBackend:
         inferencer: Optional[TopicInferencer] = None,
     ) -> None:
         cluster = config.cluster if config.cluster is not None else ClusterConfig()
-        with library_managed_construction():
-            self._coordinator = ClusterCoordinator(
-                topic_model, config.processor, cluster=cluster, inferencer=inferencer
-            )
+        # No construction guard needed: ClusterCoordinator is not a guarded
+        # entry point, and the shard workers it builds wrap their own
+        # processor constructions.
+        self._coordinator = ClusterCoordinator(
+            topic_model, config.processor, cluster=cluster, inferencer=inferencer
+        )
 
     @property
     def name(self) -> str:

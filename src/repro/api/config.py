@@ -17,7 +17,11 @@ import argparse
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from repro.cluster.coordinator import BACKEND_CHOICES, ClusterConfig
+from repro.cluster.coordinator import (
+    BACKEND_CHOICES,
+    TRANSPORT_CHOICES,
+    ClusterConfig,
+)
 from repro.core.processor import ProcessorConfig
 from repro.core.scoring import ScoringConfig
 from repro.ha.config import HAConfig
@@ -214,6 +218,7 @@ def _cluster_to_dict(config: ClusterConfig) -> Dict[str, Any]:
         "num_shards": config.num_shards,
         "partitioner": config.partitioner,
         "backend": config.backend,
+        "transport": config.transport,
         "candidate_budget": config.candidate_budget,
         "budget_scale": config.budget_scale,
         "max_workers": config.max_workers,
@@ -227,6 +232,7 @@ def _cluster_from_dict(payload: Mapping[str, Any]) -> ClusterConfig:
             "num_shards",
             "partitioner",
             "backend",
+            "transport",
             "candidate_budget",
             "budget_scale",
             "max_workers",
@@ -236,10 +242,12 @@ def _cluster_from_dict(payload: Mapping[str, Any]) -> ClusterConfig:
     defaults = ClusterConfig()
     candidate_budget = payload.get("candidate_budget")
     max_workers = payload.get("max_workers")
+    transport = payload.get("transport")
     return ClusterConfig(
         num_shards=int(payload.get("num_shards", defaults.num_shards)),
         partitioner=str(payload.get("partitioner", defaults.partitioner)),
         backend=str(payload.get("backend", defaults.backend)),
+        transport=None if transport is None else str(transport),
         candidate_budget=None if candidate_budget is None else int(candidate_budget),
         budget_scale=float(payload.get("budget_scale", defaults.budget_scale)),
         max_workers=None if max_workers is None else int(max_workers),
@@ -353,7 +361,7 @@ class EngineConfig:
         """Install the shared engine options on an ``argparse`` parser.
 
         Adds the execution-layer flags (``--backend``, ``--shards``,
-        ``--partitioner``, ``--fanout``) and the processor flags
+        ``--partitioner``, ``--fanout``, ``--transport``) and the processor flags
         (``--window-hours``, ``--bucket-minutes``, ``--lambda-weight``,
         ``--eta``).  With ``service=True`` the serving flags
         (``--workers``, ``--naive``) are added too.  The single source of
@@ -383,6 +391,13 @@ class EngineConfig:
             choices=list(BACKEND_CHOICES),
             help="cluster fan-out executor (thread pool, serial, or one "
             "process per shard)",
+        )
+        parser.add_argument(
+            "--transport",
+            default=None,
+            choices=list(TRANSPORT_CHOICES),
+            help="cluster transport backend; overrides --fanout "
+            "(shm = shared-memory columns, zero-copy candidate pools)",
         )
         parser.add_argument("--window-hours", type=int, default=24)
         parser.add_argument("--bucket-minutes", type=int, default=15)
@@ -439,10 +454,12 @@ class EngineConfig:
         cluster: Optional[ClusterConfig] = None
         backend = canonical_backend_name(str(getattr(args, "backend", "single")))
         if backend == SHARDED_BACKEND:
+            transport = getattr(args, "transport", None)
             cluster = ClusterConfig(
                 num_shards=int(getattr(args, "shards", 4)),
                 partitioner=str(getattr(args, "partitioner", "hash")),
                 backend=str(getattr(args, "fanout", "thread")),
+                transport=None if transport is None else str(transport),
             )
         if service:
             backend = SERVICE_BACKEND

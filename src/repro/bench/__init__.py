@@ -23,6 +23,7 @@ from repro.bench.compare import (
     ScenarioComparison,
     compare,
     compare_many,
+    environment_warnings,
 )
 from repro.bench.report import (
     BenchReport,
@@ -54,6 +55,7 @@ __all__ = [
     "capture_environment",
     "compare",
     "compare_many",
+    "environment_warnings",
     "get_spec",
     "iter_specs",
     "load_reports",

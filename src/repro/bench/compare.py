@@ -62,6 +62,7 @@ class ComparisonReport:
     tolerance: float
     normalised: bool
     entries: List[ScenarioComparison] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> Tuple[ScenarioComparison, ...]:
@@ -78,9 +79,12 @@ class ComparisonReport:
         mode = "calibration-normalised" if self.normalised else "raw"
         lines = [
             f"benchmark comparison — tolerance {self.tolerance:.0%}, {mode} latencies",
-            f"  {'benchmark':<24} {'scenario':<20} {'old_p50':>10} {'new_p50':>10} "
-            f"{'ratio':>7} status",
         ]
+        lines.extend(f"  warning: {warning}" for warning in self.warnings)
+        lines.append(
+            f"  {'benchmark':<24} {'scenario':<20} {'old_p50':>10} {'new_p50':>10} "
+            f"{'ratio':>7} status"
+        )
         lines.extend(entry.row() for entry in self.entries)
         count = len(self.regressions)
         lines.append(
@@ -89,6 +93,27 @@ class ComparisonReport:
             else "no regressions"
         )
         return "\n".join(lines)
+
+
+def environment_warnings(old: BenchReport, new: BenchReport) -> List[str]:
+    """Provenance checks that calibration cannot normalise away.
+
+    Calibration divides out single-thread machine speed, but parallel
+    scaling scenarios (cluster shards, evaluator pools) also depend on the
+    number of cores — a baseline recorded on a 1-CPU box is silently
+    incomparable to a 8-CPU run however well-calibrated both are.  Returns
+    one human-readable warning per mismatch (empty when comparable).
+    """
+    warnings: List[str] = []
+    old_cpus = old.environment.get("cpu_count")
+    new_cpus = new.environment.get("cpu_count")
+    if old_cpus is not None and new_cpus is not None and old_cpus != new_cpus:
+        warnings.append(
+            f"{old.benchmark}: cpu_count mismatch (baseline {old_cpus}, "
+            f"candidate {new_cpus}) — parallel-scaling ratios are not "
+            "comparable across core counts"
+        )
+    return warnings
 
 
 def compare(
@@ -112,6 +137,7 @@ def compare(
             normalised = True
 
     result = ComparisonReport(tolerance=tolerance, normalised=normalised)
+    result.warnings.extend(environment_warnings(old, new))
     old_by_name = {scenario.name: scenario for scenario in old.scenarios}
     new_by_name = {scenario.name: scenario for scenario in new.scenarios}
 
@@ -200,4 +226,5 @@ def compare_many(
         )
         merged.normalised = merged.normalised or partial.normalised
         merged.entries.extend(partial.entries)
+        merged.warnings.extend(partial.warnings)
     return merged

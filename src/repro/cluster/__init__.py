@@ -10,15 +10,22 @@ sharding *transparent*: queries return exactly the single-node answers.
 * :class:`ShardWorker` / :class:`CandidatePool` — per-shard ingestion and
   bounded candidate export for scatter-gather queries;
 * :class:`ClusterCoordinator` / :class:`ClusterConfig` — parallel fan-out
-  ingestion (thread / serial / one-process-per-shard backends) and the
-  merged final submodular selection;
+  ingestion and the merged final submodular selection;
+* :class:`TransportBackend` / :func:`register_transport` — the formal
+  fan-out protocol and its registry (built-ins: ``serial``, ``thread``,
+  ``pipe``, ``shm``); third-party transports plug in under new names;
 * :func:`merge_candidate_pools` / :class:`MergedCandidateContext` — exact
   evaluation substrate over the candidate union;
 * :func:`verify_equivalence` — replay-and-compare harness proving sharded
   answers match single-node answers.
 """
 
-from repro.cluster.coordinator import BACKEND_CHOICES, ClusterConfig, ClusterCoordinator
+from repro.cluster.coordinator import (
+    BACKEND_CHOICES,
+    TRANSPORT_CHOICES,
+    ClusterConfig,
+    ClusterCoordinator,
+)
 from repro.cluster.merge import MergedCandidateContext, merge_candidate_pools
 from repro.cluster.partition import (
     PARTITIONER_REGISTRY,
@@ -29,6 +36,13 @@ from repro.cluster.partition import (
     RoutedBucket,
     ShardPlanner,
     make_partitioner,
+)
+from repro.cluster.transport import (
+    TransportBackend,
+    canonical_transport_name,
+    create_transport,
+    register_transport,
+    transport_names,
 )
 from repro.cluster.verify import EquivalenceReport, QueryComparison, verify_equivalence
 from repro.cluster.worker import CandidatePool, ShardStats, ShardWorker
@@ -50,7 +64,13 @@ __all__ = [
     "ShardPlanner",
     "ShardStats",
     "ShardWorker",
+    "TRANSPORT_CHOICES",
+    "TransportBackend",
+    "canonical_transport_name",
+    "create_transport",
     "make_partitioner",
     "merge_candidate_pools",
+    "register_transport",
+    "transport_names",
     "verify_equivalence",
 ]

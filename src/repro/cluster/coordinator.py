@@ -53,14 +53,24 @@ from repro.core.scoring import ElementProfile, KSIRObjective, ScoringContext
 from repro.core.stream import SocialStream, replay_stream
 from repro.cluster.merge import merge_candidate_pools
 from repro.cluster.partition import RoutedBucket, ShardPlanner
+from repro.cluster.transport import (
+    TransportBackend,
+    canonical_transport_name,
+    create_transport,
+    register_transport,
+)
 from repro.cluster.worker import CandidatePool, ShardStats, ShardWorker
 from repro.topics.inference import TopicInferencer
 from repro.topics.model import TopicModel
 from repro.utils.timing import StopWatch, TimingStats
 from repro.utils.validation import require_positive
 
-#: Fan-out backends accepted by :class:`ClusterConfig`.
+#: Fan-out backends accepted by :class:`ClusterConfig.backend` (the
+#: pre-transport spelling, kept for compatibility; prefer ``transport``).
 BACKEND_CHOICES = ("thread", "serial", "process")
+
+#: Canonical transports accepted by :class:`ClusterConfig.transport`.
+TRANSPORT_CHOICES = ("serial", "thread", "pipe", "shm")
 
 
 @dataclass(frozen=True)
@@ -78,7 +88,17 @@ class ClusterConfig:
     backend:
         Fan-out executor: ``thread`` (default), ``serial`` (deterministic,
         used for per-shard measurement), or ``process`` (one OS process per
-        shard; GIL-free, pays per-bucket IPC).
+        shard; GIL-free, pays per-bucket IPC).  The pre-transport spelling;
+        ignored when ``transport`` is set.
+    transport:
+        Fan-out transport name resolved through the
+        :func:`repro.cluster.register_transport` registry: ``serial``,
+        ``thread``, ``pipe`` (one process per shard, pickled payloads over
+        pipes) or ``shm`` (one process per shard, shared-memory store
+        columns and array-slice payloads; pipes carry only control tuples).
+        ``None`` (the default) derives the transport from ``backend``
+        (``process`` → ``pipe``), keeping existing configurations and
+        checkpoints working unchanged.
     candidate_budget:
         Fixed per-shard candidate budget for queries; ``None`` derives the
         budget from the query algorithm's ``ε`` as
@@ -93,6 +113,7 @@ class ClusterConfig:
     num_shards: int = 4
     partitioner: str = "hash"
     backend: str = "thread"
+    transport: Optional[str] = None
     candidate_budget: Optional[int] = None
     budget_scale: float = 1.0
     max_workers: Optional[int] = None
@@ -104,11 +125,25 @@ class ClusterConfig:
                 f"unknown backend {self.backend!r}; available: "
                 + ", ".join(BACKEND_CHOICES)
             )
+        # ``transport`` is validated against the registry at coordinator
+        # construction (third-party transports register after import time),
+        # but reject obviously malformed values eagerly.
+        if self.transport is not None and not self.transport.strip():
+            raise ValueError("transport must be a non-empty name or None")
         if self.candidate_budget is not None:
             require_positive(self.candidate_budget, "candidate_budget")
         require_positive(self.budget_scale, "budget_scale")
         if self.max_workers is not None:
             require_positive(self.max_workers, "max_workers")
+
+    @property
+    def effective_transport(self) -> str:
+        """The canonical transport name this configuration selects.
+
+        ``transport`` when set, otherwise derived from the legacy
+        ``backend`` field (``process`` is an alias of ``pipe``).
+        """
+        return canonical_transport_name(self.transport or self.backend)
 
     def derive_budget(self, k: int, epsilon: float) -> int:
         """The per-shard candidate budget for a ``(k, ε)`` query."""
@@ -119,6 +154,10 @@ class ClusterConfig:
 
 class _LocalFanout:
     """Thread-pool or serial fan-out over in-process shard workers."""
+
+    #: In-process workers share the planner; routed buckets need no
+    #: ownership entries (see ``TransportBackend.ships_owners``).
+    ships_owners = False
 
     def __init__(self, workers: Sequence[ShardWorker], pool: Optional[ThreadPoolExecutor]):
         self._workers = list(workers)
@@ -188,32 +227,12 @@ class ClusterCoordinator:
         self._scatter_timer = TimingStats(name="cluster-scatter")
         self._closed = False
 
-        if self._cluster.backend == "process":
-            # Imported lazily: the process backend pulls in multiprocessing
-            # machinery that thread/serial users never need.
-            from repro.cluster.process_backend import ProcessFanout
-
-            self._fanout: Union[_LocalFanout, "ProcessFanout"] = ProcessFanout(
-                self._cluster.num_shards, topic_model, self._config
-            )
-        else:
-            workers = [
-                ShardWorker(
-                    shard_id,
-                    topic_model,
-                    self._config,
-                    inferencer=self._inferencer,
-                    home_filter=self._make_home_filter(shard_id),
-                )
-                for shard_id in range(self._cluster.num_shards)
-            ]
-            pool = None
-            if self._cluster.backend == "thread":
-                pool = ThreadPoolExecutor(
-                    max_workers=self._cluster.max_workers or self._cluster.num_shards,
-                    thread_name_prefix="ksir-shard",
-                )
-            self._fanout = _LocalFanout(workers, pool)
+        # The concrete fan-out is resolved through the transport registry
+        # (see repro.cluster.transport); built-ins are registered at the
+        # bottom of this module, third parties via register_transport().
+        self._fanout: TransportBackend = create_transport(
+            self._cluster.effective_transport, self
+        )
 
     def _make_home_filter(self, shard_id: int):
         planner = self._planner
@@ -254,8 +273,8 @@ class ClusterCoordinator:
         return ()
 
     @property
-    def fanout(self) -> Union[_LocalFanout, "ProcessFanout"]:
-        """The fan-out executor (``repro.ha`` uses it for liveness probes)."""
+    def fanout(self) -> TransportBackend:
+        """The fan-out transport (``repro.ha`` uses it for liveness probes)."""
         return self._fanout
 
     @property
@@ -329,7 +348,8 @@ class ClusterCoordinator:
         with self._ingest_timer.measure():
             prepared = self._prepare(elements)
             routed = self._planner.route_bucket(
-                prepared, with_owners=self._cluster.backend == "process"
+                prepared,
+                with_owners=getattr(self._fanout, "ships_owners", False),
             )
             self._fanout.ingest(routed, end_time)
             self.commit_bucket(len(prepared), end_time)
@@ -545,7 +565,8 @@ class ClusterCoordinator:
         """
         prepared = self._prepare(elements)
         routed = self._planner.route_bucket(
-            prepared, with_owners=self._cluster.backend == "process"
+            prepared,
+            with_owners=getattr(self._fanout, "ships_owners", False),
         )
         bucket = routed[shard_id]
         if isinstance(self._fanout, _LocalFanout):
@@ -581,3 +602,66 @@ class ClusterCoordinator:
     def _require_open(self) -> None:
         if self._closed:
             raise RuntimeError("the cluster coordinator has been closed")
+
+
+# -- built-in transport factories ------------------------------------------------------
+
+
+def _build_local_fanout(
+    coordinator: ClusterCoordinator, pool: Optional[ThreadPoolExecutor]
+) -> _LocalFanout:
+    cluster = coordinator.cluster_config
+    workers = [
+        ShardWorker(
+            shard_id,
+            coordinator.topic_model,
+            coordinator.config,
+            inferencer=coordinator._inferencer,
+            home_filter=coordinator._make_home_filter(shard_id),
+        )
+        for shard_id in range(cluster.num_shards)
+    ]
+    return _LocalFanout(workers, pool)
+
+
+def _serial_transport(coordinator: ClusterCoordinator) -> TransportBackend:
+    """Same-thread fan-out (deterministic; per-shard measurement)."""
+    return _build_local_fanout(coordinator, None)
+
+
+def _thread_transport(coordinator: ClusterCoordinator) -> TransportBackend:
+    """Thread-pool fan-out over in-process workers."""
+    cluster = coordinator.cluster_config
+    pool = ThreadPoolExecutor(
+        max_workers=cluster.max_workers or cluster.num_shards,
+        thread_name_prefix="ksir-shard",
+    )
+    return _build_local_fanout(coordinator, pool)
+
+
+def _pipe_transport(coordinator: ClusterCoordinator) -> TransportBackend:
+    """One OS process per shard; pickled payloads over pipes."""
+    # Imported lazily: the process backends pull in multiprocessing
+    # machinery that thread/serial users never need.
+    from repro.cluster.process_backend import ProcessFanout
+
+    cluster = coordinator.cluster_config
+    return ProcessFanout(
+        cluster.num_shards, coordinator.topic_model, coordinator.config
+    )
+
+
+def _shm_transport(coordinator: ClusterCoordinator) -> TransportBackend:
+    """One OS process per shard; shared-memory columns + array payloads."""
+    from repro.cluster.shm_backend import ShmProcessFanout
+
+    cluster = coordinator.cluster_config
+    return ShmProcessFanout(
+        cluster.num_shards, coordinator.topic_model, coordinator.config
+    )
+
+
+register_transport("serial", _serial_transport)
+register_transport("thread", _thread_transport)
+register_transport("pipe", _pipe_transport)
+register_transport("shm", _shm_transport)

@@ -148,6 +148,10 @@ def _shard_main(conn, shard_id: int, topic_model: TopicModel, config: ProcessorC
 class ProcessFanout:
     """Scatter-gather over one worker process per shard."""
 
+    #: Remote workers cannot consult the coordinator's planner: routed
+    #: buckets must carry the ownership entries their home filters replay.
+    ships_owners = True
+
     def __init__(
         self,
         num_shards: int,

@@ -1,0 +1,368 @@
+"""Shared-memory segment management for the zero-copy cluster transport.
+
+The pipe transport pays a *replication tax*: every routed bucket is pickled
+into each shard process and every candidate pool is pickled back.  The
+columnar store (PR 5) already keeps the hot per-element state — timestamps,
+last-activity times, the topic-profile matrix ``P`` — on contiguous NumPy
+arrays, so the structural fix is to back those arrays with OS shared memory
+and let shard workers *attach* them instead of receiving copies:
+
+* :class:`SharedColumnArena` — the **coordinator-side owner** of a set of
+  named array segments.  It creates every segment, hands out NumPy views,
+  grows columns by allocating a new generation (the old one is retired and
+  unlinked only after the worker confirmed the remap), and unlinks
+  everything on close.
+* :class:`ArenaView` — the **worker-side attachment**.  It never creates or
+  unlinks segments; it maps whatever the current manifest names.  Because
+  attach-only :class:`~multiprocessing.shared_memory.SharedMemory` instances
+  are not registered with the ``resource_tracker``, a SIGKILLed worker can
+  never leak a segment or emit tracker warnings — cleanup responsibility
+  lives entirely with the coordinator process.
+* :func:`pack_arrays` / :func:`unpack_arrays` — the fixed-layout codec used
+  by the shm transport's ingest and export buffers: a sequence of arrays is
+  written into one ``uint8`` region at aligned offsets, and the tiny header
+  (name, dtype, shape per section) travels over the pipe as a control tuple.
+
+Segment naming
+--------------
+Every segment is named ``{prefix}-{key}-g{generation}`` where the prefix is
+``ksir-{session}-s{shard}`` and ``session`` is a per-fan-out random token.
+On Linux the segments appear as ``/dev/shm/ksir-*``, which makes leaked
+segments trivially scannable — :func:`scan_segments` is the hook the tests
+and the CI teardown step use.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from multiprocessing import shared_memory
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+#: Every segment name starts with this, so orphans are easy to find.
+SEGMENT_NAMESPACE = "ksir"
+
+#: Section offsets inside packed buffers are aligned to this many bytes.
+_ALIGNMENT = 16
+
+#: ``key → (segment_name, dtype_str, shape)`` — the wire form of an arena.
+Manifest = Dict[str, Tuple[str, str, Tuple[int, ...]]]
+
+
+class SegmentCapacityError(RuntimeError):
+    """A packed payload does not fit the current buffer segment.
+
+    Carries the number of bytes the payload needs so the coordinator can
+    grow the segment to (at least) that size and retry.
+    """
+
+    def __init__(self, key: str, required_bytes: int) -> None:
+        self.key = key
+        self.required_bytes = int(required_bytes)
+        super().__init__(
+            f"segment {key!r} needs {required_bytes} bytes"
+        )
+
+
+def new_session_token() -> str:
+    """A short random token that namespaces one fan-out's segments."""
+    return secrets.token_hex(4)
+
+
+def segment_prefix(session: str, shard_id: int) -> str:
+    """The segment-name prefix of one shard's arena."""
+    return f"{SEGMENT_NAMESPACE}-{session}-s{shard_id}"
+
+
+def scan_segments(session: Optional[str] = None) -> List[str]:
+    """Names of live ``ksir-*`` segments in ``/dev/shm`` (Linux only).
+
+    With ``session`` the scan is restricted to that fan-out's segments.
+    Used by the leak tests and the CI teardown step; returns an empty list
+    on platforms without a ``/dev/shm`` tmpfs.
+    """
+    prefix = SEGMENT_NAMESPACE + "-" + (session + "-" if session else "")
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return []
+    return sorted(name for name in entries if name.startswith(prefix))
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+def packed_size(arrays: Sequence[Tuple[str, npt.NDArray]]) -> int:
+    """Bytes :func:`pack_arrays` needs for the given sections."""
+    offset = 0
+    for _, array in arrays:
+        offset = _aligned(offset) + array.nbytes
+    return offset
+
+
+def pack_arrays(
+    buffer: npt.NDArray[np.uint8], arrays: Sequence[Tuple[str, npt.NDArray]]
+) -> List[Tuple[str, str, Tuple[int, ...]]]:
+    """Write ``arrays`` into ``buffer`` at aligned offsets; return the header.
+
+    The header — ``(name, dtype_str, shape)`` per section, in order — is all
+    a reader needs to reconstruct the views with :func:`unpack_arrays`; it is
+    small enough to travel over a pipe as a control tuple.  Raises
+    :class:`SegmentCapacityError` (naming no particular segment key) when
+    the sections do not fit.
+    """
+    required = packed_size(arrays)
+    if required > buffer.nbytes:
+        raise SegmentCapacityError("<buffer>", required)
+    offset = 0
+    header: List[Tuple[str, str, Tuple[int, ...]]] = []
+    for name, array in arrays:
+        contiguous = np.ascontiguousarray(array)
+        offset = _aligned(offset)
+        raw = contiguous.view(np.uint8).reshape(-1)
+        buffer[offset : offset + contiguous.nbytes] = raw
+        header.append((name, contiguous.dtype.str, tuple(contiguous.shape)))
+        offset += contiguous.nbytes
+    return header
+
+
+def unpack_arrays(
+    buffer: npt.NDArray[np.uint8],
+    header: Sequence[Tuple[str, str, Tuple[int, ...]]],
+) -> Dict[str, npt.NDArray]:
+    """Reconstruct the packed sections as views into ``buffer``.
+
+    The returned arrays alias the shared buffer — copy anything that must
+    outlive the current protocol exchange.
+    """
+    sections: Dict[str, npt.NDArray] = {}
+    offset = 0
+    for name, dtype_str, shape in header:
+        dtype = np.dtype(dtype_str)
+        count = int(np.prod(shape)) if shape else 1
+        nbytes = count * dtype.itemsize
+        offset = _aligned(offset)
+        view = buffer[offset : offset + nbytes].view(dtype).reshape(shape)
+        sections[name] = view
+        offset += nbytes
+    return sections
+
+
+class SharedColumnArena:
+    """Coordinator-owned set of named shared-memory array segments.
+
+    One arena backs one shard: its store columns (``ids``/``ts``/``act``/
+    ``inw``/``prof``/``pset``), the ingest buffer the coordinator writes and
+    the export buffer the worker writes.  The arena is the single place
+    where segments are created and unlinked; workers only ever attach via
+    :class:`ArenaView`, which is what makes SIGKILL-safe cleanup possible.
+    """
+
+    def __init__(self, session: str, shard_id: int) -> None:
+        self._prefix = segment_prefix(session, shard_id)
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._arrays: Dict[str, npt.NDArray] = {}
+        self._meta: Manifest = {}
+        self._generations: Dict[str, int] = {}
+        # Segments replaced by grow(); unlinked once the worker confirmed
+        # the remap (unlink_retired) or at close time, whichever first.
+        self._retired: List[shared_memory.SharedMemory] = []
+        self._closed = False
+
+    # -- segment lifecycle -------------------------------------------------------
+
+    def create(
+        self,
+        key: str,
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        fill: Optional[object] = None,
+    ) -> npt.NDArray:
+        """Create the segment backing column ``key`` and return its view."""
+        if key in self._segments:
+            raise ValueError(f"segment key {key!r} already exists")
+        self._generations[key] = 0
+        return self._allocate(key, shape, np.dtype(dtype), fill)
+
+    def _allocate(
+        self,
+        key: str,
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        fill: Optional[object],
+    ) -> npt.NDArray:
+        name = f"{self._prefix}-{key}-g{self._generations[key]}"
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        segment = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        array: npt.NDArray = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+        if fill is not None:
+            array[...] = fill
+        self._segments[key] = segment
+        self._arrays[key] = array
+        self._meta[key] = (name, dtype.str, tuple(shape))
+        return array
+
+    def grow(
+        self,
+        key: str,
+        shape: Tuple[int, ...],
+        copy: bool = False,
+        fill: Optional[object] = None,
+    ) -> npt.NDArray:
+        """Replace ``key`` with a larger next-generation segment.
+
+        With ``copy=True`` the old content's overlapping prefix is copied
+        into the new segment (store columns keep live state across a grow);
+        buffer segments pass ``copy=False`` since their content is per-call
+        scratch.  The old segment is *retired*, not unlinked: a worker may
+        still be attached to it until it confirms the remap — call
+        :meth:`unlink_retired` at the next safe point.
+        """
+        old_segment = self._segments[key]
+        old_array = self._arrays[key]
+        self._generations[key] += 1
+        array = self._allocate(key, shape, old_array.dtype, fill)
+        if copy:
+            if old_array.ndim == 1:
+                array[: old_array.shape[0]] = old_array
+            else:
+                array[: old_array.shape[0], ...] = old_array
+        self._retired.append(old_segment)
+        return array
+
+    def unlink_retired(self) -> None:
+        """Unlink segments replaced by :meth:`grow` (worker confirmed remap)."""
+        for segment in self._retired:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+        self._retired.clear()
+
+    # -- access ------------------------------------------------------------------
+
+    def array(self, key: str) -> npt.NDArray:
+        """The current NumPy view of column ``key``."""
+        return self._arrays[key]
+
+    def manifest(self) -> Manifest:
+        """``key → (segment_name, dtype, shape)`` for the current generation."""
+        return dict(self._meta)
+
+    @property
+    def prefix(self) -> str:
+        """The segment-name prefix of this arena."""
+        return self._prefix
+
+    def close(self, unlink: bool = True) -> None:
+        """Release every mapping; with ``unlink`` also remove the segments."""
+        if self._closed:
+            return
+        self._closed = True
+        # Views alias the mappings; drop them before closing the segments.
+        self._arrays.clear()
+        self.unlink_retired()
+        for segment in self._segments.values():
+            try:
+                segment.close()
+                if unlink:
+                    segment.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments.clear()
+        self._meta.clear()
+
+
+class ArenaView:
+    """Worker-side attachment to a :class:`SharedColumnArena`'s segments.
+
+    Attach-only: segments are mapped by the names a manifest carries and
+    never created or unlinked here.  :meth:`refresh` re-attaches exactly the
+    keys whose segment name changed (a grow on the coordinator side) and
+    reports them, so the store can adopt the new columns.
+    """
+
+    def __init__(self, manifest: Manifest) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._arrays: Dict[str, npt.NDArray] = {}
+        self._names: Dict[str, str] = {}
+        self.refresh(manifest)
+
+    def refresh(self, manifest: Manifest) -> Tuple[str, ...]:
+        """Attach new/changed segments; returns the keys that were remapped."""
+        changed: List[str] = []
+        for key, (name, dtype_str, shape) in manifest.items():
+            if self._names.get(key) == name:
+                continue
+            segment = shared_memory.SharedMemory(name=name, create=False)
+            array: npt.NDArray = np.ndarray(
+                tuple(shape), dtype=np.dtype(dtype_str), buffer=segment.buf
+            )
+            old = self._segments.get(key)
+            self._segments[key] = segment
+            self._arrays[key] = array
+            self._names[key] = name
+            changed.append(key)
+            if old is not None:
+                old.close()
+        return tuple(changed)
+
+    def array(self, key: str) -> npt.NDArray:
+        """The mapped NumPy view of column ``key``."""
+        return self._arrays[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._arrays
+
+    def keys(self) -> Iterator[str]:
+        """The mapped column keys."""
+        return iter(self._arrays)
+
+    def close(self) -> None:
+        """Drop every mapping (never unlinks — the coordinator owns that)."""
+        self._arrays.clear()
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except OSError:
+                pass
+        self._segments.clear()
+        self._names.clear()
+
+
+def column_spec(
+    capacity: int, num_topics: int
+) -> Mapping[str, Tuple[Tuple[int, ...], np.dtype, Optional[object]]]:
+    """The store-column layout of one shard arena.
+
+    ``key → (shape, dtype, fill)`` for the six :class:`ElementStore`
+    columns; shared between the coordinator (create/grow) and the worker
+    (adopt), so the two sides can never disagree on the layout.
+    """
+    no_activity = np.iinfo(np.int64).min
+    return {
+        "ids": ((capacity,), np.dtype(np.int64), -1),
+        "ts": ((capacity,), np.dtype(np.int64), 0),
+        "act": ((capacity,), np.dtype(np.int64), no_activity),
+        "inw": ((capacity,), np.dtype(np.bool_), False),
+        "prof": ((capacity, num_topics), np.dtype(np.float64), 0.0),
+        "pset": ((capacity,), np.dtype(np.bool_), False),
+    }
+
+
+#: The arena keys holding store columns (everything else is a buffer).
+COLUMN_KEYS: Tuple[str, ...] = ("ids", "ts", "act", "inw", "prof", "pset")
+
+#: Arena key of the coordinator-written ingest buffer.
+INGEST_BUFFER_KEY = "ing"
+
+#: Arena key of the worker-written export (candidate pool) buffer.
+EXPORT_BUFFER_KEY = "out"
+
+#: Initial size of the ingest/export buffers (grown on demand).
+INITIAL_BUFFER_BYTES = 1 << 20

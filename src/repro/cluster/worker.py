@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.element import SocialElement
 from repro.core.processor import KSIRProcessor, ProcessorConfig
 from repro.core.scoring import ElementProfile
+from repro.store import ElementStore
 from repro.topics.inference import TopicInferencer
 from repro.topics.model import TopicModel
 from repro.utils.deprecation import library_managed_construction
@@ -91,11 +92,16 @@ class ShardWorker:
         config: Optional[ProcessorConfig] = None,
         inferencer: Optional[TopicInferencer] = None,
         home_filter: Optional[Callable[[int], bool]] = None,
+        store_factory: Optional[Callable[[], ElementStore]] = None,
     ) -> None:
         self._shard_id = int(shard_id)
         with library_managed_construction():
             self._processor = KSIRProcessor(
-                topic_model, config, inferencer=inferencer, home_filter=home_filter
+                topic_model,
+                config,
+                inferencer=inferencer,
+                home_filter=home_filter,
+                store_factory=store_factory,
             )
         self._home_ingested = 0
         self._foreign_ingested = 0
@@ -190,6 +196,17 @@ class ShardWorker:
 
     # -- gather: candidate export -----------------------------------------------------
 
+    def record_export(self, num_candidates: int) -> None:
+        """Bump the export counters (thread-safe).
+
+        Shared by :meth:`export_candidates` and transports that encode the
+        pool themselves (the shm transport packs array sections instead of
+        building a :class:`CandidatePool` object in the worker process).
+        """
+        with self._counter_lock:
+            self._exports += 1
+            self._exported_candidates += int(num_candidates)
+
     def export_candidates(
         self, query_vector: np.ndarray, budget: Optional[int] = None
     ) -> CandidatePool:
@@ -228,9 +245,7 @@ class ShardWorker:
                 if follower_id not in profiles:
                     profiles[follower_id] = self._processor.profile(follower_id)
 
-        with self._counter_lock:
-            self._exports += 1
-            self._exported_candidates += len(candidate_ids)
+        self.record_export(len(candidate_ids))
         return CandidatePool(
             shard_id=self._shard_id,
             candidate_ids=candidate_ids,

@@ -127,6 +127,7 @@ class KSIRProcessor:
         config: Optional[ProcessorConfig] = None,
         inferencer: Optional[TopicInferencer] = None,
         home_filter: Optional[Callable[[int], bool]] = None,
+        store_factory: Optional[Callable[[], ElementStore]] = None,
     ) -> None:
         warn_deprecated_construction(
             "Constructing KSIRProcessor directly",
@@ -150,7 +151,15 @@ class KSIRProcessor:
         # (ranked lists, snapshots, export) only sees the protocol.
         self._window: StateView
         if self._config.store == "columnar":
-            self._store: Optional[ElementStore] = ElementStore(topic_model.num_topics)
+            # ``store_factory`` lets the execution layer supply the store —
+            # the shared-memory cluster transport backs its columns with
+            # coordinator-owned segments so shard state is readable
+            # zero-copy from the coordinator process.
+            self._store: Optional[ElementStore] = (
+                store_factory()
+                if store_factory is not None
+                else ElementStore(topic_model.num_topics)
+            )
             self._window = ColumnarWindow(
                 self._config.window_length,
                 archive_windows=self._config.archive_windows,

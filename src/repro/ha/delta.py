@@ -165,7 +165,9 @@ def _changed_rows(old: np.ndarray, new: np.ndarray) -> np.ndarray:
     if old.dtype.kind == "f":
         neq &= ~(np.isnan(old) & np.isnan(new))
     if neq.ndim > 1:
-        neq = neq.reshape(len(neq), -1).any(axis=1)
+        # axis-tuple reduction (not reshape(n, -1)): reshape cannot infer
+        # the trailing dimension of a zero-row array.
+        neq = neq.any(axis=tuple(range(1, neq.ndim)))
     return np.nonzero(neq)[0].astype(np.int64)
 
 

@@ -19,7 +19,7 @@ from repro.store.codec import (
     encode_id_array,
     encode_pairs,
 )
-from repro.store.store import ElementStore
+from repro.store.store import ElementStore, StoreCapacityError
 from repro.store.view import StateView, TopicEpochSink
 from repro.store.window import ColumnarWindow
 
@@ -31,6 +31,7 @@ __all__ = [
     "ColumnarWindow",
     "ElementStore",
     "StateView",
+    "StoreCapacityError",
     "TopicEpochSink",
     "decode_followers",
     "decode_id_list",

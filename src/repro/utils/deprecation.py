@@ -1,13 +1,16 @@
-"""Deprecation shims for the pre-facade construction surface.
+"""Construction guards for the pre-facade entry points.
 
 PR 4 introduced :class:`repro.api.KSIREngine` as the single public entry
-point; constructing :class:`~repro.core.processor.KSIRProcessor` or
-:class:`~repro.service.engine.ServiceEngine` directly still works but is
-deprecated.  The library itself builds those objects all the time (shard
-workers, execution-backend adapters, the experiment harness), so the
-warning must only fire for *user* construction: internal call sites wrap
-their constructions in :func:`library_managed_construction`, which
-suppresses the warning for the dynamic extent of the ``with`` block.
+point and deprecated constructing
+:class:`~repro.core.processor.KSIRProcessor` or
+:class:`~repro.service.engine.ServiceEngine` directly; this PR completes
+the cycle and the old constructions are now a hard :class:`TypeError`
+carrying the migration target.  The library itself still builds those
+objects all the time (shard workers, execution-backend adapters, the
+experiment harness), so the error must only fire for *user* construction:
+internal call sites wrap their constructions in
+:func:`library_managed_construction`, which disarms the guard for the
+dynamic extent of the ``with`` block.
 
 A :class:`contextvars.ContextVar` carries the suppression depth, so the
 guard is re-entrant and safe under the thread pools the cluster and
@@ -16,7 +19,6 @@ service layers use (each thread sees its own context).
 
 from __future__ import annotations
 
-import warnings
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Iterator
@@ -28,7 +30,7 @@ _SUPPRESSION_DEPTH: ContextVar[int] = ContextVar(
 
 @contextmanager
 def library_managed_construction() -> Iterator[None]:
-    """Suppress deprecated-construction warnings for internal call sites."""
+    """Disarm the deprecated-construction guard for internal call sites."""
     token = _SUPPRESSION_DEPTH.set(_SUPPRESSION_DEPTH.get() + 1)
     try:
         yield
@@ -44,18 +46,20 @@ def construction_warnings_suppressed() -> bool:
 def warn_deprecated_construction(
     old: str, replacement: str, stacklevel: int = 3
 ) -> None:
-    """Emit a :class:`DeprecationWarning` unless the library built the object.
+    """Raise :class:`TypeError` unless the library built the object.
 
-    ``old`` names the deprecated entry point, ``replacement`` the facade
-    call that supersedes it.  ``stacklevel`` defaults to 3 so the warning
-    points at the user's construction site (caller → ``__init__`` → here).
+    ``old`` names the removed entry point, ``replacement`` the facade call
+    that supersedes it.  Through PR 4's deprecation cycle this emitted a
+    :class:`DeprecationWarning`; the cycle is complete and direct
+    construction is now an error.  (``stacklevel`` is retained for
+    signature compatibility; exceptions carry their own traceback.)
     """
     if construction_warnings_suppressed():
         return
-    warnings.warn(
-        f"{old} is deprecated; use {replacement} instead "
-        "(the old construction path keeps working and stays equivalent, "
-        "but new code should go through the repro.api facade)",
-        DeprecationWarning,
-        stacklevel=stacklevel,
+    raise TypeError(
+        f"{old} is no longer supported; use {replacement} instead. "
+        "The repro.api facade owns engine construction: it wires the "
+        "store, execution backend, cluster transport and serving tier "
+        "consistently and is the only supported entry point since the "
+        "PR 4 deprecation cycle completed."
     )

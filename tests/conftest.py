@@ -21,8 +21,27 @@ from repro.core.processor import KSIRProcessor, ProcessorConfig
 from repro.core.scoring import ProfileBuilder, ScoringConfig, ScoringContext
 from repro.core.stream import SocialStream
 from repro.datasets.synthetic import SyntheticDataset, SyntheticStreamGenerator
+from repro.service import ServiceEngine
 from repro.topics.model import MatrixTopicModel
 from repro.topics.vocabulary import Vocabulary
+from repro.utils.deprecation import library_managed_construction
+
+
+def build_processor(*args, **kwargs) -> KSIRProcessor:
+    """Construct a raw KSIRProcessor through the sanctioned internal path.
+
+    Direct construction is a hard error since the PR 4 deprecation cycle
+    completed; tests that exercise processor internals go through the same
+    guard the library's own call sites use.
+    """
+    with library_managed_construction():
+        return KSIRProcessor(*args, **kwargs)
+
+
+def build_service_engine(substrate, **kwargs) -> ServiceEngine:
+    """Construct a raw ServiceEngine through the sanctioned internal path."""
+    with library_managed_construction():
+        return ServiceEngine(substrate, **kwargs)
 
 # ---------------------------------------------------------------------------
 # The paper's worked example (Table 1)
@@ -165,7 +184,7 @@ def paper_processor(paper_topic_model, paper_elements) -> KSIRProcessor:
         bucket_length=1,
         scoring=PAPER_SCORING,
     )
-    processor = KSIRProcessor(paper_topic_model, config)
+    processor = build_processor(paper_topic_model, config)
     processor.process_stream(SocialStream(paper_elements))
     return processor
 
@@ -231,6 +250,6 @@ def tiny_processor(tiny_dataset) -> KSIRProcessor:
         bucket_length=900,
         scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
     )
-    processor = KSIRProcessor(tiny_dataset.topic_model, config)
+    processor = build_processor(tiny_dataset.topic_model, config)
     processor.process_stream(tiny_dataset.stream)
     return processor

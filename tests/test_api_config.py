@@ -77,6 +77,7 @@ class TestEngineConfig:
                 num_shards=3,
                 partitioner="load-balanced",
                 backend="serial",
+                transport="shm",
                 candidate_budget=64,
                 budget_scale=2.0,
                 max_workers=2,
@@ -156,6 +157,19 @@ class TestFromArgs:
         assert config.processor.bucket_length == 30 * 60
         assert config.processor.scoring.lambda_weight == 0.7
         assert config.processor.scoring.eta == 2.0
+
+    def test_transport_flag_overrides_the_fanout(self):
+        config = EngineConfig.from_args(
+            parse(["--backend", "cluster", "--transport", "shm"])
+        )
+        assert config.cluster is not None
+        assert config.cluster.transport == "shm"
+        assert config.cluster.effective_transport == "shm"
+        # Without the flag the fanout alone decides.
+        bare = EngineConfig.from_args(parse(["--backend", "cluster"]))
+        assert bare.cluster is not None
+        assert bare.cluster.transport is None
+        assert bare.cluster.effective_transport == "thread"
 
     def test_service_mode_wraps_any_backend(self):
         config = EngineConfig.from_args(

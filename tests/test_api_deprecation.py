@@ -1,4 +1,12 @@
-"""Deprecation shims: old construction paths warn but stay equivalent."""
+"""The completed deprecation cycle: direct construction is now a hard error.
+
+PR 4 deprecated constructing :class:`KSIRProcessor` / :class:`ServiceEngine`
+directly in favour of the :class:`repro.api.KSIREngine` facade; this PR
+completes the cycle.  Direct construction raises :class:`TypeError` carrying
+the migration target, the facade and the library-internal construction path
+stay error-free, and internally-built engines remain exactly equivalent to
+facade-built ones.
+"""
 
 from __future__ import annotations
 
@@ -12,6 +20,7 @@ from repro.core.scoring import ScoringConfig
 from repro.datasets.synthetic import SyntheticStreamGenerator
 from repro.service import ServiceEngine
 from repro.utils.deprecation import library_managed_construction
+from tests.conftest import build_processor, build_service_engine
 
 #: 20-bucket replay of the tiny profile (bucket = 15 simulated minutes).
 CONFIG = ProcessorConfig(
@@ -34,22 +43,23 @@ def twenty_buckets(dataset):
     return buckets
 
 
-class TestWarnings:
-    def test_direct_processor_construction_warns(self, dataset):
-        with pytest.warns(DeprecationWarning, match="KSIRProcessor"):
+class TestHardError:
+    def test_direct_processor_construction_raises(self, dataset):
+        with pytest.raises(TypeError, match="KSIRProcessor"):
             KSIRProcessor(dataset.topic_model, CONFIG)
 
-    def test_direct_service_engine_construction_warns(self, dataset):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            processor = KSIRProcessor(dataset.topic_model, CONFIG)
-        with pytest.warns(DeprecationWarning, match="ServiceEngine"):
-            engine = ServiceEngine(processor, max_workers=1)
-        engine.close()
+    def test_error_message_names_the_facade_replacement(self, dataset):
+        with pytest.raises(TypeError, match=r"repro\.api\.KSIREngine"):
+            KSIRProcessor(dataset.topic_model, CONFIG)
 
-    def test_facade_construction_does_not_warn(self, dataset):
+    def test_direct_service_engine_construction_raises(self, dataset):
+        processor = build_processor(dataset.topic_model, CONFIG)
+        with pytest.raises(TypeError, match="ServiceEngine"):
+            ServiceEngine(processor, max_workers=1)
+
+    def test_facade_construction_does_not_raise_or_warn(self, dataset):
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             for backend in ("local", "sharded", "service"):
                 engine = KSIREngine(
                     dataset.topic_model,
@@ -57,22 +67,31 @@ class TestWarnings:
                 )
                 engine.close()
 
-    def test_library_managed_construction_suppresses(self, dataset):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+    def test_library_managed_construction_disarms_the_guard(self, dataset):
+        with library_managed_construction():
+            KSIRProcessor(dataset.topic_model, CONFIG)
+
+    def test_guard_rearms_after_the_block(self, dataset):
+        with library_managed_construction():
+            KSIRProcessor(dataset.topic_model, CONFIG)
+        with pytest.raises(TypeError, match="KSIRProcessor"):
+            KSIRProcessor(dataset.topic_model, CONFIG)
+
+    def test_guard_is_reentrant(self, dataset):
+        with library_managed_construction():
             with library_managed_construction():
                 KSIRProcessor(dataset.topic_model, CONFIG)
+            # Inner exit must not disarm the outer block.
+            KSIRProcessor(dataset.topic_model, CONFIG)
 
 
 class TestEquivalence:
-    """Deprecated paths must behave exactly like facade-built engines."""
+    """Internally-built engines behave exactly like facade-built engines."""
 
-    def test_direct_processor_equals_facade_on_twenty_buckets(
+    def test_internal_processor_equals_facade_on_twenty_buckets(
         self, dataset, twenty_buckets
     ):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            direct = KSIRProcessor(dataset.topic_model, CONFIG)
+        direct = build_processor(dataset.topic_model, CONFIG)
         facade = KSIREngine(dataset.topic_model, EngineConfig(processor=CONFIG))
         for bucket in twenty_buckets:
             direct.process_bucket(bucket.elements, bucket.end_time)
@@ -94,13 +113,11 @@ class TestEquivalence:
             assert a.element_ids == b.element_ids
             assert a.score == b.score
 
-    def test_direct_service_engine_equals_facade_on_twenty_buckets(
+    def test_internal_service_engine_equals_facade_on_twenty_buckets(
         self, dataset, twenty_buckets
     ):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            processor = KSIRProcessor(dataset.topic_model, CONFIG)
-            direct = ServiceEngine(processor, max_workers=1)
+        processor = build_processor(dataset.topic_model, CONFIG)
+        direct = build_service_engine(processor, max_workers=1)
         facade = KSIREngine(
             dataset.topic_model,
             EngineConfig(

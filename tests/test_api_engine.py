@@ -23,6 +23,7 @@ from repro.core.query import KSIRQuery
 from repro.core.scoring import ScoringConfig
 from repro.service import ServiceEngine
 
+from tests.conftest import build_processor, build_service_engine
 from tests.conftest import build_reference_stream as build_stream
 
 
@@ -138,7 +139,7 @@ class TestFacadeEquivalence:
 
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
-            direct = KSIRProcessor(model, config)
+            direct = build_processor(model, config)
         ingest(direct, elements, config.bucket_length)
 
         for algorithm in ("mttd", "greedy"):
@@ -192,8 +193,8 @@ class TestFacadeEquivalence:
 
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
-            processor = KSIRProcessor(model, config)
-            direct = ServiceEngine(processor, max_workers=1)
+            processor = build_processor(model, config)
+            direct = build_service_engine(processor, max_workers=1)
         direct.register(query, algorithm="mttd", epsilon=0.25)
         ingest(direct, elements, config.bucket_length)
 

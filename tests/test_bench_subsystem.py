@@ -180,7 +180,9 @@ class TestRunner:
 # ---------------------------------------------------------------------------
 
 
-def _report(name="bench", p50s=(100.0,), calibration=None, tier="tiny") -> BenchReport:
+def _report(
+    name="bench", p50s=(100.0,), calibration=None, tier="tiny", cpu_count=None
+) -> BenchReport:
     scenarios = [
         ScenarioResult(
             name=f"s{i}",
@@ -195,6 +197,8 @@ def _report(name="bench", p50s=(100.0,), calibration=None, tier="tiny") -> Bench
     environment = {"python": "3.x"}
     if calibration is not None:
         environment["calibration_ms"] = calibration
+    if cpu_count is not None:
+        environment["cpu_count"] = cpu_count
     return BenchReport(
         benchmark=name, tier=tier, seed=1, created_unix=0.0,
         environment=environment, scenarios=scenarios,
@@ -318,6 +322,33 @@ class TestCompare:
         assert statuses["s1"] == ADDED
         # neither direction is a regression by itself.
         assert not compare(old, new).has_regressions
+
+    def test_cpu_count_mismatch_warns_without_failing(self):
+        # Calibration normalises single-thread speed, not core count — a
+        # baseline recorded on a 1-CPU box must be flagged against an
+        # 8-CPU candidate, but the mismatch alone is never a regression.
+        old = _report(p50s=(100.0,), cpu_count=1)
+        new = _report(p50s=(100.0,), cpu_count=8)
+        result = compare(old, new, tolerance=0.25)
+        assert len(result.warnings) == 1
+        assert "cpu_count mismatch" in result.warnings[0]
+        assert "baseline 1" in result.warnings[0]
+        assert not result.has_regressions
+        assert "warning: " in result.render()
+
+    def test_matching_or_absent_cpu_counts_stay_silent(self):
+        assert not compare(
+            _report(cpu_count=4), _report(cpu_count=4)
+        ).warnings
+        assert not compare(_report(), _report(cpu_count=4)).warnings
+        assert not compare(_report(), _report()).warnings
+
+    def test_compare_many_propagates_environment_warnings(self):
+        old = [_report("a", cpu_count=1), _report("b", cpu_count=2)]
+        new = [_report("a", cpu_count=8), _report("b", cpu_count=2)]
+        result = compare_many(old, new, tolerance=0.25)
+        assert len(result.warnings) == 1
+        assert result.warnings[0].startswith("a: ")
 
     def test_compare_many_matches_by_benchmark(self):
         old = [_report("a", p50s=(100.0,)), _report("b", p50s=(100.0,))]

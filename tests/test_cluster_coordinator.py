@@ -10,6 +10,7 @@ from repro.core.processor import KSIRProcessor, ProcessorConfig
 from repro.core.scoring import ScoringConfig
 from repro.core.stream import SocialStream
 from repro.service import ServiceEngine
+from tests.conftest import build_processor, build_service_engine
 
 TINY_CONFIG = ProcessorConfig(
     window_length=3 * 3600,
@@ -21,7 +22,7 @@ TINY_CONFIG = ProcessorConfig(
 @pytest.fixture(scope="module")
 def replayed(tiny_dataset):
     """The tiny stream replayed on a single node and on a 3-shard cluster."""
-    single = KSIRProcessor(tiny_dataset.topic_model, TINY_CONFIG)
+    single = build_processor(tiny_dataset.topic_model, TINY_CONFIG)
     single.process_stream(tiny_dataset.stream)
     coordinator = ClusterCoordinator(
         tiny_dataset.topic_model,
@@ -169,7 +170,7 @@ class TestCoordinatorQueries:
 class TestProcessBackend:
     def test_process_backend_matches_single_node(self, tiny_dataset):
         stream = SocialStream(tiny_dataset.stream.elements[:120])
-        single = KSIRProcessor(tiny_dataset.topic_model, TINY_CONFIG)
+        single = build_processor(tiny_dataset.topic_model, TINY_CONFIG)
         single.process_stream(stream)
         with ClusterCoordinator(
             tiny_dataset.topic_model,
@@ -189,8 +190,8 @@ class TestServiceEngineClusterBackend:
     def test_standing_results_match_single_node_engine(self, tiny_dataset):
         queries = [tiny_dataset.make_query(k=4, topic=t) for t in range(4)]
 
-        single_processor = KSIRProcessor(tiny_dataset.topic_model, TINY_CONFIG)
-        with ServiceEngine(single_processor, max_workers=2) as engine:
+        single_processor = build_processor(tiny_dataset.topic_model, TINY_CONFIG)
+        with build_service_engine(single_processor, max_workers=2) as engine:
             for query in queries:
                 engine.register(query, algorithm="mttd", epsilon=0.1)
             engine.serve_stream(tiny_dataset.stream)
@@ -206,7 +207,7 @@ class TestServiceEngineClusterBackend:
             TINY_CONFIG,
             cluster=ClusterConfig(num_shards=3, backend="serial"),
         )
-        with coordinator, ServiceEngine(coordinator, max_workers=2) as engine:
+        with coordinator, build_service_engine(coordinator, max_workers=2) as engine:
             for query in queries:
                 engine.register(query, algorithm="mttd", epsilon=0.1)
             engine.serve_stream(tiny_dataset.stream)

@@ -19,6 +19,7 @@ from repro.core.ranked_list import RankedListIndex
 from repro.core.scoring import ProfileBuilder, ScoringConfig
 from repro.datasets.synthetic import SyntheticStreamGenerator
 from repro.utils.sorted_list import DescendingSortedList
+from tests.conftest import build_processor
 
 
 # ---------------------------------------------------------------------------
@@ -244,7 +245,7 @@ def _replay(dataset, batched: bool, window_length=3 * 3600, bucket_length=900):
         scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
         batched_ingest=batched,
     )
-    processor = KSIRProcessor(dataset.topic_model, config)
+    processor = build_processor(dataset.topic_model, config)
     processor.process_stream(dataset.stream)
     return processor
 

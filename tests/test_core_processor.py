@@ -8,7 +8,7 @@ import pytest
 from repro.core.processor import KSIRProcessor, ProcessorConfig
 from repro.core.query import KSIRQuery
 from repro.core.stream import SocialStream
-from tests.conftest import PAPER_SCORING, PAPER_WINDOW_LENGTH
+from tests.conftest import PAPER_SCORING, PAPER_WINDOW_LENGTH, build_processor
 
 
 class TestProcessorConfig:
@@ -51,7 +51,7 @@ class TestStreamIngestion:
         config = ProcessorConfig(
             window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
         )
-        processor = KSIRProcessor(paper_topic_model, config)
+        processor = build_processor(paper_topic_model, config)
         by_id = {element.element_id: element for element in paper_elements}
         # Feed elements one bucket at a time and check e2's status around t=6/7.
         for time in range(1, 9):
@@ -69,7 +69,7 @@ class TestStreamIngestion:
         config = ProcessorConfig(
             window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
         )
-        processor = KSIRProcessor(paper_topic_model, config)
+        processor = build_processor(paper_topic_model, config)
         stripped = [
             type(element)(
                 element_id=element.element_id,
@@ -90,13 +90,13 @@ class TestStreamIngestion:
         config = ProcessorConfig(
             window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
         )
-        processor = KSIRProcessor(paper_topic_model, config)
+        processor = build_processor(paper_topic_model, config)
         processor.process_stream(SocialStream(paper_elements), until=5)
         assert processor.current_time == 5
         assert set(processor.window.window_ids()) == {2, 3, 4, 5}
 
     def test_empty_stream_is_noop(self, paper_topic_model):
-        processor = KSIRProcessor(paper_topic_model)
+        processor = build_processor(paper_topic_model)
         processor.process_stream(SocialStream())
         assert processor.current_time is None
         assert processor.active_count == 0
@@ -166,7 +166,7 @@ class TestSnapshotCaching:
         config = ProcessorConfig(
             window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
         )
-        processor = KSIRProcessor(paper_topic_model, config)
+        processor = build_processor(paper_topic_model, config)
         processor.process_stream(SocialStream(paper_elements))
         first = processor.snapshot()
         assert processor.snapshot() is first
@@ -175,7 +175,7 @@ class TestSnapshotCaching:
         config = ProcessorConfig(
             window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
         )
-        processor = KSIRProcessor(paper_topic_model, config)
+        processor = build_processor(paper_topic_model, config)
         processor.process_stream(SocialStream(paper_elements))
         first = processor.snapshot()
         processor.process_bucket([], end_time=9)
@@ -189,7 +189,7 @@ class TestSnapshotCaching:
         config = ProcessorConfig(
             window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
         )
-        processor = KSIRProcessor(paper_topic_model, config)
+        processor = build_processor(paper_topic_model, config)
         processor.process_stream(SocialStream(paper_elements))
         first = processor.query([0.5, 0.5], k=2, algorithm="mttd")
         second = processor.query([0.5, 0.5], k=2, algorithm="celf")
@@ -208,7 +208,7 @@ class TestParentReactivation:
         config = ProcessorConfig(
             window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
         )
-        processor = KSIRProcessor(paper_topic_model, config)
+        processor = build_processor(paper_topic_model, config)
         by_id = {element.element_id: element for element in elements}
         for time in range(1, until + 1):
             bucket = [by_id[time]] if time in by_id else []

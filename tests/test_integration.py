@@ -22,6 +22,7 @@ from repro.evaluation.metrics import coverage_score, influence_score
 from repro.evaluation.workload import WorkloadGenerator
 from repro.search import SEARCH_REGISTRY
 from repro.search.base import SearchRequest
+from tests.conftest import build_processor
 
 
 class TestEndToEndPipeline:
@@ -57,10 +58,10 @@ class TestEndToEndPipeline:
             window_length=3 * 3600, bucket_length=900,
             scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
         )
-        batch = KSIRProcessor(tiny_dataset.topic_model, config)
+        batch = build_processor(tiny_dataset.topic_model, config)
         batch.process_stream(tiny_dataset.stream)
 
-        incremental = KSIRProcessor(tiny_dataset.topic_model, config)
+        incremental = build_processor(tiny_dataset.topic_model, config)
         for bucket in tiny_dataset.stream.buckets(config.bucket_length):
             incremental.process_bucket(bucket.elements, bucket.end_time)
 
@@ -100,7 +101,7 @@ class TestEndToEndPipeline:
             window_length=3 * 3600, bucket_length=1800,
             scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
         )
-        processor = KSIRProcessor(tiny_dataset.topic_model, config)
+        processor = build_processor(tiny_dataset.topic_model, config)
         workload = WorkloadGenerator(tiny_dataset, k=5, seed=3).generate(6)
         pending = list(workload)
         answered = []
@@ -121,7 +122,7 @@ class TestEndToEndPipeline:
             window_length=3 * 3600, bucket_length=1800,
             scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
         )
-        processor = KSIRProcessor(model, config)
+        processor = build_processor(model, config)
         # Strip the ground-truth distributions so the processor infers them.
         stripped = [
             type(element)(
@@ -149,7 +150,7 @@ class TestEndToEndPipeline:
                 window_length=3 * 3600, bucket_length=900,
                 scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
             )
-            processor = KSIRProcessor(dataset.topic_model, config)
+            processor = build_processor(dataset.topic_model, config)
             processor.process_stream(dataset.stream)
             query = dataset.make_query(k=5, topic=1)
             return processor.query(query, algorithm="mttd")

@@ -24,6 +24,8 @@ from tests.conftest import (
     PAPER_WINDOW_LENGTH,
     build_paper_elements,
     build_paper_topic_model,
+    build_processor,
+    build_service_engine,
 )
 
 
@@ -35,8 +37,8 @@ def paper_engine(**engine_kwargs) -> ServiceEngine:
     config = ProcessorConfig(
         window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
     )
-    processor = KSIRProcessor(build_paper_topic_model(), config)
-    return ServiceEngine(processor, **engine_kwargs)
+    processor = build_processor(build_paper_topic_model(), config)
+    return build_service_engine(processor, **engine_kwargs)
 
 
 def replay_paper(engine: ServiceEngine, until: int = 8) -> None:
@@ -51,7 +53,7 @@ class TestSnapshotCache:
         config = ProcessorConfig(
             window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
         )
-        processor = KSIRProcessor(build_paper_topic_model(), config)
+        processor = build_processor(build_paper_topic_model(), config)
         processor.process_stream(SocialStream(build_paper_elements()))
         return processor
 
@@ -138,8 +140,8 @@ class TestServiceEngineBasics:
         config = ProcessorConfig(
             window_length=PAPER_WINDOW_LENGTH, bucket_length=1, scoring=PAPER_SCORING
         )
-        processor = KSIRProcessor(build_paper_topic_model(), config)
-        with ServiceEngine(processor, registry=registry) as engine:
+        processor = build_processor(build_paper_topic_model(), config)
+        with build_service_engine(processor, registry=registry) as engine:
             engine.ingest_bucket([build_paper_elements()[0]], end_time=1)
             result = engine.result("external")
             assert result is not None
@@ -292,8 +294,8 @@ class TestIncrementalMaintenance:
         return SyntheticStreamGenerator(self.PROFILE, seed=5).generate()
 
     def _serve(self, dataset, incremental: bool) -> ServiceEngine:
-        processor = KSIRProcessor(dataset.topic_model, self.CONFIG)
-        engine = ServiceEngine(processor, incremental=incremental, max_workers=2)
+        processor = build_processor(dataset.topic_model, self.CONFIG)
+        engine = build_service_engine(processor, incremental=incremental, max_workers=2)
         for i in range(self.NUM_QUERIES):
             engine.register(
                 dataset.make_query(k=3, topic=i % self.PROFILE.num_topics),
@@ -335,8 +337,8 @@ class TestIncrementalMaintenance:
         """
         incremental = self._serve(dataset, incremental=True)
 
-        processor = KSIRProcessor(dataset.topic_model, self.CONFIG)
-        with ServiceEngine(processor, incremental=False, max_workers=2) as naive:
+        processor = build_processor(dataset.topic_model, self.CONFIG)
+        with build_service_engine(processor, incremental=False, max_workers=2) as naive:
             for i in range(self.NUM_QUERIES):
                 naive.register(
                     dataset.make_query(k=3, topic=i % self.PROFILE.num_topics),

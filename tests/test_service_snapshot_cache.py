@@ -15,6 +15,7 @@ from repro.core.processor import KSIRProcessor, ProcessorConfig
 from repro.core.ranked_list import RankedListIndex
 from repro.core.scoring import ProfileBuilder, ScoringConfig
 from repro.service import SnapshotCache
+from tests.conftest import build_processor
 
 
 @pytest.fixture()
@@ -22,7 +23,7 @@ def fresh_processor(paper_topic_model):
     config = ProcessorConfig(
         window_length=4, bucket_length=1, scoring=ScoringConfig(lambda_weight=0.5, eta=2.0)
     )
-    return KSIRProcessor(paper_topic_model, config)
+    return build_processor(paper_topic_model, config)
 
 
 class TestSnapshotCache:

@@ -33,7 +33,7 @@ from repro.core.scoring import ScoringConfig
 from repro.core.window import ActiveWindow
 from repro.store import ColumnarWindow, ElementStore
 
-from tests.conftest import build_reference_stream
+from tests.conftest import build_processor, build_reference_stream
 
 SCORING = ScoringConfig(lambda_weight=0.5, eta=2.0)
 
@@ -358,7 +358,7 @@ class TestColumnarWindowEquivalence:
                         window_length=20, bucket_length=2, scoring=SCORING,
                         store=store, batched_ingest=batched,
                     )
-                    processor = KSIRProcessor(model, config)
+                    processor = build_processor(model, config)
                     for members, end_time in buckets:
                         processor.process_bucket(members, end_time)
                     assert processor.window.followers_of(1) == (2,), (name, store)
@@ -367,7 +367,7 @@ class TestColumnarWindowEquivalence:
             # The stored score must exceed the semantic-only component ...
             lambda_only = {
                 topic: SCORING.lambda_weight
-                * KSIRProcessor(
+                * build_processor(
                     model, ProcessorConfig(window_length=20, bucket_length=2,
                                            scoring=SCORING)
                 )._builder.build(element(1, 3)).semantic_score(topic)
@@ -502,7 +502,7 @@ class TestColumnarBackendEquivalence:
                 scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
                 store=store,
             )
-            processor = KSIRProcessor(tiny_dataset.topic_model, config)
+            processor = build_processor(tiny_dataset.topic_model, config)
             processor.process_stream(tiny_dataset.stream)
             return processor
 
