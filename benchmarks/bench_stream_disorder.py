@@ -1,0 +1,24 @@
+"""Event-time ingest under disorder — throughput and watermark lag.
+
+Thin wrapper over the ``stream_disorder`` spec in the :mod:`repro.bench`
+registry.  Each scenario replays the same synthetic stream through the
+engine's raw-event ingest (``KSIREngine.ingest``) at a different disorder
+level (0/5/20% of elements delayed by up to two buckets); the check
+asserts that nothing is dropped, the bucket grid matches the in-order
+replay, and a panel of queries answers identically (within 1e-9) at every
+level.  Run as a script (``python benchmarks/bench_stream_disorder.py
+[--tier tiny|full] [--seed N] [--output-dir DIR]``) or through
+``repro-ksir bench run stream_disorder``.  Under pytest the tiny tier is
+executed as a smoke test.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.scripts import bench_script
+
+main, test_tiny_tier = bench_script("stream_disorder")
+
+if __name__ == "__main__":
+    sys.exit(main())

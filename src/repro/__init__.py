@@ -79,6 +79,18 @@ from repro.service import (
     StandingQuery,
     StandingResult,
 )
+from repro.streams import (
+    StreamConfig,
+    StreamIngestor,
+    StreamMetrics,
+    StreamSource,
+    WatermarkTracker,
+    WindowPolicy,
+    create_source,
+    inject_disorder,
+    register_source,
+    source_names,
+)
 from repro.topics.btm import BitermTopicModel
 from repro.topics.inference import TopicInferencer, infer_query_vector
 from repro.topics.lda import LatentDirichletAllocation
@@ -140,14 +152,24 @@ __all__ = [
     "StandingResult",
     "SocialElement",
     "SocialStream",
+    "StreamConfig",
+    "StreamIngestor",
+    "StreamMetrics",
+    "StreamSource",
     "SyntheticDataset",
     "SyntheticStreamGenerator",
     "TopKRepresentative",
     "TopicInferencer",
     "TopicModel",
     "Vocabulary",
+    "WatermarkTracker",
+    "WindowPolicy",
+    "create_source",
     "infer_query_vector",
+    "inject_disorder",
     "make_algorithm",
+    "register_source",
+    "source_names",
     "tokenize",
     "verify_equivalence",
     "__version__",

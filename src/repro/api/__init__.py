@@ -8,8 +8,8 @@ or resumes full execution state through the versioned checkpoint format
 (:meth:`KSIREngine.save` / :meth:`KSIREngine.load`).
 
 * :class:`EngineConfig` / :class:`ServiceConfig` / :class:`InferenceConfig`
-  — the nested configuration with ``to_dict``/``from_dict`` round-trip
-  and ``argparse`` integration;
+  / :class:`~repro.streams.StreamConfig` — the nested configuration with
+  ``to_dict``/``from_dict`` round-trip and ``argparse`` integration;
 * :class:`ExecutionBackend` + :func:`register_backend` /
   :func:`create_backend` / :func:`backend_names` — the formal backend
   protocol and its adapter registry;
@@ -42,6 +42,7 @@ from repro.api.config import (
     canonical_backend_name,
 )
 from repro.api.engine import KSIREngine
+from repro.streams.config import StreamConfig
 
 __all__ = [
     "BACKEND_ALIASES",
@@ -57,6 +58,7 @@ __all__ = [
     "ServiceBackend",
     "ServiceConfig",
     "ShardedBackend",
+    "StreamConfig",
     "backend_names",
     "canonical_backend_name",
     "create_backend",

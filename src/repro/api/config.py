@@ -24,8 +24,10 @@ from repro.cluster.coordinator import (
 )
 from repro.core.processor import ProcessorConfig
 from repro.core.scoring import ScoringConfig
+from repro.core.window_policy import WINDOW_POLICY_CHOICES
 from repro.ha.config import HAConfig
 from repro.store import STORE_CHOICES
+from repro.streams.config import StreamConfig
 from repro.topics.inference import TopicInferencer
 from repro.topics.model import TopicModel
 
@@ -180,6 +182,8 @@ def _processor_to_dict(config: ProcessorConfig) -> Dict[str, Any]:
         "batched_ingest": config.batched_ingest,
         "store": config.store,
         "archive_windows": config.archive_windows,
+        "window_policy": config.window_policy,
+        "session_gap": config.session_gap,
     }
 
 
@@ -195,10 +199,13 @@ def _processor_from_dict(payload: Mapping[str, Any]) -> ProcessorConfig:
             "batched_ingest",
             "store",
             "archive_windows",
+            "window_policy",
+            "session_gap",
         ),
         "processor",
     )
     defaults = ProcessorConfig()
+    session_gap = payload.get("session_gap")
     return ProcessorConfig(
         window_length=int(payload.get("window_length", defaults.window_length)),
         bucket_length=int(payload.get("bucket_length", defaults.bucket_length)),
@@ -210,6 +217,8 @@ def _processor_from_dict(payload: Mapping[str, Any]) -> ProcessorConfig:
         batched_ingest=bool(payload.get("batched_ingest", defaults.batched_ingest)),
         store=str(payload.get("store", defaults.store)),
         archive_windows=int(payload.get("archive_windows", defaults.archive_windows)),
+        window_policy=str(payload.get("window_policy", defaults.window_policy)),
+        session_gap=None if session_gap is None else int(session_gap),
     )
 
 
@@ -284,6 +293,12 @@ class EngineConfig:
         consumed by :class:`~repro.ha.supervisor.ClusterSupervisor`;
         ``None`` means supervisor defaults.  The engine itself ignores
         this section — it only travels with the configuration.
+    streams:
+        Event-time ingestion tuning (default source, allowed lateness,
+        window policy) consumed by :meth:`~repro.api.engine.KSIREngine.ingest`;
+        ``None`` means in-order defaults.  A non-sliding window policy
+        named here is mirrored into the processor section (which is what
+        shard workers receive), so the two spellings cannot drift.
     """
 
     backend: str = LOCAL_BACKEND
@@ -292,11 +307,36 @@ class EngineConfig:
     service: ServiceConfig = field(default_factory=ServiceConfig)
     inference: Optional[InferenceConfig] = None
     ha: Optional[HAConfig] = None
+    streams: Optional[StreamConfig] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "backend", canonical_backend_name(self.backend))
         if self.backend == SHARDED_BACKEND and self.cluster is None:
             object.__setattr__(self, "cluster", ClusterConfig())
+        streams = self.streams
+        if streams is not None and (
+            streams.window_policy != "sliding" or streams.session_gap is not None
+        ):
+            processor = self.processor
+            if processor.window_policy == "sliding" and processor.session_gap is None:
+                object.__setattr__(
+                    self,
+                    "processor",
+                    replace(
+                        processor,
+                        window_policy=streams.window_policy,
+                        session_gap=streams.session_gap,
+                    ),
+                )
+            elif (
+                processor.window_policy != streams.window_policy
+                or processor.session_gap != streams.session_gap
+            ):
+                raise ValueError(
+                    "the processor and streams sections name different window "
+                    f"policies ({processor.window_policy!r} vs "
+                    f"{streams.window_policy!r}); configure the policy once"
+                )
 
     # -- derived views -----------------------------------------------------------------
 
@@ -326,6 +366,7 @@ class EngineConfig:
             "service": self.service.to_dict(),
             "inference": None if self.inference is None else self.inference.to_dict(),
             "ha": None if self.ha is None else self.ha.to_dict(),
+            "streams": None if self.streams is None else self.streams.to_dict(),
         }
 
     @classmethod
@@ -337,12 +378,13 @@ class EngineConfig:
         """
         _check_known_keys(
             payload,
-            ("backend", "processor", "cluster", "service", "inference", "ha"),
+            ("backend", "processor", "cluster", "service", "inference", "ha", "streams"),
             "engine",
         )
         cluster = payload.get("cluster")
         inference = payload.get("inference")
         ha = payload.get("ha")
+        streams = payload.get("streams")
         return cls(
             backend=str(payload.get("backend", LOCAL_BACKEND)),
             processor=_processor_from_dict(payload.get("processor", {})),
@@ -350,6 +392,7 @@ class EngineConfig:
             service=ServiceConfig.from_dict(payload.get("service", {})),
             inference=None if inference is None else InferenceConfig.from_dict(inference),
             ha=None if ha is None else HAConfig.from_dict(ha),
+            streams=None if streams is None else StreamConfig.from_dict(streams),
         )
 
     # -- argparse integration ----------------------------------------------------------
@@ -361,9 +404,11 @@ class EngineConfig:
         """Install the shared engine options on an ``argparse`` parser.
 
         Adds the execution-layer flags (``--backend``, ``--shards``,
-        ``--partitioner``, ``--fanout``, ``--transport``) and the processor flags
+        ``--partitioner``, ``--fanout``, ``--transport``), the processor flags
         (``--window-hours``, ``--bucket-minutes``, ``--lambda-weight``,
-        ``--eta``).  With ``service=True`` the serving flags
+        ``--eta``) and the event-time ingest flags (``--source``,
+        ``--allowed-lateness``, ``--window-policy``, ``--session-gap``).
+        With ``service=True`` the serving flags
         (``--workers``, ``--naive``) are added too.  The single source of
         truth consumed by :meth:`from_args`.
         """
@@ -416,6 +461,33 @@ class EngineConfig:
             default=8,
             help="archive retention horizon in window lengths",
         )
+        parser.add_argument(
+            "--source",
+            default="memory",
+            help="default stream source name for raw-event ingest "
+            "(memory, jsonl, citations, entities, or a registered name)",
+        )
+        parser.add_argument(
+            "--allowed-lateness",
+            type=int,
+            default=0,
+            help="out-of-order tolerance of raw-event ingest, in bucket "
+            "units (0 = require in-order arrival)",
+        )
+        parser.add_argument(
+            "--window-policy",
+            default="sliding",
+            choices=list(WINDOW_POLICY_CHOICES),
+            help="window shape driving expiry: the paper's sliding window "
+            "(default), epoch-aligned tumbling spans, or gap-based sessions",
+        )
+        parser.add_argument(
+            "--session-gap",
+            type=int,
+            default=None,
+            help="session-window gap in stream time units "
+            "(required by --window-policy session)",
+        )
         if service:
             parser.add_argument(
                 "--workers", type=int, default=4, help="evaluator thread-pool size"
@@ -463,6 +535,13 @@ class EngineConfig:
             )
         if service:
             backend = SERVICE_BACKEND
+        session_gap = getattr(args, "session_gap", None)
+        streams = StreamConfig(
+            source=str(getattr(args, "source", "memory")),
+            allowed_lateness=int(getattr(args, "allowed_lateness", 0)),
+            window_policy=str(getattr(args, "window_policy", "sliding")),
+            session_gap=None if session_gap is None else int(session_gap),
+        )
         return cls(
             backend=backend,
             processor=processor,
@@ -472,4 +551,5 @@ class EngineConfig:
                 incremental=not bool(getattr(args, "naive", False)),
             ),
             inference=inference,
+            streams=streams,
         )

@@ -42,6 +42,13 @@ from repro.core.scoring import ScoringContext
 from repro.core.stream import SocialStream, replay_stream
 from repro.service.engine import ServiceEngine, StandingResult
 from repro.service.registry import StandingQuery
+from repro.streams import (
+    StreamConfig,
+    StreamIngestor,
+    StreamMetrics,
+    StreamSource,
+    create_source,
+)
 from repro.topics.inference import TopicInferencer, infer_query_vector
 from repro.topics.model import TopicModel
 
@@ -75,6 +82,7 @@ class KSIREngine:
         self._backend = create_backend(
             self._config.backend, topic_model, self._config, inferencer
         )
+        self._ingestor: Optional[StreamIngestor] = None
         self._closed = False
 
     # -- metadata ----------------------------------------------------------------------
@@ -152,6 +160,82 @@ class KSIREngine:
             self._backend.ingest_bucket,
             until,
         )
+
+    # -- event-time ingest -------------------------------------------------------------
+
+    def _stream_ingestor(self) -> StreamIngestor:
+        if self._ingestor is None:
+            streams = self._config.streams
+            if streams is None:
+                streams = StreamConfig()
+            self._ingestor = StreamIngestor(
+                self._backend.ingest_bucket,
+                self._backend.processor_config.bucket_length,
+                allowed_lateness=streams.allowed_lateness,
+            )
+        return self._ingestor
+
+    def ingest(self, events: Iterable[SocialElement]) -> int:
+        """Accept raw, possibly out-of-order events.
+
+        Events flow through the engine's :class:`~repro.streams.StreamIngestor`
+        — the bounded reordering buffer configured by the ``streams``
+        config section — which re-sorts each element into its true bucket
+        and commits a bucket to the backend only once the watermark
+        passes its end time.  Returns the number of buckets sealed by
+        this call.  Elements later than ``allowed_lateness`` buckets are
+        dropped and counted in :meth:`stream_metrics`.
+        """
+        self._require_open()
+        return self._stream_ingestor().push_many(events)
+
+    def ingest_flush(self) -> int:
+        """Seal every buffered bucket up to the event-time high-water mark.
+
+        Call at end of stream; without it the final
+        ``allowed_lateness`` buckets stay buffered waiting for a
+        watermark that will never advance.  Returns the number of
+        buckets sealed.
+        """
+        self._require_open()
+        return self._stream_ingestor().flush()
+
+    def ingest_source(
+        self,
+        source: Union[str, StreamSource, None] = None,
+        *,
+        flush: bool = True,
+        **options: object,
+    ) -> StreamMetrics:
+        """Drain a whole :class:`~repro.streams.StreamSource` through ingest.
+
+        ``source`` is a source instance, a registered source name (with
+        ``options`` forwarded to its factory), or ``None`` to use the
+        configured ``streams.source`` name.  Flushes at end of feed
+        unless ``flush=False`` and returns the resulting metrics
+        snapshot.
+        """
+        self._require_open()
+        if source is None:
+            streams = self._config.streams
+            source = streams.source if streams is not None else "memory"
+        if isinstance(source, str):
+            source = create_source(source, **options)
+        elif options:
+            raise ValueError(
+                "source options are only valid with a registered source name, "
+                "not a source instance"
+            )
+        ingestor = self._stream_ingestor()
+        ingestor.push_many(iter(source))
+        if flush:
+            ingestor.flush()
+        return ingestor.metrics()
+
+    def stream_metrics(self) -> StreamMetrics:
+        """The event-time ingest accounting (lateness, drops, watermark lag)."""
+        self._require_open()
+        return self._stream_ingestor().metrics()
 
     # -- queries -----------------------------------------------------------------------
 

@@ -903,6 +903,68 @@ def _server_load_check(values: Mapping[str, Any], report: Any) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Event-time ingestion (repro.streams): disorder absorption
+# ---------------------------------------------------------------------------
+
+
+def _stream_disorder_setup(
+    params: Mapping[str, Any], seed: int
+) -> Callable[[], Outcome]:
+    # Deferred so importing the suite registry never touches the streams
+    # subsystem's benchmark driver.
+    from repro.bench.stream_disorder import stream_disorder_setup
+
+    return stream_disorder_setup(params, seed)
+
+
+def _stream_disorder_check(values: Mapping[str, Any], report: Any) -> None:
+    from repro.bench.stream_disorder import stream_disorder_check
+
+    stream_disorder_check(values, report)
+
+
+def _stream_disorder_scenarios(profile: str) -> Tuple[Scenario, ...]:
+    return tuple(
+        Scenario(name, {"profile": profile, "disorder": disorder})
+        for name, disorder in (
+            ("in-order", 0.0),
+            ("disorder-5", 0.05),
+            ("disorder-20", 0.20),
+        )
+    )
+
+
+register(
+    BenchSpec(
+        name="stream_disorder",
+        description=(
+            "event-time ingest: raw-event throughput and watermark-lag "
+            "p50/p95 under 0/5/20% bounded disorder, with in-order "
+            "equivalence and zero-drop checks"
+        ),
+        setup=_stream_disorder_setup,
+        tiers={
+            # Runs are ~15 ms on tiny, so single-shot timings gate too
+            # noisily; a short warmup + median of 3 keeps CI stable.
+            "tiny": TierPolicy(
+                scenarios=_stream_disorder_scenarios("tiny"),
+                warmup=1,
+                repeat=3,
+            ),
+            "full": TierPolicy(
+                scenarios=_stream_disorder_scenarios("twitter-small"),
+                warmup=1,
+                repeat=3,
+            ),
+        },
+        baseline="in-order",
+        check=_stream_disorder_check,
+        tags=("streams",),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
 # Supervised cluster runtime (repro.ha): failover recovery
 # ---------------------------------------------------------------------------
 

@@ -32,6 +32,7 @@ from repro.core.scoring import (
 )
 from repro.core.stream import SocialStream, replay_stream
 from repro.core.window import ActiveWindow
+from repro.core.window_policy import WINDOW_POLICY_CHOICES, WindowPolicy
 from repro.store import STORE_CHOICES, ColumnarWindow, ElementStore, StateView
 from repro.topics.inference import TopicInferencer
 from repro.topics.model import TopicModel
@@ -77,6 +78,16 @@ class ProcessorConfig:
         How many window lengths of recently seen elements the archive
         retains for reference re-activation (the active-window archive
         horizon is ``archive_windows × window_length``).
+    window_policy:
+        The window shape driving expiry: ``"sliding"`` (the paper's
+        window, the default), ``"tumbling"`` (epoch-aligned fixed spans
+        of length ``window_length``) or ``"session"`` (gap-based, closed
+        by silence longer than ``session_gap``).  See
+        :mod:`repro.core.window_policy`.
+    session_gap:
+        Maximum silence between two events of one session, in stream
+        time units; required by (and exclusive to) the ``session``
+        policy.
     """
 
     window_length: int = 24 * 3600
@@ -87,6 +98,8 @@ class ProcessorConfig:
     batched_ingest: bool = True
     store: str = "columnar"
     archive_windows: int = 8
+    window_policy: str = "sliding"
+    session_gap: Optional[int] = None
 
     def __post_init__(self) -> None:
         require_positive(self.window_length, "window_length")
@@ -99,6 +112,17 @@ class ProcessorConfig:
                 + ", ".join(STORE_CHOICES)
             )
         require_positive(self.archive_windows, "archive_windows")
+        if self.window_policy not in WINDOW_POLICY_CHOICES:
+            raise ValueError(
+                f"unknown window policy {self.window_policy!r}; available: "
+                + ", ".join(WINDOW_POLICY_CHOICES)
+            )
+        # Delegate the gap/policy coupling rules to the policy constructor.
+        self.build_window_policy()
+
+    def build_window_policy(self) -> WindowPolicy:
+        """The :class:`WindowPolicy` value this configuration describes."""
+        return WindowPolicy(kind=self.window_policy, session_gap=self.session_gap)
 
     def resolve_algorithm(
         self,
@@ -150,6 +174,7 @@ class KSIRProcessor:
         # keeps the historical dict/set representation.  Everything below
         # (ranked lists, snapshots, export) only sees the protocol.
         self._window: StateView
+        window_policy = self._config.build_window_policy()
         if self._config.store == "columnar":
             # ``store_factory`` lets the execution layer supply the store —
             # the shared-memory cluster transport backs its columns with
@@ -164,12 +189,14 @@ class KSIRProcessor:
                 self._config.window_length,
                 archive_windows=self._config.archive_windows,
                 store=self._store,
+                policy=window_policy,
             )
         else:
             self._store = None
             self._window = ActiveWindow(
                 self._config.window_length,
                 archive_windows=self._config.archive_windows,
+                policy=window_policy,
             )
         self._index = RankedListIndex(
             topic_model.num_topics, self._config.scoring, epoch_sink=self._store

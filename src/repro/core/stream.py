@@ -40,10 +40,25 @@ def replay_stream(
 class SocialStream:
     """An in-memory social stream with bucketed replay.
 
-    Elements are stored sorted by ``(timestamp, element_id)``.  The class is
-    append-friendly: out-of-order appends are tolerated (they are inserted in
-    order), which simplifies synthetic generation; real replays should append
-    in order for O(1) appends.
+    Elements are stored sorted by ``(timestamp, element_id)``.  The class
+    is append-friendly and the tolerance for out-of-order appends is a
+    contract, not a best effort:
+
+    * an append whose ``(timestamp, element_id)`` key is >= the current
+      maximum is O(1);
+    * an out-of-order append is re-inserted at its sorted position (O(n)
+      for the key scan), so the resulting stream is *identical* to one
+      built from the same elements in timestamp order;
+    * timestamp **ties** order by ``element_id`` — deterministically,
+      regardless of arrival order — so two streams holding the same
+      elements always iterate identically;
+    * duplicate element ids are rejected with :class:`ValueError` at
+      append time, never silently replaced.
+
+    This is what lets synthetic generators and the event-time ingestion
+    layer (:mod:`repro.streams`) treat ``SocialStream`` as the canonical
+    in-order view of any element set.  Arrival-order feeds live in
+    :class:`repro.streams.StreamSource`, not here.
     """
 
     def __init__(self, elements: Optional[Iterable[SocialElement]] = None) -> None:
@@ -129,6 +144,14 @@ class SocialStream:
         Buckets cover ``(t - L, t]`` for ``t = start + L, start + 2L, ...``
         following the paper's discrete update times; empty buckets are still
         yielded so that window expiry happens even during silent periods.
+
+        ``start_time`` anchors the grid explicitly (default: the first
+        element's timestamp).  The first bucket ends at
+        ``start_time + L - 1`` and absorbs **every** element at or before
+        that end — including elements stamped before ``start_time``; an
+        anchor past the last element therefore folds the whole stream
+        into one bucket.  An empty stream yields no buckets regardless of
+        the anchor.
         """
         if bucket_length <= 0:
             raise ValueError("bucket_length must be positive")

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.core.element import SocialElement
+from repro.core.window_policy import WindowPolicy
 from repro.store.codec import decode_followers, decode_id_list, decode_pairs
 
 
@@ -26,13 +27,23 @@ class ActiveWindow:
     The window is advanced by inserting buckets of elements with
     :meth:`insert` and then calling :meth:`advance_to` with the new time,
     which expires stale window members and inactive referenced elements.
+    The expiry cutoff is computed by the configured
+    :class:`~repro.core.window_policy.WindowPolicy` (sliding by default;
+    tumbling and session windows share every other code path).
     """
 
-    def __init__(self, window_length: int, archive_windows: int = 8) -> None:
+    def __init__(
+        self,
+        window_length: int,
+        archive_windows: int = 8,
+        policy: Optional[WindowPolicy] = None,
+    ) -> None:
         if window_length <= 0:
             raise ValueError("window_length must be positive")
         if archive_windows < 1:
             raise ValueError("archive_windows must be at least 1")
+        self._policy = policy if policy is not None else WindowPolicy()
+        self._tracker = self._policy.tracker(int(window_length))
         self._window_length = int(window_length)
         self._archive_horizon = int(archive_windows) * self._window_length
         self._current_time: Optional[int] = None
@@ -67,11 +78,16 @@ class ActiveWindow:
         return self._current_time
 
     @property
+    def policy(self) -> WindowPolicy:
+        """The window policy governing the expiry cutoff."""
+        return self._policy
+
+    @property
     def window_start(self) -> Optional[int]:
-        """The earliest in-window timestamp, ``t − T + 1``."""
+        """The earliest in-window timestamp (``t − T + 1`` when sliding)."""
         if self._current_time is None:
             return None
-        return self._current_time - self._window_length + 1
+        return self._tracker.cutoff(self._current_time)
 
     # -- updates -----------------------------------------------------------------
 
@@ -86,6 +102,8 @@ class ActiveWindow:
         referred to by a window member regardless of its own age.
         """
         element_id = element.element_id
+        if self._policy.stateful:
+            self._tracker.observe(element.timestamp)
         # A re-posted window member replaces its previous version: edges the
         # old version created and the new one no longer claims must retire
         # now (I_t(e') is defined over current references), otherwise they
@@ -271,7 +289,7 @@ class ActiveWindow:
         lists.  Integer-keyed maps are stored as pair lists because JSON
         object keys are strings.  :meth:`restore_state` is the inverse.
         """
-        return {
+        state: Dict[str, object] = {
             "window_length": self._window_length,
             "archive_horizon": self._archive_horizon,
             "current_time": self._current_time,
@@ -285,6 +303,13 @@ class ActiveWindow:
             ],
             "touched_by_expiry": sorted(self._touched_by_expiry),
         }
+        # Non-sliding policies carry their identity and tracker state; the
+        # sliding default writes neither so its checkpoints stay identical
+        # to every earlier release.
+        if self._policy.kind != "sliding":
+            state["window_policy"] = self._policy.to_dict()
+            state["window_tracker"] = self._tracker.state_dict()
+        return state
 
     def restore_state(self, state: Mapping[str, object]) -> None:
         """Replace the window contents with a :meth:`state_dict` snapshot.
@@ -304,6 +329,15 @@ class ActiveWindow:
                 f"checkpoint window_length {state['window_length']} does not match "
                 f"the configured window_length {self._window_length}"
             )
+        persisted_policy = WindowPolicy.from_dict(state.get("window_policy"))
+        if persisted_policy.kind != self._policy.kind:
+            raise ValueError(
+                f"checkpoint window policy {persisted_policy.kind!r} does not "
+                f"match the configured policy {self._policy.kind!r}"
+            )
+        tracker_state = state.get("window_tracker")
+        if tracker_state is not None:
+            self._tracker.restore_state(tracker_state)
         archive = {
             int(payload["element_id"]): SocialElement.from_dict(payload)
             for payload in state["archive"]

@@ -30,10 +30,22 @@ def save_stream_jsonl(stream: Union[SocialStream, Iterable[SocialElement]], path
     return count
 
 
-def load_stream_jsonl(path: PathLike) -> SocialStream:
-    """Read a JSONL stream written by :func:`save_stream_jsonl`."""
+def load_stream_jsonl(path: PathLike, *, expect_sorted: bool = False) -> SocialStream:
+    """Read a JSONL stream written by :func:`save_stream_jsonl`.
+
+    Every error names the offending ``file:line``.  By default a file
+    whose lines are out of ``(timestamp, element_id)`` order is tolerated
+    — the elements are re-inserted at their sorted positions, so the
+    result is identical to loading the sorted file.  ``expect_sorted``
+    turns such a violation into a :class:`ValueError` instead: use it
+    when the file is supposed to be a canonical :func:`save_stream_jsonl`
+    artefact and silent re-sorting would hide corruption.  Raw
+    arrival-order feeds belong to :class:`repro.streams.JsonlReplaySource`,
+    which preserves file order rather than sorting it.
+    """
     source = Path(path)
-    elements = []
+    stream = SocialStream()
+    previous_key = None
     with source.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -43,5 +55,25 @@ def load_stream_jsonl(path: PathLike) -> SocialStream:
                 payload = json.loads(line)
             except json.JSONDecodeError as error:
                 raise ValueError(f"{source}:{line_number}: invalid JSON") from error
-            elements.append(SocialElement.from_dict(payload))
-    return SocialStream(elements)
+            try:
+                element = SocialElement.from_dict(payload)
+            except (KeyError, TypeError, ValueError) as error:
+                raise ValueError(
+                    f"{source}:{line_number}: invalid element: {error}"
+                ) from None
+            if expect_sorted:
+                key = (element.timestamp, element.element_id)
+                if previous_key is not None and key < previous_key:
+                    raise ValueError(
+                        f"{source}:{line_number}: out-of-order element "
+                        f"(timestamp {element.timestamp}, id {element.element_id}) "
+                        f"after (timestamp {previous_key[0]}, id {previous_key[1]}); "
+                        "the stream format is sorted by (timestamp, element_id) — "
+                        "load with expect_sorted=False to re-sort tolerated input"
+                    )
+                previous_key = key
+            try:
+                stream.append(element)
+            except ValueError as error:
+                raise ValueError(f"{source}:{line_number}: {error}") from None
+    return stream

@@ -19,6 +19,7 @@ Surface
 ``DELETE``        ``/queries/{id}``                       unregister
 ``GET``           ``/queries/{id}/result``                cached standing answer
 ``POST``          ``/query``                              ad-hoc top-k query
+``POST``          ``/ingest``                             raw out-of-order events
 ``POST``          ``/ingest/bucket``                      batched bucket ingest
 ``POST``          ``/checkpoint/save``                    persist engine state
 ``POST``          ``/checkpoint/load``                    restore + hot-swap
@@ -579,6 +580,27 @@ async def _ingest_bucket(server: KSIRServer, request: Request) -> Response:
     return Response.json(summary)
 
 
+async def _ingest_events(server: KSIRServer, request: Request) -> Response:
+    events, flush = codec.parse_events(request.json())
+
+    def ingest() -> Dict[str, Any]:
+        engine = server.engine
+        sealed = engine.ingest(events)
+        if flush:
+            sealed += engine.ingest_flush()
+        metrics = engine.stream_metrics()
+        return {
+            "accepted": len(events),
+            "buckets_sealed": sealed,
+            "time": engine.current_time,
+            "streams": metrics.to_dict(),
+        }
+
+    summary = await server._run(ingest)
+    server.store.increment("elements_ingested", by=int(summary["accepted"]))
+    return Response.json(summary)
+
+
 async def _checkpoint_save(server: KSIRServer, request: Request) -> Response:
     payload = request.json()
     path = payload.get("path")
@@ -617,32 +639,39 @@ async def _checkpoint_load(server: KSIRServer, request: Request) -> Response:
     return Response.json(summary)
 
 
-async def _metrics(server: KSIRServer, request: Request) -> Response:
-    def engine_view() -> Tuple[Dict[str, Any], Dict[str, object]]:
-        return (
-            dict(server.engine.stats()),
-            server._service().metrics.to_dict(),
-        )
+def _engine_view(
+    server: KSIRServer,
+) -> Tuple[Dict[str, Any], Dict[str, object], Dict[str, object]]:
+    return (
+        dict(server.engine.stats()),
+        server._service().metrics.to_dict(),
+        server.engine.stream_metrics().to_dict(),
+    )
 
-    stats, service_metrics = await server._run(engine_view)
+
+async def _metrics(server: KSIRServer, request: Request) -> Response:
+    stats, service_metrics, stream_metrics = await server._run(
+        partial(_engine_view, server)
+    )
     text = render_prometheus(
-        server.store, stats, service_metrics, server.hub.subscriber_count()
+        server.store,
+        stats,
+        service_metrics,
+        server.hub.subscriber_count(),
+        stream_metrics,
     )
     return Response.text(text, content_type="text/plain; version=0.0.4; charset=utf-8")
 
 
 async def _telemetry(server: KSIRServer, request: Request) -> Response:
-    def engine_view() -> Tuple[Dict[str, Any], Dict[str, object]]:
-        return (
-            dict(server.engine.stats()),
-            server._service().metrics.to_dict(),
-        )
-
-    stats, service_metrics = await server._run(engine_view)
+    stats, service_metrics, stream_metrics = await server._run(
+        partial(_engine_view, server)
+    )
     supervisor = server.supervisor
     return Response.json({
         "engine": stats,
         "service": service_metrics,
+        "streams": stream_metrics,
         "push": {
             "subscribers": server.hub.subscriber_count(),
             "pushes": server.hub.pushes,
@@ -663,6 +692,7 @@ _ROUTES: Tuple[Route, ...] = (
     _route("DELETE", "/queries/{query_id}", _delete_query),
     _route("GET", "/queries/{query_id}/result", _get_result),
     _route("POST", "/query", _ad_hoc_query),
+    _route("POST", "/ingest", _ingest_events),
     _route("POST", "/ingest/bucket", _ingest_bucket),
     _route("POST", "/checkpoint/save", _checkpoint_save),
     _route("POST", "/checkpoint/load", _checkpoint_load),

@@ -123,6 +123,37 @@ def parse_ingest(payload: Mapping[str, Any]) -> Tuple[List[SocialElement], int]:
     return elements, end_time
 
 
+def parse_events(payload: Mapping[str, Any]) -> Tuple[List[SocialElement], bool]:
+    """Parse a ``POST /ingest`` body into raw events plus a flush flag.
+
+    Unlike :func:`parse_ingest` there is no ``end_time``: the events are
+    raw, possibly out-of-order arrivals, and bucketing is the engine's
+    job (the watermark decides what commits).  ``flush`` (default false)
+    asks the engine to seal everything up to the event-time high-water
+    mark after accepting the batch — the end-of-stream signal.
+    """
+    raw_elements = payload.get("events", payload.get("elements"))
+    if raw_elements is None:
+        raise PayloadError("'events' is required")
+    if not isinstance(raw_elements, Sequence) or isinstance(raw_elements, (str, bytes)):
+        raise PayloadError("'events' must be a list of element objects")
+    elements: List[SocialElement] = []
+    for index, entry in enumerate(raw_elements):
+        if not isinstance(entry, Mapping):
+            raise PayloadError(f"events[{index}] must be a JSON object")
+        try:
+            elements.append(SocialElement.from_dict(dict(entry)))
+        except (KeyError, TypeError, ValueError) as error:
+            raise PayloadError(f"events[{index}] is invalid: {error}") from None
+    flush = payload.get("flush", False)
+    if not isinstance(flush, bool):
+        raise PayloadError("'flush' must be a boolean")
+    unknown = set(payload) - {"events", "elements", "flush"}
+    if unknown:
+        raise PayloadError(f"unknown fields: {', '.join(sorted(unknown))}")
+    return elements, flush
+
+
 # -- response shapes -------------------------------------------------------------------
 
 

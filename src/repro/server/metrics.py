@@ -9,7 +9,7 @@ format is a few lines of text and this tier keeps zero hard dependencies.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.server.runtime_store import LATENCY_BUCKETS_MS, RuntimeStore
 
@@ -41,6 +41,7 @@ def render_prometheus(
     engine_stats: Mapping[str, Any],
     service_metrics: Mapping[str, Any],
     ws_subscribers: int,
+    stream_metrics: Optional[Mapping[str, Any]] = None,
 ) -> str:
     """The ``/metrics`` document."""
     lines: List[str] = []
@@ -122,5 +123,15 @@ def render_prometheus(
     if service_lines:
         lines.append("# HELP ksir_service_* Incremental-serving metrics.")
         lines.extend(service_lines)
+
+    if stream_metrics is not None:
+        stream_lines: List[str] = []
+        _emit_numeric(stream_lines, "ksir_streams", stream_metrics)
+        if stream_lines:
+            lines.append(
+                "# HELP ksir_streams_* Event-time ingest lateness/watermark "
+                "gauges."
+            )
+            lines.extend(stream_lines)
 
     return "\n".join(lines) + "\n"

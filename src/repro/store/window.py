@@ -30,6 +30,7 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.element import SocialElement
+from repro.core.window_policy import WindowPolicy
 from repro.store.codec import (
     decode_followers,
     decode_id_list,
@@ -48,11 +49,14 @@ class ColumnarWindow:
         archive_windows: int = 8,
         store: Optional[ElementStore] = None,
         num_topics: int = 1,
+        policy: Optional[WindowPolicy] = None,
     ) -> None:
         if window_length <= 0:
             raise ValueError("window_length must be positive")
         if archive_windows < 1:
             raise ValueError("archive_windows must be at least 1")
+        self._policy = policy if policy is not None else WindowPolicy()
+        self._tracker = self._policy.tracker(int(window_length))
         self._window_length = int(window_length)
         self._archive_horizon = int(archive_windows) * self._window_length
         self._current_time: Optional[int] = None
@@ -86,11 +90,16 @@ class ColumnarWindow:
         return self._current_time
 
     @property
+    def policy(self) -> WindowPolicy:
+        """The window policy governing the expiry cutoff."""
+        return self._policy
+
+    @property
     def window_start(self) -> Optional[int]:
-        """The earliest in-window timestamp, ``t − T + 1``."""
+        """The earliest in-window timestamp (``t − T + 1`` when sliding)."""
         if self._current_time is None:
             return None
-        return self._current_time - self._window_length + 1
+        return self._tracker.cutoff(self._current_time)
 
     # -- updates -----------------------------------------------------------------
 
@@ -98,6 +107,8 @@ class ColumnarWindow:
         """Insert a newly arrived element (same contract as ActiveWindow)."""
         store = self._store
         element_id = element.element_id
+        if self._policy.stateful:
+            self._tracker.observe(element.timestamp)
         self._retire_replaced_edges(element_id)
         row = store.acquire(element_id, element.timestamp)
         store.raise_last_activity(row, element.timestamp)
@@ -157,6 +168,10 @@ class ColumnarWindow:
         to calling :meth:`insert` per element.
         """
         store = self._store
+        if self._policy.stateful:
+            self._tracker.observe_many(
+                [element.timestamp for element in elements]
+            )
         # Rows are interned for the whole bucket up front, so reference
         # resolution below must reconstruct the element-at-a-time world:
         # ids that were not live before the bucket and have not been
@@ -375,7 +390,15 @@ class ColumnarWindow:
         last_activity = np.stack(
             [ordered, store.last_activity_slice(rows)], axis=1
         ).astype(np.int64)
+        extra: Dict[str, object] = {}
+        if self._policy.kind != "sliding":
+            # Non-sliding policies carry their identity and tracker state;
+            # the sliding default writes neither so its checkpoints stay
+            # identical to every earlier release.
+            extra["window_policy"] = self._policy.to_dict()
+            extra["window_tracker"] = self._tracker.state_dict()
         return {
+            **extra,
             "window_length": self._window_length,
             "archive_horizon": self._archive_horizon,
             "current_time": self._current_time,
@@ -397,6 +420,19 @@ class ColumnarWindow:
             raise ValueError(
                 f"checkpoint window_length {state['window_length']} does not match "
                 f"the configured window_length {self._window_length}"
+            )
+        persisted_policy = WindowPolicy.from_dict(
+            cast("Optional[Mapping[str, object]]", state.get("window_policy"))
+        )
+        if persisted_policy.kind != self._policy.kind:
+            raise ValueError(
+                f"checkpoint window policy {persisted_policy.kind!r} does not "
+                f"match the configured policy {self._policy.kind!r}"
+            )
+        tracker_state = state.get("window_tracker")
+        if tracker_state is not None:
+            self._tracker.restore_state(
+                cast("Mapping[str, object]", tracker_state)
             )
         archive_payload = cast(List[Dict[str, object]], state["archive"])
         archive = {

@@ -13,14 +13,19 @@ from typing import Dict
 
 import numpy as np
 
+from typing import Optional
+
 from repro.api import EngineConfig, KSIREngine
 from repro.core.processor import ProcessorConfig
 from repro.core.scoring import ScoringConfig
+from repro.streams import StreamConfig
 from repro.topics.model import MatrixTopicModel
 from repro.topics.vocabulary import Vocabulary
 
 
-def make_engine(window_length: int = 100) -> KSIREngine:
+def make_engine(
+    window_length: int = 100, streams: Optional[StreamConfig] = None
+) -> KSIREngine:
     """A service-backend engine over the orthogonal two-topic model.
 
     Word probabilities stay strictly inside (0, 1): the semantic score
@@ -40,6 +45,7 @@ def make_engine(window_length: int = 100) -> KSIREngine:
             bucket_length=1,
             scoring=ScoringConfig(lambda_weight=0.5, eta=1.0),
         ),
+        streams=streams,
     )
     return KSIREngine(model, config)
 

@@ -11,6 +11,7 @@ from repro.api import (
     EngineConfig,
     InferenceConfig,
     ServiceConfig,
+    StreamConfig,
     canonical_backend_name,
 )
 from repro.cluster import ClusterConfig
@@ -190,3 +191,71 @@ class TestFromArgs:
         assert config.inference == InferenceConfig(alpha=0.05, sparsity_threshold=0.05)
         bare = EngineConfig.from_args(parse([]), inference=None)
         assert bare.inference is None
+
+
+class TestStreamsSection:
+    def test_streams_round_trip(self):
+        config = EngineConfig(
+            streams=StreamConfig(source="jsonl", allowed_lateness=3)
+        )
+        assert EngineConfig.from_dict(config.to_dict()) == config
+        assert config.to_dict()["streams"]["allowed_lateness"] == 3
+
+    def test_absent_streams_round_trips_to_none(self):
+        config = EngineConfig()
+        assert config.streams is None
+        assert config.to_dict()["streams"] is None
+        assert EngineConfig.from_dict(config.to_dict()).streams is None
+
+    def test_stream_config_validation(self):
+        with pytest.raises(ValueError, match="allowed_lateness"):
+            StreamConfig(allowed_lateness=-1)
+        with pytest.raises(ValueError, match="unknown window policy"):
+            StreamConfig(window_policy="hopping")
+        with pytest.raises(ValueError, match="session_gap"):
+            StreamConfig(window_policy="session")
+        with pytest.raises(ValueError, match="unknown StreamConfig keys"):
+            StreamConfig.from_dict({"lateness": 1})
+
+    def test_window_policy_is_mirrored_into_processor(self):
+        config = EngineConfig(
+            streams=StreamConfig(window_policy="session", session_gap=600)
+        )
+        assert config.processor.window_policy == "session"
+        assert config.processor.session_gap == 600
+
+    def test_matching_policy_in_both_sections_is_accepted(self):
+        config = EngineConfig(
+            processor=ProcessorConfig(window_policy="tumbling"),
+            streams=StreamConfig(window_policy="tumbling"),
+        )
+        assert config.processor.window_policy == "tumbling"
+
+    def test_conflicting_policies_are_rejected(self):
+        with pytest.raises(ValueError, match="configure the policy once"):
+            EngineConfig(
+                processor=ProcessorConfig(window_policy="tumbling"),
+                streams=StreamConfig(window_policy="session", session_gap=60),
+            )
+
+    def test_stream_flags_build_streams_section(self):
+        config = EngineConfig.from_args(
+            parse(
+                [
+                    "--source", "citations", "--allowed-lateness", "2",
+                    "--window-policy", "session", "--session-gap", "1800",
+                ]
+            )
+        )
+        assert config.streams == StreamConfig(
+            source="citations",
+            allowed_lateness=2,
+            window_policy="session",
+            session_gap=1800,
+        )
+        assert config.processor.window_policy == "session"
+
+    def test_stream_flag_defaults_are_inert(self):
+        config = EngineConfig.from_args(parse([]))
+        assert config.streams == StreamConfig()
+        assert config.processor.window_policy == "sliding"

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.element import SocialElement
-from repro.core.stream import SocialStream
+from repro.core.stream import SocialStream, replay_stream
 
 
 def make_element(element_id=1, timestamp=10, tokens=("a", "b", "a"), references=(), **kwargs):
@@ -89,6 +89,38 @@ class TestSocialStream:
         stream.append(make_element(element_id=1, timestamp=1))
         assert [element.element_id for element in stream] == [1, 2]
 
+    def test_out_of_order_build_matches_in_order_build(self):
+        # The append contract: any arrival permutation yields a stream
+        # identical to one built in (timestamp, element_id) order.
+        elements = [
+            make_element(element_id=i, timestamp=ts)
+            for i, ts in enumerate([7, 2, 9, 2, 5, 11, 1, 5])
+        ]
+        in_order = SocialStream(
+            sorted(elements, key=lambda e: (e.timestamp, e.element_id))
+        )
+        arrival = SocialStream([elements[i] for i in (3, 6, 0, 7, 5, 1, 4, 2)])
+        assert [e.element_id for e in arrival] == [e.element_id for e in in_order]
+
+    def test_timestamp_ties_order_by_element_id(self):
+        # Ties are deterministic regardless of arrival order.
+        for arrival_ids in ((3, 1, 2), (2, 3, 1), (1, 2, 3)):
+            stream = SocialStream(
+                make_element(element_id=i, timestamp=5) for i in arrival_ids
+            )
+            assert [e.element_id for e in stream] == [1, 2, 3]
+
+    def test_late_append_lands_between_existing_ties(self):
+        stream = SocialStream(
+            [
+                make_element(element_id=1, timestamp=5),
+                make_element(element_id=4, timestamp=5),
+                make_element(element_id=5, timestamp=9),
+            ]
+        )
+        stream.append(make_element(element_id=3, timestamp=5))
+        assert [e.element_id for e in stream] == [1, 3, 4, 5]
+
     def test_duplicate_ids_rejected(self):
         stream = SocialStream([make_element(element_id=1)])
         with pytest.raises(ValueError):
@@ -167,3 +199,60 @@ class TestSocialStream:
         stream = SocialStream([make_element(element_id=1, timestamp=1)])
         bucket = next(iter(stream.buckets(bucket_length=5)))
         assert "StreamBucket" in repr(bucket)
+
+
+class TestBucketEdgeCases:
+    def test_empty_stream_yields_no_buckets_even_with_anchor(self):
+        assert list(SocialStream().buckets(bucket_length=5)) == []
+        assert list(SocialStream().buckets(bucket_length=5, start_time=100)) == []
+
+    def test_single_element_exactly_on_bucket_boundary(self):
+        # Buckets cover (t - L, t]: an element at the bucket end belongs
+        # to that bucket, and exactly one bucket is emitted.
+        stream = SocialStream([make_element(element_id=1, timestamp=5)])
+        buckets = list(stream.buckets(bucket_length=3, start_time=3))
+        assert [(b.end_time, len(b)) for b in buckets] == [(5, 1)]
+
+    def test_single_element_one_past_boundary_opens_second_bucket(self):
+        stream = SocialStream([make_element(element_id=1, timestamp=6)])
+        buckets = list(stream.buckets(bucket_length=3, start_time=3))
+        assert [(b.end_time, len(b)) for b in buckets] == [(5, 0), (8, 1)]
+
+    def test_start_time_after_last_element_folds_stream_into_first_bucket(self):
+        # Documented contract: the first bucket absorbs every element at
+        # or before its end, including ones stamped before the anchor.
+        stream = SocialStream(
+            [make_element(element_id=i, timestamp=i) for i in range(1, 5)]
+        )
+        buckets = list(stream.buckets(bucket_length=5, start_time=100))
+        assert len(buckets) == 1
+        assert buckets[0].end_time == 104
+        assert [e.element_id for e in buckets[0]] == [1, 2, 3, 4]
+
+    def test_replay_until_mid_bucket_excludes_the_partial_bucket(self):
+        # replay_stream compares `until` against bucket *end* times: a
+        # bucket whose end lies past `until` is not processed, so a
+        # mid-bucket cutoff stops cleanly at the previous boundary.
+        stream = SocialStream(
+            [make_element(element_id=i, timestamp=i) for i in range(1, 11)]
+        )
+        seen = []
+        replay_stream(
+            stream,
+            3,
+            lambda elements, end_time: seen.append(
+                (end_time, tuple(e.element_id for e in elements))
+            ),
+            until=7,  # mid-bucket: buckets end at 3, 6, 9, 12
+        )
+        assert seen == [(3, (1, 2, 3)), (6, (4, 5, 6))]
+
+    def test_replay_until_on_boundary_includes_that_bucket(self):
+        stream = SocialStream(
+            [make_element(element_id=i, timestamp=i) for i in range(1, 11)]
+        )
+        seen = []
+        replay_stream(
+            stream, 3, lambda elements, end_time: seen.append(end_time), until=6
+        )
+        assert seen == [3, 6]

@@ -207,3 +207,39 @@ class TestLoaders:
         path.write_text('{"element_id": 1, "timestamp": 1}\nnot-json\n')
         with pytest.raises(ValueError, match="bad.jsonl:2"):
             load_stream_jsonl(path)
+
+    def test_unsorted_input_roundtrips_to_sorted_stream(self, tmp_path, tiny_dataset):
+        # save writes the iterable verbatim; load re-sorts by default, so
+        # the result equals loading the same elements in order.
+        elements = list(tiny_dataset.stream.elements[:8])
+        path = tmp_path / "unsorted.jsonl"
+        save_stream_jsonl(reversed(elements), path)
+        loaded = load_stream_jsonl(path)
+        assert [e.element_id for e in loaded] == [e.element_id for e in elements]
+        assert [e.timestamp for e in loaded] == [e.timestamp for e in elements]
+
+    def test_expect_sorted_rejects_out_of_order_file(self, tmp_path, tiny_dataset):
+        elements = list(tiny_dataset.stream.elements[:4])
+        path = tmp_path / "unsorted.jsonl"
+        save_stream_jsonl([elements[0], elements[2], elements[1]], path)
+        with pytest.raises(ValueError, match=r"unsorted\.jsonl:3: out-of-order"):
+            load_stream_jsonl(path, expect_sorted=True)
+
+    def test_expect_sorted_accepts_canonical_file(self, tmp_path, tiny_dataset):
+        path = tmp_path / "sorted.jsonl"
+        save_stream_jsonl(tiny_dataset.stream.elements[:6], path)
+        loaded = load_stream_jsonl(path, expect_sorted=True)
+        assert len(loaded) == 6
+
+    def test_duplicate_id_names_file_and_line(self, tmp_path, tiny_dataset):
+        element = tiny_dataset.stream.elements[0]
+        path = tmp_path / "dup.jsonl"
+        save_stream_jsonl([element, element], path)
+        with pytest.raises(ValueError, match=r"dup\.jsonl:2: duplicate element id"):
+            load_stream_jsonl(path)
+
+    def test_invalid_element_names_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"timestamp": 1, "tokens": []}\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:1: invalid element"):
+            load_stream_jsonl(path)

@@ -298,7 +298,14 @@ class TestMetricsAndTelemetry:
         response = client.get("/telemetry")
         assert response.status == 200
         payload = response.json()
-        assert set(payload) == {"engine", "service", "push", "runtime", "supervisor"}
+        assert set(payload) == {
+            "engine",
+            "service",
+            "streams",
+            "push",
+            "runtime",
+            "supervisor",
+        }
         assert payload["push"]["subscribers"] == 0
         assert payload["supervisor"] is None  # no supervised cluster attached
         assert "GET /health" in payload["runtime"]["latency"]

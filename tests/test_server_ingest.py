@@ -1,0 +1,139 @@
+"""``POST /ingest``: raw out-of-order events over HTTP.
+
+Unlike ``/ingest/bucket`` (pre-bucketed, strictly ordered), this endpoint
+feeds the engine's event-time ingestor: events may arrive in any order
+within the configured lateness horizon, and the response reports the
+stream-metrics snapshot alongside what was sealed.  Driven in-process
+through the ASGI test client.
+"""
+
+from __future__ import annotations
+
+import pytest
+from server_harness import element, make_engine
+
+from repro.server.app import KSIRServer, create_app
+from repro.server.testing import TestClient
+from repro.streams import StreamConfig
+
+
+@pytest.fixture()
+def app() -> KSIRServer:
+    application = create_app(
+        make_engine(streams=StreamConfig(allowed_lateness=2))
+    )
+    yield application
+    application.close()
+
+
+@pytest.fixture()
+def client(app: KSIRServer) -> TestClient:
+    with TestClient(app) as test_client:
+        yield test_client
+
+
+class TestIngestEvents:
+    def test_out_of_order_events_with_flush(self, client: TestClient) -> None:
+        events = [
+            element(3, 5, topic=0),
+            element(1, 2, topic=0),  # both behind the high-water mark of 5
+            element(2, 4, topic=1),
+        ]
+        response = client.post("/ingest", {"events": events, "flush": True})
+        assert response.status == 200
+        body = response.json()
+        assert body["accepted"] == 3
+        assert body["buckets_sealed"] > 0
+        assert body["time"] == 5
+        streams = body["streams"]
+        assert streams["events_total"] == 3
+        assert streams["late_events"] == 2
+        assert streams["dropped_late"] == 0
+        assert streams["pending_events"] == 0
+
+    def test_without_flush_the_tail_stays_pending(self, client: TestClient) -> None:
+        response = client.post(
+            "/ingest", {"events": [element(1, 10, topic=0)]}
+        )
+        assert response.status == 200
+        body = response.json()
+        assert body["buckets_sealed"] == 0
+        assert body["streams"]["pending_events"] == 1
+        # A later batch with flush seals everything.
+        follow_up = client.post(
+            "/ingest", {"events": [element(2, 12, topic=0)], "flush": True}
+        )
+        assert follow_up.json()["streams"]["pending_events"] == 0
+
+    def test_elements_alias_is_accepted(self, client: TestClient) -> None:
+        response = client.post(
+            "/ingest", {"elements": [element(1, 3, topic=0)], "flush": True}
+        )
+        assert response.status == 200
+        assert response.json()["accepted"] == 1
+
+    def test_ingested_elements_are_queryable(self, client: TestClient) -> None:
+        events = [element(i, i, topic=0) for i in (2, 1, 3)]
+        client.post("/ingest", {"events": events, "flush": True})
+        answer = client.post(
+            "/query", {"k": 2, "vector": [1.0, 0.0], "algorithm": "mttd"}
+        )
+        assert answer.status == 200
+        assert len(answer.json()["result"]["element_ids"]) > 0
+
+    def test_malformed_payloads_are_422(self, client: TestClient) -> None:
+        for payload, fragment in [
+            ({}, "events"),
+            ({"events": "nope"}, "events"),
+            ({"events": [42]}, "events[0]"),
+            ({"events": [element(1, 1, topic=0)], "flush": "yes"}, "flush"),
+            ({"events": [], "extra": 1}, "unknown"),
+        ]:
+            response = client.post("/ingest", payload)
+            assert response.status == 422, payload
+            assert fragment in response.json()["error"], payload
+
+    def test_invalid_element_in_batch_is_422(self, client: TestClient) -> None:
+        bad = {"timestamp": 1, "tokens": []}  # element_id missing
+        response = client.post("/ingest", {"events": [bad]})
+        assert response.status == 422
+        assert "events[0]" in response.json()["error"]
+
+
+class TestStreamObservability:
+    def test_metrics_exposition_includes_stream_gauges(
+        self, client: TestClient
+    ) -> None:
+        client.post(
+            "/ingest",
+            {"events": [element(1, 2, topic=0)], "flush": True},
+        )
+        text = client.get("/metrics").body.decode()
+        assert "ksir_streams_events_total 1" in text
+        assert "ksir_streams_dropped_late 0" in text
+        assert "ksir_streams_watermark_lag_p50" in text
+
+    def test_telemetry_document_has_streams_section(
+        self, client: TestClient
+    ) -> None:
+        client.post(
+            "/ingest",
+            {"events": [element(1, 2, topic=0)], "flush": True},
+        )
+        body = client.get("/telemetry").json()
+        assert "streams" in body
+        assert body["streams"]["events_total"] == 1
+
+    def test_dropped_late_is_reported(self) -> None:
+        # allowed_lateness=0: a genuinely late event is dropped + counted.
+        with TestClient(
+            create_app(make_engine(streams=StreamConfig(allowed_lateness=0)))
+        ) as strict:
+            strict.post(
+                "/ingest",
+                {"events": [element(1, 5, topic=0), element(2, 9, topic=0)]},
+            )
+            response = strict.post(
+                "/ingest", {"events": [element(3, 1, topic=0)], "flush": True}
+            )
+            assert response.json()["streams"]["dropped_late"] == 1
