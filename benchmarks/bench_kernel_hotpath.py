@@ -1,0 +1,24 @@
+"""Hot-path kernel layer — compiled (Numba) kernels vs the NumPy reference.
+
+Thin wrapper over the ``kernel_hotpath`` spec in the :mod:`repro.bench`
+registry.  One run replays the aminer bucket stream through batched ingest
+twice — once with the kernel layer forced to the pure-NumPy reference and
+once under ``kernels="auto"`` (compiled when the ``[kernels]`` extra is
+installed, reference fallback otherwise) — recording per-kernel cumulative
+milliseconds and call counts as scenario metrics.  The check asserts both
+paths leave identical ranked lists (scores within 1e-9).  Run as a script
+(``python benchmarks/bench_kernel_hotpath.py [--tier tiny|full] [--seed N]
+[--output-dir DIR]``) or through ``repro-ksir bench run kernel_hotpath``.
+Under pytest the tiny tier is executed as a smoke test.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.scripts import bench_script
+
+main, test_tiny_tier = bench_script("kernel_hotpath")
+
+if __name__ == "__main__":
+    sys.exit(main())

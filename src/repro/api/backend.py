@@ -157,7 +157,15 @@ def create_backend(
     config: EngineConfig,
     inferencer: Optional[TopicInferencer] = None,
 ) -> ExecutionBackend:
-    """Instantiate the backend registered under ``name``."""
+    """Instantiate the backend registered under ``name``.
+
+    Applies the configuration's kernel selection first (process-wide, see
+    :mod:`repro.kernels`), so every processor the adapter constructs runs
+    on the requested kernel backend.
+    """
+    from repro.kernels import configure_kernels
+
+    configure_kernels(config.kernels.mode)
     key = name.strip().lower()
     try:
         factory = _REGISTRY[key]

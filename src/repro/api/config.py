@@ -26,6 +26,7 @@ from repro.core.processor import ProcessorConfig
 from repro.core.scoring import ScoringConfig
 from repro.core.window_policy import WINDOW_POLICY_CHOICES
 from repro.ha.config import HAConfig
+from repro.kernels import KERNEL_CHOICES
 from repro.store import STORE_CHOICES
 from repro.streams.config import StreamConfig
 from repro.topics.inference import TopicInferencer
@@ -152,6 +153,38 @@ class ServiceConfig:
             max_workers=int(payload.get("max_workers", 4)),
             incremental=bool(payload.get("incremental", True)),
         )
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Hot-path kernel selection (see :mod:`repro.kernels`).
+
+    ``mode`` is ``"auto"`` (compile with Numba when importable, silently
+    fall back to the NumPy reference otherwise — the default, zero hard
+    dependencies), ``"numba"`` (require the compiled path) or
+    ``"numpy"`` (force the reference implementations).  Selection is
+    process-wide: the backend factory applies it once per engine
+    construction via :func:`repro.kernels.configure_kernels`.
+    """
+
+    mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.mode not in KERNEL_CHOICES:
+            available = ", ".join(KERNEL_CHOICES)
+            raise ValueError(
+                f"unknown kernel mode {self.mode!r}; available: {available}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable dictionary; inverse of :meth:`from_dict`."""
+        return {"mode": self.mode}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "KernelConfig":
+        """Inverse of :meth:`to_dict` (unknown keys raise ``ValueError``)."""
+        _check_known_keys(payload, ("mode",), "kernels")
+        return cls(mode=str(payload.get("mode", "auto")))
 
 
 def _scoring_to_dict(scoring: ScoringConfig) -> Dict[str, Any]:
@@ -299,6 +332,10 @@ class EngineConfig:
         ``None`` means in-order defaults.  A non-sliding window policy
         named here is mirrored into the processor section (which is what
         shard workers receive), so the two spellings cannot drift.
+    kernels:
+        Hot-path kernel selection (``auto``/``numba``/``numpy``), applied
+        process-wide when a backend is constructed; see
+        :mod:`repro.kernels`.
     """
 
     backend: str = LOCAL_BACKEND
@@ -308,6 +345,7 @@ class EngineConfig:
     inference: Optional[InferenceConfig] = None
     ha: Optional[HAConfig] = None
     streams: Optional[StreamConfig] = None
+    kernels: KernelConfig = field(default_factory=KernelConfig)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "backend", canonical_backend_name(self.backend))
@@ -367,6 +405,7 @@ class EngineConfig:
             "inference": None if self.inference is None else self.inference.to_dict(),
             "ha": None if self.ha is None else self.ha.to_dict(),
             "streams": None if self.streams is None else self.streams.to_dict(),
+            "kernels": self.kernels.to_dict(),
         }
 
     @classmethod
@@ -378,7 +417,16 @@ class EngineConfig:
         """
         _check_known_keys(
             payload,
-            ("backend", "processor", "cluster", "service", "inference", "ha", "streams"),
+            (
+                "backend",
+                "processor",
+                "cluster",
+                "service",
+                "inference",
+                "ha",
+                "streams",
+                "kernels",
+            ),
             "engine",
         )
         cluster = payload.get("cluster")
@@ -393,6 +441,7 @@ class EngineConfig:
             inference=None if inference is None else InferenceConfig.from_dict(inference),
             ha=None if ha is None else HAConfig.from_dict(ha),
             streams=None if streams is None else StreamConfig.from_dict(streams),
+            kernels=KernelConfig.from_dict(payload.get("kernels", {})),
         )
 
     # -- argparse integration ----------------------------------------------------------
@@ -406,8 +455,9 @@ class EngineConfig:
         Adds the execution-layer flags (``--backend``, ``--shards``,
         ``--partitioner``, ``--fanout``, ``--transport``), the processor flags
         (``--window-hours``, ``--bucket-minutes``, ``--lambda-weight``,
-        ``--eta``) and the event-time ingest flags (``--source``,
-        ``--allowed-lateness``, ``--window-policy``, ``--session-gap``).
+        ``--eta``), the event-time ingest flags (``--source``,
+        ``--allowed-lateness``, ``--window-policy``, ``--session-gap``)
+        and the kernel-backend flag (``--kernels``).
         With ``service=True`` the serving flags
         (``--workers``, ``--naive``) are added too.  The single source of
         truth consumed by :meth:`from_args`.
@@ -488,6 +538,14 @@ class EngineConfig:
             help="session-window gap in stream time units "
             "(required by --window-policy session)",
         )
+        parser.add_argument(
+            "--kernels",
+            default="auto",
+            choices=list(KERNEL_CHOICES),
+            help="hot-path kernel backend: compile with Numba when "
+            "importable (auto, the default), require the compiled path "
+            "(numba), or force the NumPy reference (numpy)",
+        )
         if service:
             parser.add_argument(
                 "--workers", type=int, default=4, help="evaluator thread-pool size"
@@ -552,4 +610,5 @@ class EngineConfig:
             ),
             inference=inference,
             streams=streams,
+            kernels=KernelConfig(mode=str(getattr(args, "kernels", "auto"))),
         )

@@ -39,6 +39,7 @@ from repro.api.config import EngineConfig
 from repro.core.element import SocialElement
 from repro.core.query import KSIRQuery, QueryResult
 from repro.core.scoring import ScoringContext
+from repro.kernels import kernel_stats
 from repro.core.stream import SocialStream, replay_stream
 from repro.service.engine import ServiceEngine, StandingResult
 from repro.service.registry import StandingQuery
@@ -278,9 +279,17 @@ class KSIREngine:
         return self._backend.snapshot()
 
     def stats(self) -> Dict[str, object]:
-        """Backend counters for reporting and monitoring."""
+        """Backend counters for reporting and monitoring.
+
+        Includes a ``"kernels"`` section — the process-wide per-kernel
+        call counts and cumulative nanoseconds from
+        :func:`repro.kernels.kernel_stats` — which the serving tier
+        re-exposes as ``ksir_kernel_*`` Prometheus gauges.
+        """
         self._require_open()
-        return self._backend.stats()
+        stats = dict(self._backend.stats())
+        stats["kernels"] = kernel_stats()
+        return stats
 
     # -- standing queries --------------------------------------------------------------
 

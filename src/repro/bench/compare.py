@@ -8,7 +8,10 @@
 * ``within_tolerance`` — everything in between, plus scenarios too fast to
   judge (both medians under ``min_p50_ms``, where timer noise dominates);
 * ``added`` / ``removed`` — scenarios present on only one side (never a
-  failure by themselves).
+  failure by themselves);
+* ``skipped`` — the reports were recorded at different size tiers, so
+  their latencies describe different workloads and are never classified
+  (a warning is emitted instead).
 
 **Cross-machine normalisation.**  Raw wall-clock comparison against a
 committed baseline would gate on the speed difference between the
@@ -32,6 +35,7 @@ IMPROVEMENT = "improvement"
 WITHIN_TOLERANCE = "within_tolerance"
 ADDED = "added"
 REMOVED = "removed"
+SKIPPED = "skipped"
 
 
 @dataclass(frozen=True)
@@ -113,6 +117,14 @@ def environment_warnings(old: BenchReport, new: BenchReport) -> List[str]:
             f"candidate {new_cpus}) — parallel-scaling ratios are not "
             "comparable across core counts"
         )
+    old_kernels = old.environment.get("kernels")
+    new_kernels = new.environment.get("kernels")
+    if old_kernels is not None and new_kernels is not None and old_kernels != new_kernels:
+        warnings.append(
+            f"{old.benchmark}: kernel backend mismatch (baseline "
+            f"{old_kernels}, candidate {new_kernels}) — compiled-vs-"
+            "reference speedups are not comparable across kernel modes"
+        )
     return warnings
 
 
@@ -138,6 +150,13 @@ def compare(
 
     result = ComparisonReport(tolerance=tolerance, normalised=normalised)
     result.warnings.extend(environment_warnings(old, new))
+    tiers_match = old.tier == new.tier
+    if not tiers_match:
+        result.warnings.append(
+            f"{old.benchmark}: tier mismatch (baseline {old.tier!r}, "
+            f"candidate {new.tier!r}) — latency ratios would compare "
+            "different workload sizes; scenarios skipped"
+        )
     old_by_name = {scenario.name: scenario for scenario in old.scenarios}
     new_by_name = {scenario.name: scenario for scenario in new.scenarios}
 
@@ -155,7 +174,9 @@ def compare(
             continue
         old_p50 = old_scenario.p50_ms
         new_p50 = new_scenario.p50_ms
-        if old_p50 < min_p50_ms and new_p50 < min_p50_ms:
+        if not tiers_match:
+            status, ratio = SKIPPED, None
+        elif old_p50 < min_p50_ms and new_p50 < min_p50_ms:
             status, ratio = WITHIN_TOLERANCE, None
         else:
             ratio = (new_p50 / new_scale) / max(1e-12, old_p50 / old_scale)

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.bench.report import BenchReport, ScenarioResult
 from repro.bench.spec import BenchSpec, Outcome
+from repro.kernels import active_kernel_backend, numba_available
 
 
 def calibration_workload() -> float:
@@ -66,6 +67,8 @@ def capture_environment(calibrate: bool = True) -> Dict[str, Any]:
         "machine": platform.machine(),
         "cpu_count": os.cpu_count() or 1,
         "numpy": np.__version__,
+        "kernels": active_kernel_backend(),
+        "numba_available": numba_available(),
     }
     if calibrate:
         environment["calibration_ms"] = measure_calibration()

@@ -1044,3 +1044,60 @@ register(
         tags=("server",),
     )
 )
+
+
+# ---------------------------------------------------------------------------
+# Hot-path kernels (repro.kernels): compiled vs NumPy reference
+# ---------------------------------------------------------------------------
+
+
+def _kernel_hotpath_setup(params: Mapping[str, Any], seed: int) -> Callable[[], Outcome]:
+    # Deferred so importing the suite registry never touches the kernel
+    # benchmark driver (see repro.bench.kernel_hotpath).
+    from repro.bench.kernel_hotpath import kernel_hotpath_setup
+
+    return kernel_hotpath_setup(params, seed)
+
+
+def _kernel_hotpath_check(values: Mapping[str, Any], report: Any) -> None:
+    from repro.bench.kernel_hotpath import kernel_hotpath_check
+
+    kernel_hotpath_check(values, report)
+
+
+def _kernel_hotpath_scenarios(max_buckets: int) -> Tuple[Scenario, ...]:
+    return tuple(
+        Scenario(name, {"dataset": "aminer-small", "max_buckets": max_buckets,
+                        "kernels": mode})
+        for name, mode in (("numpy", "numpy"), ("compiled", "auto"))
+    )
+
+
+register(
+    BenchSpec(
+        name="kernel_hotpath",
+        description=(
+            "hot-path kernel layer: batched ingest with compiled (Numba) "
+            "kernels vs the NumPy reference, with per-kernel timings"
+        ),
+        setup=_kernel_hotpath_setup,
+        tiers={
+            "tiny": TierPolicy(
+                scenarios=_kernel_hotpath_scenarios(max_buckets=48),
+                warmup=1,
+                repeat=3,
+            ),
+            "full": TierPolicy(
+                scenarios=_kernel_hotpath_scenarios(max_buckets=0),
+                warmup=1,
+                repeat=5,
+            ),
+        },
+        baseline="numpy",
+        check=_kernel_hotpath_check,
+        # Selected by CI perf-smoke via --tag kernels (alongside the micro
+        # subset); deliberately not tagged "micro" so the historical micro
+        # selection stays exactly the two ingest/query micro-benchmarks.
+        tags=("kernels",),
+    )
+)

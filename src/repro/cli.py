@@ -17,9 +17,11 @@ without writing Python:
   extra is installed and under the bundled stdlib ASGI server otherwise;
 * ``repro-ksir experiment`` — regenerate one of the paper's tables or figures
   with reduced, CLI-friendly settings;
-* ``repro-ksir bench`` — run/list/compare the registered benchmarks: every
-  run writes canonical ``BENCH_<name>.json`` reports and ``bench compare``
-  classifies regressions against a baseline directory (the CI perf gate);
+* ``repro-ksir bench`` — run/list/profile/compare the registered
+  benchmarks: every run writes canonical ``BENCH_<name>.json`` reports,
+  ``bench profile`` prints cProfile hot spots plus the per-kernel timer
+  table for any scenario, and ``bench compare`` classifies regressions
+  against a baseline directory (the CI perf gate);
 * ``repro-ksir ha`` — the supervised cluster runtime: inspect and compact
   delta-checkpoint chains, and run a kill-and-recover failover drill that
   SIGKILLs a live shard mid-stream and verifies the recovered cluster
@@ -38,6 +40,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 from repro.api import EngineConfig, KSIREngine, LocalBackend
 from repro.core.algorithms import ALGORITHM_REGISTRY
+from repro.kernels import KERNEL_CHOICES
 from repro.datasets.loaders import load_stream_jsonl, save_stream_jsonl
 from repro.datasets.profiles import profile_names
 from repro.datasets.synthetic import SyntheticStreamGenerator
@@ -190,6 +193,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench_run.add_argument("--output-dir", type=Path,
                            default=Path("benchmarks/results"),
                            help="where reports and rendered artefacts are written")
+
+    bench_profile = bench_sub.add_parser(
+        "profile",
+        help="profile one benchmark scenario: cProfile hot spots plus the "
+             "per-kernel timer table",
+    )
+    bench_profile.add_argument("name", help="a registered benchmark name")
+    bench_profile.add_argument("--tier", default="tiny", choices=["tiny", "full"],
+                               help="size tier of the profiled scenario")
+    bench_profile.add_argument("--scenario", default=None,
+                               help="scenario name (default: every scenario "
+                                    "of the tier)")
+    bench_profile.add_argument("--seed", type=int, default=2019)
+    bench_profile.add_argument("--kernels", default="auto",
+                               choices=list(KERNEL_CHOICES),
+                               help="kernel backend to profile under")
+    bench_profile.add_argument("--top", type=int, default=20,
+                               help="cProfile rows to print per scenario")
 
     bench_compare = bench_sub.add_parser(
         "compare", help="classify regressions between two report sets"
@@ -525,6 +546,9 @@ def run_bench(args: argparse.Namespace) -> int:
                 failures += 1
         return 1 if failures else 0
 
+    if args.bench_command == "profile":
+        return _bench_profile(args)
+
     if args.bench_command == "compare":
         for path in (args.baseline, args.candidate):
             if not path.exists():
@@ -546,6 +570,66 @@ def run_bench(args: argparse.Namespace) -> int:
         return 1 if result.has_regressions else 0
 
     raise ValueError(f"unknown bench command {args.bench_command!r}")
+
+
+def _bench_profile(args: argparse.Namespace) -> int:
+    """``bench profile``: cProfile one scenario + the kernel timer table.
+
+    Builds the scenario's measured callable exactly like ``bench run``
+    (setup stays untimed), then executes it once under :mod:`cProfile`
+    with the kernel timers reset, printing the top functions by
+    cumulative time followed by the per-kernel call/nanosecond table.
+    Works for any registered benchmark.
+    """
+    import cProfile
+    import pstats
+
+    from repro.bench import get_spec
+    from repro.kernels import (
+        format_kernel_stats,
+        kernel_stats,
+        reset_kernel_stats,
+        use_kernels,
+    )
+
+    try:
+        spec = get_spec(args.name)
+    except KeyError as error:
+        _print(f"error: {error}")
+        return 2
+    try:
+        policy = spec.tier(args.tier)
+    except KeyError:
+        _print(f"error: benchmark {spec.name!r} has no tier {args.tier!r}")
+        return 2
+    scenarios = policy.scenarios
+    if args.scenario is not None:
+        scenarios = tuple(s for s in scenarios if s.name == args.scenario)
+        if not scenarios:
+            known = ", ".join(s.name for s in policy.scenarios)
+            _print(
+                f"error: unknown scenario {args.scenario!r} "
+                f"(tier {args.tier!r} has: {known})"
+            )
+            return 2
+    with use_kernels(args.kernels):
+        for scenario in scenarios:
+            _print(f"=== {spec.name} / {args.tier} / {scenario.name} ===")
+            measured = spec.setup(scenario.params, args.seed)
+            reset_kernel_stats()
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                measured()
+            finally:
+                profiler.disable()
+            stats = kernel_stats()
+            pstats.Stats(profiler, stream=sys.stdout).sort_stats(
+                "cumulative"
+            ).print_stats(args.top)
+            _print(format_kernel_stats(stats))
+            _print("")
+    return 0
 
 
 def run_ha(args: argparse.Namespace) -> int:

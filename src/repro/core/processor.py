@@ -33,12 +33,17 @@ from repro.core.scoring import (
 from repro.core.stream import SocialStream, replay_stream
 from repro.core.window import ActiveWindow
 from repro.core.window_policy import WINDOW_POLICY_CHOICES, WindowPolicy
+from repro.kernels import get_kernel
 from repro.store import STORE_CHOICES, ColumnarWindow, ElementStore, StateView
 from repro.topics.inference import TopicInferencer
 from repro.topics.model import TopicModel
 from repro.utils.deprecation import warn_deprecated_construction
 from repro.utils.timing import StopWatch, TimingStats
 from repro.utils.validation import require_positive
+
+#: The touched-parent δ-recompute kernel (gather + segmented reduce over
+#: the store's ``P[rows, z]`` matrix); see :mod:`repro.kernels`.
+_DELTA_TOPIC_SUMS = get_kernel("delta_topic_sums")
 
 
 @dataclass(frozen=True)
@@ -558,8 +563,9 @@ class KSIRProcessor:
         """Batched ``δ_i`` recomputation over the store's profile matrix.
 
         For every touched parent, the per-topic follower-probability sums
-        ``Σ_{e ∈ I_t(parent)} p_i(e)`` come out of one gather +
-        ``reduceat`` over the store's ``P[rows, z]`` matrix; the sparse
+        ``Σ_{e ∈ I_t(parent)} p_i(e)`` come out of the ``delta_topic_sums``
+        kernel — one gather + segmented reduce over the store's
+        ``P[rows, z]`` matrix, compiled when Numba is active; the sparse
         per-topic score maps are then assembled in the same topic order
         the object path uses, so scores agree within float re-association
         noise (≤ 1e-9 on realistic windows).  Returns
@@ -573,12 +579,7 @@ class KSIRProcessor:
         parent_ids = list(touched)
         rows = store.rows_of(parent_ids)
         indices, counts = store.followers_concat(rows)
-        sums = np.zeros((len(parent_ids), store.num_topics), dtype=np.float64)
-        if indices.size:
-            gathered = store.profile_matrix[indices]
-            starts = np.cumsum(counts) - counts
-            nonempty = counts > 0
-            sums[nonempty] = np.add.reduceat(gathered, starts[nonempty], axis=0)
+        sums = _DELTA_TOPIC_SUMS(store.profile_matrix, indices, counts)
         scoring = self._config.scoring
         lambda_weight = scoring.lambda_weight
         influence_weight = scoring.influence_weight

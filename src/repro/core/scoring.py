@@ -30,8 +30,13 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.element import SocialElement
+from repro.kernels import get_kernel
 from repro.topics.model import TopicModel
 from repro.utils.validation import require_in_range, require_positive, require_probability
+
+#: The per-(element, topic) positive-weight counting kernel (thresholded
+#: segmented reduce); see :mod:`repro.kernels`.
+_POSITIVE_COUNTS = get_kernel("positive_counts")
 
 
 @dataclass(frozen=True)
@@ -307,21 +312,14 @@ class ProfileBuilder:
                 weights = np.where(
                     positive, -all_frequencies[entry_index] * joint * logs, 0.0
                 )
-            weight_positive = weights > 0.0
-            all_positive = bool(weight_positive.all())
+            all_positive = bool((weights > 0.0).all())
             if not all_positive:
                 # Positive-weight count per (element, topic) pair, so the
                 # reassembly loop below can take a C-speed dict(zip(...))
                 # fast path whenever a pair has no zero weights to filter
-                # out.  (reduceat needs non-empty segments; empty stay 0.)
-                pair_starts = np.cumsum(pair_counts) - pair_counts
-                nonempty = pair_counts > 0
-                counts = np.zeros(len(pair_counts), dtype=np.intp)
-                if nonempty.any():
-                    counts[nonempty] = np.add.reduceat(
-                        weight_positive.astype(np.intp), pair_starts[nonempty]
-                    )
-                positive_counts = counts.tolist()
+                # out.  The segmented reduce (empty segments stay 0) runs
+                # through the ``positive_counts`` kernel.
+                positive_counts = _POSITIVE_COUNTS(weights, pair_counts).tolist()
             weight_values = weights.tolist()
 
         # Reassemble per-element sparse maps from the flat weight array.

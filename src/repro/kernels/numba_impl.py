@@ -1,0 +1,116 @@
+"""Numba-compiled kernel variants (the optional ``[kernels]`` extra).
+
+Importing this module raises :class:`ImportError` when ``numba`` is not
+installed — the registry probes it exactly once and falls back to the
+NumPy reference implementations, so the package keeps zero new hard
+dependencies.  Each function below mirrors its reference twin in
+:mod:`repro.kernels.numpy_impl` signature-for-signature; the compiled
+bodies fuse the gather/reduce/scan passes into single loops (no
+temporary arrays) and are cached on disk (``cache=True``) so the JIT
+cost is paid once per machine, not once per process.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Any, Callable, Tuple
+
+import numpy as np
+
+# Imported dynamically so this module type-checks without numba stubs;
+# the ImportError when the extra is absent is the gating signal.
+_numba = import_module("numba")
+
+_njit: Callable[..., Any] = _numba.njit
+
+
+@_njit(cache=True)
+def _delta_topic_sums(
+    profile_matrix: Any, indices: Any, counts: Any
+) -> Any:  # pragma: no cover - exercised only when numba is installed
+    num_segments = counts.shape[0]
+    num_topics = profile_matrix.shape[1]
+    out = np.zeros((num_segments, num_topics), dtype=np.float64)
+    position = 0
+    for segment in range(num_segments):
+        for _ in range(counts[segment]):
+            row = indices[position]
+            for topic in range(num_topics):
+                out[segment, topic] += profile_matrix[row, topic]
+            position += 1
+    return out
+
+
+@_njit(cache=True)
+def _ranked_merge(
+    scores: Any, keys: Any
+) -> Any:  # pragma: no cover - exercised only when numba is installed
+    # Two stable sorts == lexsort: order by key, then (stably) by -score,
+    # yielding score-descending with the ascending-key tie-break.
+    size = scores.shape[0]
+    by_key = np.argsort(keys, kind="mergesort")
+    negated = np.empty(size, dtype=np.float64)
+    for position in range(size):
+        negated[position] = -scores[by_key[position]]
+    by_score = np.argsort(negated, kind="mergesort")
+    order = np.empty(size, dtype=np.intp)
+    for position in range(size):
+        order[position] = by_key[by_score[position]]
+    return order
+
+
+@_njit(cache=True)
+def _window_scan(
+    element_ids: Any,
+    in_window: Any,
+    timestamps: Any,
+    last_activity: Any,
+    window_start: int,
+) -> Any:  # pragma: no cover - exercised only when numba is installed
+    limit = element_ids.shape[0]
+    expired = np.empty(limit, dtype=np.intp)
+    inactive = np.empty(limit, dtype=np.intp)
+    num_expired = 0
+    num_inactive = 0
+    for row in range(limit):
+        if in_window[row] and timestamps[row] < window_start:
+            expired[num_expired] = row
+            num_expired += 1
+        if element_ids[row] >= 0 and last_activity[row] < window_start:
+            inactive[num_inactive] = row
+            num_inactive += 1
+    return expired[:num_expired].copy(), inactive[:num_inactive].copy()
+
+
+@_njit(cache=True)
+def _positive_counts(
+    weights: Any, counts: Any
+) -> Any:  # pragma: no cover - exercised only when numba is installed
+    num_segments = counts.shape[0]
+    out = np.zeros(num_segments, dtype=np.intp)
+    position = 0
+    for segment in range(num_segments):
+        total = 0
+        for _ in range(counts[segment]):
+            if weights[position] > 0.0:
+                total += 1
+            position += 1
+        out[segment] = total
+    return out
+
+
+#: ``kernel name -> compiled implementation`` installed by :func:`install`.
+COMPILED: Tuple[Tuple[str, Callable[..., Any]], ...] = (
+    ("delta_topic_sums", _delta_topic_sums),
+    ("ranked_merge", _ranked_merge),
+    ("window_scan", _window_scan),
+    ("positive_counts", _positive_counts),
+)
+
+
+def install() -> None:
+    """Attach every compiled implementation to its registered kernel."""
+    from repro.kernels.registry import attach_numba
+
+    for name, impl in COMPILED:
+        attach_numba(name, impl)

@@ -1,0 +1,41 @@
+"""The shared segmented-reduction helper behind the hot kernels.
+
+``np.add.reduceat`` has a well-known sharp edge: an empty segment makes
+``reduceat`` return the *next* row instead of zero, so every call site
+historically re-implemented the same guard (compute segment starts, mask
+the empty segments, fill a zero output selectively).  That idiom was
+duplicated ad hoc in the processor's δ-recompute and the profile
+builder's candidate counting; :func:`segment_sums` is now the single
+canonical version — and the NumPy reference implementation of the
+``delta_topic_sums`` and ``positive_counts`` kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import numpy.typing as npt
+
+
+def segment_sums(
+    data: npt.NDArray[Any], counts: npt.NDArray[np.intp]
+) -> npt.NDArray[Any]:
+    """Sum consecutive row segments of ``data``, tolerating empty segments.
+
+    ``counts[j]`` is the number of leading-to-trailing rows of ``data``
+    belonging to segment ``j`` (so ``counts.sum() == data.shape[0]``).
+    Returns an array of shape ``(len(counts),) + data.shape[1:]`` whose
+    ``j``-th entry is the element-wise sum of segment ``j`` — **zero**
+    for empty segments, which is where raw ``np.add.reduceat`` goes
+    wrong.  The dtype of ``data`` is preserved.
+    """
+    out_shape = (counts.shape[0],) + data.shape[1:]
+    out: npt.NDArray[Any] = np.zeros(out_shape, dtype=data.dtype)
+    if counts.shape[0] == 0 or data.shape[0] == 0:
+        return out
+    starts = np.cumsum(counts) - counts
+    nonempty = counts > 0
+    if bool(nonempty.any()):
+        out[nonempty] = np.add.reduceat(data, starts[nonempty], axis=0)
+    return out

@@ -112,11 +112,52 @@ def render_prometheus(
             else:
                 lines.append(f"{metric} {value}")
 
+    # The kernel layer gets its own ``ksir_kernel_*`` namespace (labelled
+    # per kernel) instead of being flattened into the engine gauges.
+    kernel_stats = engine_stats.get("kernels")
+    engine_stats = {
+        key: value for key, value in engine_stats.items() if key != "kernels"
+    }
+
     engine_lines: List[str] = []
     _emit_numeric(engine_lines, "ksir_engine", engine_stats)
     if engine_lines:
         lines.append("# HELP ksir_engine_* Engine backend counters.")
         lines.extend(engine_lines)
+
+    if isinstance(kernel_stats, Mapping):
+        per_kernel = kernel_stats.get("per_kernel")
+        backend = str(kernel_stats.get("backend", "numpy"))
+        lines.append(
+            "# HELP ksir_kernel_backend The active hot-path kernel backend "
+            "(1 = in use)."
+        )
+        lines.append("# TYPE ksir_kernel_backend gauge")
+        lines.append(
+            f'ksir_kernel_backend{{backend="{_escape_label(backend)}"}} 1'
+        )
+        if isinstance(per_kernel, Mapping):
+            lines.append(
+                "# HELP ksir_kernel_calls_total Calls per hot-path kernel."
+            )
+            lines.append("# TYPE ksir_kernel_calls_total counter")
+            lines.append(
+                "# HELP ksir_kernel_time_ns_total Cumulative nanoseconds "
+                "per hot-path kernel."
+            )
+            lines.append("# TYPE ksir_kernel_time_ns_total counter")
+            for name, counters in sorted(per_kernel.items()):
+                if not isinstance(counters, Mapping):
+                    continue
+                tag = _escape_label(_sanitise(str(name)))
+                lines.append(
+                    f'ksir_kernel_calls_total{{kernel="{tag}"}} '
+                    f'{int(counters.get("calls", 0))}'
+                )
+                lines.append(
+                    f'ksir_kernel_time_ns_total{{kernel="{tag}"}} '
+                    f'{int(counters.get("total_ns", 0))}'
+                )
 
     service_lines: List[str] = []
     _emit_numeric(service_lines, "ksir_service", service_metrics)

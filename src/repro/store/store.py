@@ -36,7 +36,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 import numpy as np
 import numpy.typing as npt
 
+from repro.kernels import get_kernel
+
 _NO_ACTIVITY = np.iinfo(np.int64).min
+
+#: The fused expiry + free-row recycling scan kernel; see :mod:`repro.kernels`.
+_WINDOW_SCAN = get_kernel("window_scan")
 
 
 class StoreCapacityError(RuntimeError):
@@ -551,6 +556,27 @@ class ElementStore:
             self._last_activity[:limit] < window_start
         )
         result: npt.NDArray[np.intp] = np.nonzero(mask)[0]
+        return result
+
+    def window_scan_rows(
+        self, window_start: int
+    ) -> Tuple[npt.NDArray[np.intp], npt.NDArray[np.intp]]:
+        """Both window-advance row sets in one fused column scan.
+
+        Returns ``(expired, inactive)`` — the same rows
+        :meth:`expired_window_rows` and :meth:`inactive_rows` yield
+        individually, computed by the ``window_scan`` kernel in a single
+        pass over the columns (one loop under Numba, two masks in the
+        NumPy reference).
+        """
+        limit = self._high_water
+        result: Tuple[npt.NDArray[np.intp], npt.NDArray[np.intp]] = _WINDOW_SCAN(
+            self._element_ids[:limit],
+            self._in_window[:limit],
+            self._timestamps[:limit],
+            self._last_activity[:limit],
+            int(window_start),
+        )
         return result
 
     # -- topic epochs -------------------------------------------------------------

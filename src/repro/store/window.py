@@ -258,10 +258,17 @@ class ColumnarWindow:
         assert window_start is not None
         store = self._store
 
+        # Both row sets come out of one fused column scan (the
+        # ``window_scan`` kernel).  Computing them upfront is equivalent
+        # to the historical two-pass order: step 1 only mutates window
+        # membership and follower edges, never the element-id or
+        # last-activity columns the inactive mask reads.
+        expired_rows, inactive_rows = store.window_scan_rows(window_start)
+
         # 1. Window members posted before the window start leave W_t; their
         #    follower edges disappear and the affected parents are marked
         #    stale for re-scoring.
-        for row in store.expired_window_rows(window_start).tolist():
+        for row in expired_rows.tolist():
             store.set_in_window(row, False)
             element = self._elements[store.element_id_at(row)]
             for parent_id in element.references:
@@ -272,7 +279,7 @@ class ColumnarWindow:
         # 2. Elements whose last activity predates the window start leave
         #    the active set entirely (their rows are recycled).
         removed: List[int] = []
-        for row in store.inactive_rows(window_start).tolist():
+        for row in inactive_rows.tolist():
             element_id = store.element_id_at(row)
             store.release(element_id)
             self._elements.pop(element_id, None)

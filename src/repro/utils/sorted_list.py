@@ -22,6 +22,15 @@ from __future__ import annotations
 from bisect import bisect_left, insort
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
+import numpy as np
+
+from repro.kernels import get_kernel
+
+#: The ranked-list merge-order kernel (score descending, key ascending);
+#: see :mod:`repro.kernels`.  Engaged by :meth:`DescendingSortedList.bulk_insert`
+#: when every key is a plain ``int`` (the element-id hot path).
+_RANKED_MERGE = get_kernel("ranked_merge")
+
 
 class DescendingSortedList:
     """A mapping from keys to scores, iterable in descending score order.
@@ -88,9 +97,33 @@ class DescendingSortedList:
             ]
         entries = self._entries
         entries.extend((-score, key) for key, score in staged.items())
-        # Timsort merges the existing sorted run and the appended batch at C
-        # speed, which beats a Python-level two-way merge.
-        entries.sort()
+        order = None
+        if all(type(key) is int for _neg, key in entries):
+            # Element-id hot path: the merge order comes from the
+            # ``ranked_merge`` kernel (lexsort reference, compiled stable
+            # sorts under Numba).  The original tuples are re-indexed by
+            # the returned permutation, so key objects are preserved.
+            try:
+                keys = np.fromiter(
+                    (key for _neg, key in entries),
+                    dtype=np.int64,
+                    count=len(entries),
+                )
+            except OverflowError:
+                keys = None
+            if keys is not None:
+                neg_scores = np.fromiter(
+                    (neg for neg, _key in entries),
+                    dtype=np.float64,
+                    count=len(entries),
+                )
+                order = _RANKED_MERGE(-neg_scores, keys)
+        if order is not None:
+            self._entries = [entries[index] for index in order.tolist()]
+        else:
+            # Timsort merges the existing sorted run and the appended batch
+            # at C speed, which beats a Python-level two-way merge.
+            entries.sort()
         self._scores.update(staged)
 
     def bulk_discard(self, keys: Iterable[Hashable]) -> List[Hashable]:

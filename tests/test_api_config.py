@@ -10,6 +10,7 @@ from repro.api import (
     BACKEND_ALIASES,
     EngineConfig,
     InferenceConfig,
+    KernelConfig,
     ServiceConfig,
     StreamConfig,
     canonical_backend_name,
@@ -85,8 +86,10 @@ class TestEngineConfig:
             ),
             service=ServiceConfig(max_workers=7, incremental=False),
             inference=InferenceConfig(alpha=0.05, sparsity_threshold=0.05),
+            kernels=KernelConfig(mode="numpy"),
         )
         payload = config.to_dict()
+        assert payload["kernels"] == {"mode": "numpy"}
         assert EngineConfig.from_dict(payload) == config
 
     def test_dict_is_json_compatible(self):
@@ -108,6 +111,19 @@ class TestEngineConfig:
             EngineConfig.from_dict({"service": {"threads": 4}})
         with pytest.raises(ValueError, match="unknown inference keys"):
             EngineConfig.from_dict({"inference": {"a": 1.0}})
+        with pytest.raises(ValueError, match="unknown kernels keys"):
+            EngineConfig.from_dict({"kernels": {"backend": "auto"}})
+
+    def test_kernel_config_validates_mode(self):
+        assert KernelConfig().mode == "auto"
+        with pytest.raises(ValueError, match="unknown kernel mode"):
+            KernelConfig(mode="fortran")
+
+    def test_kernels_flag_reaches_config(self):
+        parser = argparse.ArgumentParser()
+        EngineConfig.add_arguments(parser)
+        config = EngineConfig.from_args(parser.parse_args(["--kernels", "numpy"]))
+        assert config.kernels == KernelConfig(mode="numpy")
 
 
 class TestValidation:

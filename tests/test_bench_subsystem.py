@@ -28,7 +28,14 @@ from repro.bench import (
     spec_names,
     validate_report_dict,
 )
-from repro.bench.compare import ADDED, IMPROVEMENT, REGRESSION, REMOVED, WITHIN_TOLERANCE
+from repro.bench.compare import (
+    ADDED,
+    IMPROVEMENT,
+    REGRESSION,
+    REMOVED,
+    SKIPPED,
+    WITHIN_TOLERANCE,
+)
 from repro.bench.report import percentile
 from repro.bench.spec import register, unregister
 
@@ -120,11 +127,14 @@ class TestSpecRegistry:
         names = spec_names()
         assert "micro_stream_update" in names
         assert "micro_query_latency" in names
-        assert len(names) >= 17
+        assert "kernel_hotpath" in names
+        assert len(names) >= 18
         micro = iter_specs(tags=("micro",))
         assert {spec.name for spec in micro} == {
             "micro_stream_update", "micro_query_latency",
         }
+        kernels = iter_specs(tags=("kernels",))
+        assert {spec.name for spec in kernels} == {"kernel_hotpath"}
 
 
 # ---------------------------------------------------------------------------
@@ -181,7 +191,8 @@ class TestRunner:
 
 
 def _report(
-    name="bench", p50s=(100.0,), calibration=None, tier="tiny", cpu_count=None
+    name="bench", p50s=(100.0,), calibration=None, tier="tiny", cpu_count=None,
+    kernels=None,
 ) -> BenchReport:
     scenarios = [
         ScenarioResult(
@@ -199,6 +210,8 @@ def _report(
         environment["calibration_ms"] = calibration
     if cpu_count is not None:
         environment["cpu_count"] = cpu_count
+    if kernels is not None:
+        environment["kernels"] = kernels
     return BenchReport(
         benchmark=name, tier=tier, seed=1, created_unix=0.0,
         environment=environment, scenarios=scenarios,
@@ -342,6 +355,32 @@ class TestCompare:
         ).warnings
         assert not compare(_report(), _report(cpu_count=4)).warnings
         assert not compare(_report(), _report()).warnings
+
+    def test_kernel_backend_mismatch_warns_without_failing(self):
+        # A baseline recorded on the NumPy reference is not comparable to
+        # a Numba-compiled candidate (or vice versa): the ratio would mix
+        # the code change with the kernel-backend change.
+        old = _report(p50s=(100.0,), kernels="numpy")
+        new = _report(p50s=(100.0,), kernels="numba")
+        result = compare(old, new, tolerance=0.25)
+        assert len(result.warnings) == 1
+        assert "kernel backend mismatch" in result.warnings[0]
+        assert not result.has_regressions
+        assert not compare(
+            _report(kernels="numpy"), _report(kernels="numpy")
+        ).warnings
+
+    def test_tier_mismatch_skips_classification(self):
+        # A full-tier baseline against a tiny-tier candidate compares
+        # different workload sizes: scenarios are skipped (never bogus
+        # improvements or regressions) and a warning is emitted.
+        old = _report(p50s=(5000.0,), tier="full")
+        new = _report(p50s=(100.0,), tier="tiny")
+        result = compare(old, new, tolerance=0.25)
+        assert [entry.status for entry in result.entries] == [SKIPPED]
+        assert result.entries[0].ratio is None
+        assert not result.has_regressions
+        assert any("tier mismatch" in warning for warning in result.warnings)
 
     def test_compare_many_propagates_environment_warnings(self):
         old = [_report("a", cpu_count=1), _report("b", cpu_count=2)]

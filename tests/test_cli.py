@@ -212,6 +212,29 @@ class TestBenchCommands:
         with pytest.raises(KeyError):
             main(["bench", "run", "nope"])
 
+    def test_bench_profile_prints_kernel_table(self, capsys):
+        exit_code = main(
+            ["bench", "profile", "micro_query_latency", "--tier", "tiny",
+             "--scenario", "topk", "--kernels", "numpy", "--top", "5"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "micro_query_latency / tiny / topk" in output
+        assert "cumulative" in output  # the cProfile section
+        assert "kernel backend: numpy" in output
+        assert "ranked_merge" in output  # the per-kernel timer table
+
+    def test_bench_profile_unknown_scenario(self, capsys):
+        assert main(
+            ["bench", "profile", "micro_query_latency", "--scenario", "nope"]
+        ) == 2
+
+    def test_bench_profile_rejects_unknown_kernel_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["bench", "profile", "kernel_hotpath", "--kernels", "fortran"]
+            )
+
     def test_bench_run_empty_selection(self, capsys):
         assert main(["bench", "run", "--tag", "no-such-tag"]) == 2
 

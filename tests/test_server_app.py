@@ -275,6 +275,13 @@ class TestMetricsAndTelemetry:
         assert 'endpoint="GET /health",status="200"' in text
         assert "ksir_service_evaluations" in text
 
+        # The kernel layer exports under its own namespace, not flattened
+        # into ksir_engine_*: one backend gauge plus per-kernel counters.
+        assert 'ksir_kernel_backend{backend="num' in text
+        assert 'ksir_kernel_calls_total{kernel="ranked_merge"}' in text
+        assert 'ksir_kernel_time_ns_total{kernel="window_scan"}' in text
+        assert "ksir_engine_kernels" not in text
+
         # Histogram buckets must be cumulative and end at the total count.
         rows = [
             line for line in text.splitlines()

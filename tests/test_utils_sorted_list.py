@@ -6,7 +6,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.kernels import numba_available, use_kernels
 from repro.utils.sorted_list import DescendingSortedList
+
+#: Both selectable kernel modes: the reference and (when the [kernels]
+#: extra is installed) the compiled ranked_merge variant.
+KERNEL_MODES = ["numpy", "auto"] + (["numba"] if numba_available() else [])
 
 
 class TestBasicOperations:
@@ -156,8 +161,15 @@ class TestPropertyBased:
 
 
 class TestBulkInsertProperty:
-    """Satellite property: bulk_insert ≡ repeated insert, ties included."""
+    """Satellite property: bulk_insert ≡ repeated insert, ties included.
 
+    The large-batch branch of ``bulk_insert`` delegates its merge order
+    to the ``ranked_merge`` kernel, so the property is checked under
+    every selectable kernel mode — the NumPy reference and, when the
+    ``[kernels]`` extra is installed, the Numba-compiled variant.
+    """
+
+    @pytest.mark.parametrize("kernel_mode", KERNEL_MODES)
     @given(
         prefill=st.lists(
             st.tuples(
@@ -178,15 +190,78 @@ class TestBulkInsertProperty:
         ),
     )
     @settings(max_examples=80, deadline=None)
-    def test_bulk_insert_equals_repeated_insert(self, prefill, batch):
-        reference = DescendingSortedList()
-        bulk = DescendingSortedList()
-        for key, score in prefill:
-            reference.insert(key, score)
-            bulk.insert(key, score)
-        for key, score in batch:
-            reference.insert(key, score)
-        bulk.bulk_insert(batch)
+    def test_bulk_insert_equals_repeated_insert(self, kernel_mode, prefill, batch):
+        with use_kernels(kernel_mode):
+            reference = DescendingSortedList()
+            bulk = DescendingSortedList()
+            for key, score in prefill:
+                reference.insert(key, score)
+                bulk.insert(key, score)
+            for key, score in batch:
+                reference.insert(key, score)
+            bulk.bulk_insert(batch)
         assert bulk.items() == reference.items()
         assert bulk.keys() == reference.keys()
         assert bulk.validate() and reference.validate()
+
+
+class TestBulkInsertTieBreak:
+    """Equal scores must resolve by ascending key on every merge path."""
+
+    @pytest.mark.parametrize("kernel_mode", KERNEL_MODES)
+    def test_large_batch_ties_resolve_by_key(self, kernel_mode):
+        # 32 staged entries against an empty list takes the kernel-merge
+        # branch (int keys → ranked_merge permutation), and every score
+        # collides with exactly one other key.
+        batch = [(key, float(key % 16)) for key in range(32)]
+        with use_kernels(kernel_mode):
+            ranked = DescendingSortedList()
+            ranked.bulk_insert(batch)
+        expected = sorted(batch, key=lambda item: (-item[1], item[0]))
+        assert ranked.items() == expected
+        assert ranked.validate()
+
+    @pytest.mark.parametrize("kernel_mode", KERNEL_MODES)
+    def test_all_scores_equal(self, kernel_mode):
+        with use_kernels(kernel_mode):
+            ranked = DescendingSortedList()
+            ranked.bulk_insert((key, 1.0) for key in (9, 3, 27, 0, 14, 5, 21, 8, 2))
+        assert ranked.keys() == [0, 2, 3, 5, 8, 9, 14, 21, 27]
+
+    @pytest.mark.parametrize("kernel_mode", KERNEL_MODES)
+    def test_signed_zero_scores_tie(self, kernel_mode):
+        """-0.0 and 0.0 compare equal, so the key decides — both paths."""
+        batch = [(3, -0.0), (1, 0.0), (2, -0.0), (0, 0.0)] + [
+            (key, 1.0) for key in range(4, 16)
+        ]
+        with use_kernels(kernel_mode):
+            ranked = DescendingSortedList()
+            ranked.bulk_insert(batch)
+        assert ranked.keys()[-4:] == [0, 1, 2, 3]
+
+    def test_non_int_keys_fall_back_to_python_sort(self):
+        batch = [(f"k{index:02d}", float(index % 4)) for index in range(24)]
+        ranked = DescendingSortedList()
+        ranked.bulk_insert(batch)
+        assert ranked.items() == sorted(batch, key=lambda item: (-item[1], item[0]))
+
+    def test_oversized_int_keys_fall_back_to_python_sort(self):
+        # Keys beyond int64 overflow np.fromiter; bulk_insert must fall
+        # back to the pure-Python merge and still honour the tie-break.
+        huge = 2**70
+        batch = [(huge + index, float(index % 3)) for index in range(16)]
+        ranked = DescendingSortedList()
+        ranked.bulk_insert(batch)
+        assert ranked.items() == sorted(batch, key=lambda item: (-item[1], item[0]))
+        assert ranked.validate()
+
+    @pytest.mark.parametrize("kernel_mode", KERNEL_MODES)
+    def test_merge_with_existing_entries_preserves_tie_order(self, kernel_mode):
+        with use_kernels(kernel_mode):
+            ranked = DescendingSortedList()
+            for key in (4, 10):
+                ranked.insert(key, 2.0)
+            ranked.bulk_insert(
+                [(7, 2.0), (1, 2.0)] + [(key, 0.5) for key in range(20, 34)]
+            )
+        assert ranked.keys()[:4] == [1, 4, 7, 10]
